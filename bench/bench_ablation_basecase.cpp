@@ -1,0 +1,63 @@
+/// \file bench_ablation_basecase.cpp
+/// \brief Ablation of the CFR3D base-case size n0 (paper Section II-D):
+///        the recursion depth n/n0 trades synchronization (alpha, more
+///        levels) against bandwidth (beta, bigger redundant base cases);
+///        the paper picks n0 = n/P^(2/3) to minimize bandwidth.  Measured
+///        at small scale, modeled at paper scale.
+
+#include "common.hpp"
+#include "cacqr/chol/cfr3d.hpp"
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/model/costs.hpp"
+
+int main() {
+  using namespace cacqr;
+  using dist::DistMatrix;
+
+  // Real execution on a 2^3 cube.
+  {
+    const int g = 2;
+    const i64 n = 64;
+    lin::Matrix tall = lin::hashed_matrix(52, 4 * n, n);
+    lin::Matrix spd(n, n);
+    lin::gram(1.0, tall, 0.0, spd);
+    for (i64 i = 0; i < n; ++i) spd(i, i) += double(n);
+
+    TextTable t;
+    t.header({"n0", "levels", "msgs", "words", "flops"});
+    for (const i64 n0 : {i64{2}, i64{4}, i64{8}, i64{16}, i64{32}, i64{64}}) {
+      auto per_rank = rt::Runtime::run(g * g * g, [&](rt::Comm& world) {
+        grid::CubeGrid cube(world, g);
+        auto da = DistMatrix::from_global_on_cube(spd, cube);
+        (void)chol::cfr3d(da, cube, {.base_case = n0});
+      });
+      const auto mc = rt::max_counters(per_rank);
+      const i64 eff = chol::effective_base_case(n, g, n0);
+      t.row({std::to_string(eff), std::to_string(ilog2(n / eff)),
+             std::to_string(mc.msgs), std::to_string(mc.words),
+             std::to_string(mc.flops)});
+    }
+    std::cout << "Measured CFR3D(n=" << n << ") on a " << g << "^3 cube:\n";
+    bench::emit("ablation_basecase_measured", t);
+  }
+
+  // Paper scale: n = 8192 on an 8^3 cube (P = 512), modeled.
+  {
+    const model::Machine s2 = model::stampede2();
+    const double n = 8192, g = 8;
+    TextTable t;
+    t.header({"n0", "alpha", "beta", "gamma", "modeled ms"});
+    for (double n0 = 16; n0 <= n; n0 *= 4) {
+      const auto c = model::cost_cfr3d(n, g, n0);
+      t.row({TextTable::num(n0, 6), TextTable::num(c.alpha, 5),
+             TextTable::num(c.beta, 5), TextTable::num(c.gamma, 5),
+             TextTable::num(c.time(s2) * 1e3, 4)});
+    }
+    std::cout << "Modeled CFR3D(n=8192) on an 8^3 cube (" << s2.name
+              << "); the paper default n0 = n/P^(2/3) = "
+              << TextTable::num(n / (g * g), 4) << ":\n";
+    bench::emit("ablation_basecase_modeled", t);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// \file bench_ablation_inverse.cpp
+/// \brief Ablation of the paper's InverseDepth knob (Section III-A): at
+///        small scale, measured counters of real runs per depth; at paper
+///        scale, the modeled flop/synchronization tradeoff ("...can lower
+///        the computational cost by nearly a factor of 2 ... incurring
+///        close to a 2x increase in synchronization cost").
+
+#include "common.hpp"
+#include "cacqr/core/ca_cqr.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/model/costs.hpp"
+
+int main() {
+  using namespace cacqr;
+  using dist::DistMatrix;
+
+  // Real execution: c=2, d=4 grid, depth 0..2.
+  {
+    const int c = 2, d = 4;
+    const i64 m = 128, n = 32;
+    TextTable t;
+    t.header({"inverse_depth", "msgs", "words", "flops",
+              "flops vs depth0", "msgs vs depth0"});
+    i64 f0 = 0, m0 = 0;
+    for (int depth = 0; depth <= 2; ++depth) {
+      auto per_rank = rt::Runtime::run(c * c * d, [&](rt::Comm& world) {
+        grid::TunableGrid g(world, c, d);
+        auto da = DistMatrix::from_global_on_tunable(
+            lin::hashed_matrix(51, m, n), g);
+        (void)core::ca_cqr2(da, g, {.base_case = 4, .inverse_depth = depth});
+      });
+      const auto mc = rt::max_counters(per_rank);
+      if (depth == 0) {
+        f0 = mc.flops;
+        m0 = mc.msgs;
+      }
+      t.row({std::to_string(depth), std::to_string(mc.msgs),
+             std::to_string(mc.words), std::to_string(mc.flops),
+             TextTable::num(double(mc.flops) / double(f0), 3),
+             TextTable::num(double(mc.msgs) / double(m0), 3)});
+    }
+    std::cout << "Measured (real run, " << m << "x" << n << ", c=" << c
+              << " d=" << d << "):\n";
+    bench::emit("ablation_inverse_measured", t);
+  }
+
+  // Paper scale: Stampede2 strong-scaling point, model.
+  {
+    const model::Machine s2 = model::stampede2();
+    const double m = 8388608, n = 2048;
+    const i64 ranks = 1024 * s2.ranks_per_node;
+    const i64 c = 4, d = ranks / 16;
+    TextTable t;
+    t.header({"inverse_depth", "alpha", "beta", "gamma", "modeled s",
+              "GF/s/node"});
+    for (int depth = 0; depth <= 3; ++depth) {
+      const auto cost = model::cost_ca_cqr2(m, n, double(c), double(d), 0.0,
+                                            depth);
+      const double secs = cost.time(s2);
+      t.row({std::to_string(depth), TextTable::num(cost.alpha, 5),
+             TextTable::num(cost.beta, 5), TextTable::num(cost.gamma, 5),
+             TextTable::num(secs, 4),
+             TextTable::num(model::gflops_per_node(m, n, secs, 1024.0))});
+    }
+    std::cout << "Modeled at 1024 Stampede2 nodes, " << i64(m) << "x"
+              << i64(n) << ", c=" << c << ":\n";
+    bench::emit("ablation_inverse_modeled", t);
+  }
+  return 0;
+}

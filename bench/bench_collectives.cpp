@@ -1,0 +1,65 @@
+/// \file bench_collectives.cpp
+/// \brief google-benchmark microbenches for the message-passing runtime's
+///        collectives on small thread-grids (wall-clock; the modeled
+///        costs are covered by the table/figure benches).
+
+#include <benchmark/benchmark.h>
+
+#include "cacqr/rt/comm.hpp"
+
+namespace {
+
+using namespace cacqr;
+
+void BM_Allreduce(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    rt::Runtime::run(p, [&](rt::Comm& c) {
+      std::vector<double> v(n, 1.0);
+      c.allreduce_sum(v);
+      benchmark::DoNotOptimize(v.data());
+    });
+  }
+}
+BENCHMARK(BM_Allreduce)->Args({4, 1024})->Args({8, 1024})->Args({8, 16384});
+
+void BM_Bcast(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    rt::Runtime::run(p, [&](rt::Comm& c) {
+      std::vector<double> v(n, 1.0);
+      c.bcast(v, 0);
+      benchmark::DoNotOptimize(v.data());
+    });
+  }
+}
+BENCHMARK(BM_Bcast)->Args({4, 1024})->Args({8, 16384});
+
+void BM_Allgather(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    rt::Runtime::run(p, [&](rt::Comm& c) {
+      std::vector<double> mine(n, 1.0);
+      std::vector<double> all(n * static_cast<std::size_t>(p));
+      c.allgather(mine, all);
+      benchmark::DoNotOptimize(all.data());
+    });
+  }
+}
+BENCHMARK(BM_Allgather)->Args({4, 1024})->Args({8, 4096});
+
+void BM_RuntimeSpawn(benchmark::State& state) {
+  // Thread-team launch overhead (the fixed cost of every SPMD section).
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    rt::Runtime::run(p, [](rt::Comm& c) { c.barrier(); });
+  }
+}
+BENCHMARK(BM_RuntimeSpawn)->Arg(2)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+/// \file bench_fig1a_strong_best.cpp
+/// \brief Figure 1(a): the headline strong-scaling summary on Stampede2 --
+///        best-performing grid per node count for both algorithms, four
+///        matrix shapes 2^25 x 2^10 ... 2^19 x 2^13 (constant mn).
+///        Paper result: CA-CQR2 is 2.6x-3.3x faster at 1024 nodes.
+
+#include "common.hpp"
+
+int main() {
+  using namespace cacqr;
+  const model::Machine s2 = model::stampede2();
+  const std::vector<i64> nodes = {64, 128, 256, 512, 1024};
+  const std::vector<std::pair<double, double>> shapes = {
+      {double(1 << 25), double(1 << 10)},
+      {double(1 << 23), double(1 << 11)},
+      {double(1 << 21), double(1 << 12)},
+      {double(1 << 19), double(1 << 13)},
+  };
+
+  TextTable t;
+  std::vector<std::string> head = {"nodes"};
+  for (const auto& [m, n] : shapes) {
+    const std::string tag =
+        std::to_string(i64(m)) + "x" + std::to_string(i64(n));
+    head.push_back("SL " + tag);
+    head.push_back("CA " + tag);
+  }
+  t.header(head);
+
+  for (const i64 nd : nodes) {
+    const i64 ranks = nd * s2.ranks_per_node;
+    std::vector<std::string> row = {std::to_string(nd)};
+    for (const auto& [m, n] : shapes) {
+      const auto sl = model::best_pgeqrf(m, n, ranks, s2);
+      const auto ca = model::best_cacqr2(m, n, ranks, s2);
+      row.push_back(TextTable::num(
+          model::gflops_per_node(m, n, sl.seconds, double(nd))));
+      row.push_back(TextTable::num(
+          model::gflops_per_node(m, n, ca.seconds, double(nd))));
+    }
+    t.row(std::move(row));
+  }
+  bench::emit("fig1a_strong_best_s2", t);
+
+  // Summary speedups at 1024 nodes (the abstract's 2.6x-3.3x claim).
+  std::cout << "Speedups (CA-CQR2 best / ScaLAPACK best) at 1024 nodes:\n";
+  for (const auto& [m, n] : shapes) {
+    const i64 ranks = 1024 * s2.ranks_per_node;
+    const auto sl = model::best_pgeqrf(m, n, ranks, s2);
+    const auto ca = model::best_cacqr2(m, n, ranks, s2);
+    std::cout << "  " << i64(m) << " x " << i64(n) << ": "
+              << TextTable::num(sl.seconds / ca.seconds, 3) << "x  (chosen c="
+              << ca.c << ", d=" << ca.d << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+/// \file bench_fig1b_weak_best.cpp
+/// \brief Figure 1(b): the headline weak-scaling summary on Stampede2.
+///        Matrices (131072 a c) x (1024 b d) for the four legend shape
+///        families (c,d) in {(8,1),(4,2),(2,4),(1,8)}; nodes = 8 a b^2 so
+///        mn^2 scales linearly with node count.  Paper result: CA-CQR2
+///        1.1x-1.9x faster at the largest step.
+
+#include "common.hpp"
+
+int main() {
+  using namespace cacqr;
+  const model::Machine s2 = model::stampede2();
+  const std::vector<std::pair<i64, i64>> families = {
+      {8, 1}, {4, 2}, {2, 4}, {1, 8}};
+
+  for (const auto& [fc, fd] : families) {
+    TextTable t;
+    t.header({"(a,b)", "nodes", "m", "n", "ScaLAPACK(best)", "CACQR2(best)",
+              "best c", "ratio"});
+    for (const auto& [a, b] : bench::weak_steps()) {
+      const i64 nodes = 8 * a * b * b;
+      const i64 ranks = nodes * s2.ranks_per_node;
+      const double m = 131072.0 * double(a) * double(fc);
+      const double n = 1024.0 * double(b) * double(fd);
+      if (m < n) continue;
+      const auto sl = model::best_pgeqrf(m, n, ranks, s2);
+      const auto ca = model::best_cacqr2(m, n, ranks, s2);
+      const double sl_gf =
+          model::gflops_per_node(m, n, sl.seconds, double(nodes));
+      const double ca_gf =
+          model::gflops_per_node(m, n, ca.seconds, double(nodes));
+      t.row({"(" + std::to_string(a) + "," + std::to_string(b) + ")",
+             std::to_string(nodes), std::to_string(i64(m)),
+             std::to_string(i64(n)), TextTable::num(sl_gf),
+             TextTable::num(ca_gf), std::to_string(ca.c),
+             TextTable::num(ca_gf / sl_gf, 3)});
+    }
+    bench::emit("fig1b_weak_best_s2_c" + std::to_string(fc) + "_d" +
+                    std::to_string(fd),
+                t);
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// \file bench_fig4_weak_bw.cpp
+/// \brief Figure 4 (a-c): weak scaling on Blue Waters, nodes = 16 a b^2,
+///        matrices 65536a x 2048b, 262144a x 1024b, 1048576a x 512b.
+///        Expected shape: ScaLAPACK stays competitive or ahead (the
+///        machine's low flops:bandwidth ratio makes CQR2's 2x flop
+///        overhead expensive), with CA-CQR2 closing the gap as the
+///        row:column ratio grows across the plots.
+
+#include "common.hpp"
+
+namespace {
+
+void weak_figure(const std::string& name, double m0, double n0) {
+  using namespace cacqr;
+  const model::Machine bw = model::bluewaters();
+  TextTable t;
+  std::vector<std::string> head = {"(a,b)", "nodes", "ScaLAPACK(best)"};
+  for (const i64 c : bench::c_values()) {
+    head.push_back("CACQR2(c=" + std::to_string(c) + ")");
+  }
+  head.push_back("CACQR2(best)");
+  head.push_back("ratio");
+  t.header(head);
+
+  for (const auto& [a, b] : bench::weak_steps()) {
+    const i64 nodes = 16 * a * b * b;
+    const i64 ranks = nodes * bw.ranks_per_node;
+    const double m = m0 * double(a);
+    const double n = n0 * double(b);
+    std::vector<std::string> row = {
+        "(" + std::to_string(a) + "," + std::to_string(b) + ")",
+        std::to_string(nodes)};
+    const auto sl = model::best_pgeqrf(m, n, ranks, bw);
+    const double sl_gf = model::gflops_per_node(m, n, sl.seconds,
+                                                double(nodes));
+    row.push_back(TextTable::num(sl_gf));
+    double best = 0.0;
+    for (const i64 c : bench::c_values()) {
+      if (!bench::grid_ok(ranks, c, m, n)) {
+        row.push_back("-");
+        continue;
+      }
+      const auto ch = model::eval_cacqr2(m, n, c, ranks / (c * c), bw);
+      const double gf = model::gflops_per_node(m, n, ch.seconds,
+                                               double(nodes));
+      best = std::max(best, gf);
+      row.push_back(TextTable::num(gf));
+    }
+    row.push_back(TextTable::num(best));
+    row.push_back(TextTable::num(best / sl_gf, 3));
+    t.row(std::move(row));
+  }
+  cacqr::bench::emit(name, t);
+}
+
+}  // namespace
+
+int main() {
+  weak_figure("fig4a_weak_bw_65536a_x_2048b", 65536.0, 2048.0);
+  weak_figure("fig4b_weak_bw_262144a_x_1024b", 262144.0, 1024.0);
+  weak_figure("fig4c_weak_bw_1048576a_x_512b", 1048576.0, 512.0);
+  return 0;
+}

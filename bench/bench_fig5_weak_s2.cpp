@@ -1,0 +1,67 @@
+/// \file bench_fig5_weak_s2.cpp
+/// \brief Figure 5 (a-d): weak scaling on Stampede2, nodes = 8 a b^2,
+///        matrices 131072a x 8192b, 262144a x 4096b, 524288a x 2048b,
+///        1048576a x 1024b.  The paper reports CA-CQR2 advantages at the
+///        final step (8,4) = 1024 nodes of 1.1x / 1.3x / 1.7x / 1.9x, the
+///        advantage appearing at smaller node counts as the row:column
+///        ratio grows.
+
+#include "common.hpp"
+
+namespace {
+
+void weak_figure(const std::string& name, double m0, double n0) {
+  using namespace cacqr;
+  const model::Machine s2 = model::stampede2();
+  TextTable t;
+  std::vector<std::string> head = {"(a,b)", "nodes", "ScaLAPACK(best)"};
+  for (const i64 c : bench::c_values()) {
+    head.push_back("CACQR2(c=" + std::to_string(c) + ")");
+  }
+  head.push_back("CACQR2(best)");
+  head.push_back("ratio");
+  t.header(head);
+
+  double final_ratio = 0.0;
+  for (const auto& [a, b] : bench::weak_steps()) {
+    const i64 nodes = 8 * a * b * b;
+    const i64 ranks = nodes * s2.ranks_per_node;
+    const double m = m0 * double(a);
+    const double n = n0 * double(b);
+    std::vector<std::string> row = {
+        "(" + std::to_string(a) + "," + std::to_string(b) + ")",
+        std::to_string(nodes)};
+    const auto sl = model::best_pgeqrf(m, n, ranks, s2);
+    const double sl_gf = model::gflops_per_node(m, n, sl.seconds,
+                                                double(nodes));
+    row.push_back(TextTable::num(sl_gf));
+    double best = 0.0;
+    for (const i64 c : bench::c_values()) {
+      if (!bench::grid_ok(ranks, c, m, n)) {
+        row.push_back("-");
+        continue;
+      }
+      const auto ch = model::eval_cacqr2(m, n, c, ranks / (c * c), s2);
+      const double gf = model::gflops_per_node(m, n, ch.seconds,
+                                               double(nodes));
+      best = std::max(best, gf);
+      row.push_back(TextTable::num(gf));
+    }
+    row.push_back(TextTable::num(best));
+    final_ratio = best / sl_gf;
+    row.push_back(TextTable::num(final_ratio, 3));
+    t.row(std::move(row));
+  }
+  cacqr::bench::emit(name, t);
+  std::cout << name << ": final-step ratio = " << final_ratio << "x\n\n";
+}
+
+}  // namespace
+
+int main() {
+  weak_figure("fig5a_weak_s2_131072a_x_8192b", 131072.0, 8192.0);
+  weak_figure("fig5b_weak_s2_262144a_x_4096b", 262144.0, 4096.0);
+  weak_figure("fig5c_weak_s2_524288a_x_2048b", 524288.0, 2048.0);
+  weak_figure("fig5d_weak_s2_1048576a_x_1024b", 1048576.0, 1024.0);
+  return 0;
+}

@@ -1,0 +1,41 @@
+/// \file bench_fig6_strong_bw.cpp
+/// \brief Figure 6 (a, b): strong scaling on Blue Waters (16 ranks/node),
+///        matrices 1048576x4096 and 4194304x2048, nodes 32..2048.
+///        Expected shape: ScaLAPACK leads at small node counts (low
+///        flops:bandwidth machine balance punishes CQR2's 2x flops);
+///        larger-c grids take over as the node count grows, with the
+///        c = 1 -> 2 and 2 -> 4 crossovers the paper describes.
+
+#include "common.hpp"
+
+int main() {
+  using namespace cacqr;
+  const model::Machine bw = model::bluewaters();
+  const std::vector<i64> nodes = {32, 64, 128, 256, 512, 1024, 2048};
+  bench::strong_scaling_figure("fig6a_strong_bw_1048576x4096", bw,
+                               1048576.0, 4096.0, nodes);
+  bench::strong_scaling_figure("fig6b_strong_bw_4194304x2048", bw,
+                               4194304.0, 2048.0, nodes);
+
+  // Report the c-crossover node counts for plot (b), the paper's example
+  // (c=1 -> c=2 near 256 nodes, c=2 -> c=4 near 512).
+  const double m = 4194304.0, n = 2048.0;
+  TextTable t;
+  t.header({"nodes", "best_c"});
+  for (const i64 nd : nodes) {
+    const i64 ranks = nd * bw.ranks_per_node;
+    double best_s = 1e300;
+    i64 best_c = 0;
+    for (const i64 c : bench::c_values()) {
+      if (!bench::grid_ok(ranks, c, m, n)) continue;
+      const auto ch = model::eval_cacqr2(m, n, c, ranks / (c * c), bw);
+      if (ch.seconds < best_s) {
+        best_s = ch.seconds;
+        best_c = c;
+      }
+    }
+    t.row({std::to_string(nd), std::to_string(best_c)});
+  }
+  bench::emit("fig6b_crossovers", t);
+  return 0;
+}

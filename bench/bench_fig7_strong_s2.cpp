@@ -1,0 +1,22 @@
+/// \file bench_fig7_strong_s2.cpp
+/// \brief Figure 7 (a-d): strong scaling on Stampede2 (64 ranks/node),
+///        matrices 524288x8192, 2097152x4096, 8388608x2048, 33554432x1024,
+///        nodes 64..1024.  Paper-reported best-vs-best speedups at 1024
+///        nodes: 2.6x (a), 3.3x (b), 3.1x (c), 2.7x (d).
+
+#include "common.hpp"
+
+int main() {
+  using namespace cacqr;
+  const model::Machine s2 = model::stampede2();
+  const std::vector<i64> nodes = {64, 128, 256, 512, 1024};
+  bench::strong_scaling_figure("fig7a_strong_s2_524288x8192", s2,
+                               524288.0, 8192.0, nodes);
+  bench::strong_scaling_figure("fig7b_strong_s2_2097152x4096", s2,
+                               2097152.0, 4096.0, nodes);
+  bench::strong_scaling_figure("fig7c_strong_s2_8388608x2048", s2,
+                               8388608.0, 2048.0, nodes);
+  bench::strong_scaling_figure("fig7d_strong_s2_33554432x1024", s2,
+                               33554432.0, 1024.0, nodes);
+  return 0;
+}

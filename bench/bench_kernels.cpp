@@ -1,0 +1,139 @@
+/// \file bench_kernels.cpp
+/// \brief google-benchmark microbenches for the sequential kernel
+///        substrate (the BLAS/LAPACK substitute): wall-clock throughput
+///        of gemm/gram/trmm/trsm/potrf/trtri/geqrf and the sequential
+///        CholeskyQR variants.
+
+#include <benchmark/benchmark.h>
+
+#include "cacqr/core/cqr.hpp"
+#include "cacqr/core/shifted.hpp"
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/factor.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/lin/qr.hpp"
+
+namespace {
+
+using namespace cacqr;
+
+void BM_Gemm(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Rng rng(1);
+  lin::Matrix a = lin::gaussian(rng, n, n);
+  lin::Matrix b = lin::gaussian(rng, n, n);
+  lin::Matrix c(n, n);
+  for (auto _ : state) {
+    lin::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Gram(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Rng rng(2);
+  lin::Matrix a = lin::gaussian(rng, 8 * n, n);
+  lin::Matrix g(n, n);
+  for (auto _ : state) {
+    lin::gram(1.0, a, 0.0, g);
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * n * n * n);
+}
+BENCHMARK(BM_Gram)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Trmm(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Rng rng(3);
+  lin::Matrix t = lin::spd_with_cond(rng, n, 10.0);
+  lin::potrf(t);
+  lin::Matrix b = lin::gaussian(rng, 4 * n, n);
+  for (auto _ : state) {
+    lin::Matrix work = materialize(b.view());
+    lin::trmm(lin::Side::Right, lin::Uplo::Lower, lin::Trans::T,
+              lin::Diag::NonUnit, 1.0, t, work);
+    benchmark::DoNotOptimize(work.data());
+  }
+}
+BENCHMARK(BM_Trmm)->Arg(64)->Arg(128);
+
+void BM_Trsm(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Rng rng(4);
+  lin::Matrix t = lin::spd_with_cond(rng, n, 10.0);
+  lin::potrf(t);
+  lin::Matrix b = lin::gaussian(rng, n, n);
+  for (auto _ : state) {
+    lin::Matrix work = materialize(b.view());
+    lin::trsm(lin::Side::Left, lin::Uplo::Lower, lin::Trans::N,
+              lin::Diag::NonUnit, 1.0, t, work);
+    benchmark::DoNotOptimize(work.data());
+  }
+}
+BENCHMARK(BM_Trsm)->Arg(64)->Arg(128);
+
+void BM_Potrf(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Rng rng(5);
+  lin::Matrix a = lin::spd_with_cond(rng, n, 100.0);
+  for (auto _ : state) {
+    lin::Matrix work = materialize(a.view());
+    lin::potrf(work);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n / 3);
+}
+BENCHMARK(BM_Potrf)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TrtriLower(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Rng rng(6);
+  lin::Matrix a = lin::spd_with_cond(rng, n, 100.0);
+  lin::potrf(a);
+  for (auto _ : state) {
+    lin::Matrix work = materialize(a.view());
+    lin::trtri_lower(work);
+    benchmark::DoNotOptimize(work.data());
+  }
+}
+BENCHMARK(BM_TrtriLower)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Geqrf(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Rng rng(7);
+  lin::Matrix a = lin::gaussian(rng, 8 * n, n);
+  for (auto _ : state) {
+    lin::Matrix work = materialize(a.view());
+    auto tau = lin::geqrf(work);
+    benchmark::DoNotOptimize(tau.data());
+  }
+}
+BENCHMARK(BM_Geqrf)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SequentialCqr2(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Rng rng(8);
+  lin::Matrix a = lin::with_cond(rng, 8 * n, n, 100.0);
+  for (auto _ : state) {
+    auto f = core::cqr2(a);
+    benchmark::DoNotOptimize(f.q.data());
+  }
+}
+BENCHMARK(BM_SequentialCqr2)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ShiftedCqr3(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Rng rng(9);
+  lin::Matrix a = lin::with_cond(rng, 8 * n, n, 1e9);
+  for (auto _ : state) {
+    auto f = core::shifted_cqr3(a);
+    benchmark::DoNotOptimize(f.q.data());
+  }
+}
+BENCHMARK(BM_ShiftedCqr3)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

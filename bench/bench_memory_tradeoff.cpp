@@ -1,0 +1,66 @@
+/// \file bench_memory_tradeoff.cpp
+/// \brief The paper's Section IV headline observation: "performance
+///        improvements and superior scaling can be attained by increasing
+///        the memory footprint to reduce communication for QR
+///        factorization" -- replication factor c raises memory per rank
+///        (mn/(dc) + n^2/c^2 with c-fold depth replication) and cuts
+///        words moved (expected improvement ~sqrt(c) over 2D).  Measured
+///        at small scale, modeled at paper scale.
+
+#include "common.hpp"
+#include "cacqr/core/ca_cqr.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/model/costs.hpp"
+
+int main() {
+  using namespace cacqr;
+  using dist::DistMatrix;
+
+  // Real execution: P = 64, sweep c over {1, 2, 4}; memory = local words
+  // actually allocated for the inputs (A block + Gram block, x
+  // replication is implicit in the rank count).
+  {
+    const i64 m = 128, n = 32;
+    TextTable t;
+    t.header({"c", "d", "A words/rank", "Gram words/rank", "msgs", "words"});
+    for (const i64 c : {i64{1}, i64{2}, i64{4}}) {
+      const i64 d = 64 / (c * c);
+      auto per_rank = rt::Runtime::run(64, [&](rt::Comm& world) {
+        grid::TunableGrid g(world, static_cast<int>(c), static_cast<int>(d));
+        auto da = DistMatrix::from_global_on_tunable(
+            lin::hashed_matrix(61, m, n), g);
+        (void)core::ca_cqr2(da, g);
+      });
+      const auto mc = rt::max_counters(per_rank);
+      t.row({std::to_string(c), std::to_string(d),
+             std::to_string(m * n / (d * c)),
+             std::to_string(n * n / (c * c)), std::to_string(mc.msgs),
+             std::to_string(mc.words)});
+    }
+    std::cout << "Measured (real run, " << m << "x" << n << ", P=64):\n";
+    bench::emit("memory_tradeoff_measured", t);
+  }
+
+  // Paper scale: 1024 Stampede2 nodes, the Figure 7(b) matrix.
+  {
+    const model::Machine s2 = model::stampede2();
+    const double m = 2097152, n = 4096;
+    const i64 ranks = 1024 * s2.ranks_per_node;
+    TextTable t;
+    t.header({"c", "d", "mem words/rank", "beta words", "alpha msgs",
+              "GF/s/node"});
+    for (const auto& [c, d] : model::valid_grids(ranks)) {
+      if (double(d) > m || double(c) > n) continue;
+      const auto cost = model::cost_ca_cqr2(m, n, double(c), double(d));
+      t.row({std::to_string(c), std::to_string(d),
+             TextTable::num(cost.mem, 5), TextTable::num(cost.beta, 5),
+             TextTable::num(cost.alpha, 5),
+             TextTable::num(model::gflops_per_node(m, n, cost.time(s2),
+                                                   1024.0))});
+    }
+    std::cout << "Modeled at 1024 Stampede2 nodes, " << i64(m) << "x"
+              << i64(n) << " (memory up, words down as c grows):\n";
+    bench::emit("memory_tradeoff_modeled", t);
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+/// \file bench_model_validation.cpp
+/// \brief The model-to-implementation tie-in, run as a report: for a set
+///        of real thread-grid executions, print measured alpha/beta/gamma
+///        counters, the LogP-simulated time under each machine's
+///        parameters, and the analytic model's prediction, with ratios.
+///        This is the evidence that licenses the paper-scale figures.
+
+#include "common.hpp"
+#include "cacqr/baseline/pgeqrf_2d.hpp"
+#include "cacqr/baseline/tsqr.hpp"
+#include "cacqr/core/ca_cqr.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/model/costs.hpp"
+
+namespace {
+
+using namespace cacqr;
+using dist::DistMatrix;
+
+struct Row {
+  std::string label;
+  rt::CostCounters measured;
+  double sim_time = 0.0;
+  model::Cost modeled;
+  double model_time = 0.0;
+};
+
+void print(TextTable& t, const Row& r) {
+  t.row({r.label, std::to_string(r.measured.msgs),
+         TextTable::num(r.modeled.alpha, 4),
+         std::to_string(r.measured.words), TextTable::num(r.modeled.beta, 5),
+         std::to_string(r.measured.flops),
+         TextTable::num(r.modeled.gamma, 6),
+         TextTable::num(r.sim_time * 1e3, 4),
+         TextTable::num(r.model_time * 1e3, 4),
+         TextTable::num(r.sim_time / r.model_time, 3)});
+}
+
+}  // namespace
+
+int main() {
+  const model::Machine s2 = model::stampede2();
+
+  TextTable t;
+  t.header({"configuration", "msgs", "model a", "words", "model b", "flops",
+            "model g", "sim ms", "model ms", "time ratio"});
+
+  // CA-CQR2 across grids.
+  struct GridCase {
+    int c, d;
+    i64 m, n;
+  };
+  for (const auto& gc : {GridCase{1, 8, 512, 32}, GridCase{2, 2, 256, 32},
+                         GridCase{2, 4, 512, 32}, GridCase{4, 4, 256, 16}}) {
+    std::vector<rt::CostCounters> deltas(
+        static_cast<std::size_t>(gc.c * gc.c * gc.d));
+    auto per_rank = rt::Runtime::run(
+        gc.c * gc.c * gc.d,
+        [&](rt::Comm& world) {
+          grid::TunableGrid g(world, gc.c, gc.d);
+          auto da = DistMatrix::from_global_on_tunable(
+              lin::hashed_matrix(31, gc.m, gc.n), g);
+          const auto before = world.counters();
+          (void)core::ca_cqr2(da, g);
+          deltas[static_cast<std::size_t>(world.rank())] =
+              world.counters() - before;
+        },
+        s2.rt_params());
+    Row r;
+    r.label = "CA-CQR2 " + std::to_string(gc.m) + "x" + std::to_string(gc.n) +
+              " c=" + std::to_string(gc.c) + " d=" + std::to_string(gc.d);
+    r.measured = rt::max_counters(deltas);
+    r.sim_time = rt::modeled_time(per_rank);
+    r.modeled = model::cost_ca_cqr2(double(gc.m), double(gc.n), gc.c, gc.d);
+    r.model_time = r.modeled.time(s2);
+    print(t, r);
+  }
+
+  // ScaLAPACK-style baseline.
+  {
+    const int pr = 4, pc = 2;
+    const i64 b = 4, m = 256, n = 32;
+    std::vector<rt::CostCounters> deltas(static_cast<std::size_t>(pr * pc));
+    auto per_rank = rt::Runtime::run(
+        pr * pc,
+        [&](rt::Comm& world) {
+          baseline::ProcGrid2d g(world, pr, pc);
+          auto da = baseline::BlockCyclicMatrix::from_global(
+              lin::hashed_matrix(37, m, n), b, g);
+          const auto before = world.counters();
+          (void)baseline::pgeqrf_2d(da, g, {.normalize_signs = false});
+          deltas[static_cast<std::size_t>(world.rank())] =
+              world.counters() - before;
+        },
+        s2.rt_params());
+    Row r;
+    r.label = "PGEQRF 256x32 pr=4 pc=2 b=4";
+    r.measured = rt::max_counters(deltas);
+    r.sim_time = rt::modeled_time(per_rank);
+    r.modeled = model::cost_pgeqrf_2d(double(m), double(n), pr, pc, double(b));
+    r.model_time = r.modeled.time(s2);
+    print(t, r);
+  }
+
+  // TSQR baseline.
+  {
+    const int p = 8;
+    const i64 m = 64 * p, n = 16;
+    std::vector<rt::CostCounters> deltas(static_cast<std::size_t>(p));
+    auto per_rank = rt::Runtime::run(
+        p,
+        [&](rt::Comm& world) {
+          auto da = DistMatrix::from_global(lin::hashed_matrix(41, m, n), p,
+                                            1, world.rank(), 0);
+          const auto before = world.counters();
+          (void)baseline::tsqr(da, world);
+          deltas[static_cast<std::size_t>(world.rank())] =
+              world.counters() - before;
+        },
+        s2.rt_params());
+    Row r;
+    r.label = "TSQR 512x16 P=8";
+    r.measured = rt::max_counters(deltas);
+    r.sim_time = rt::modeled_time(per_rank);
+    r.modeled = model::cost_tsqr(double(m), double(n), p);
+    r.model_time = r.modeled.time(s2);
+    print(t, r);
+  }
+
+  cacqr::bench::emit("model_validation", t);
+  return 0;
+}

@@ -1,0 +1,96 @@
+/// \file bench_smallscale_scaling.cpp
+/// \brief Strong and weak scaling of REAL executions: the full CA-CQR2
+///        and PGEQRF implementations run on 4..64 thread-ranks with the
+///        LogP clock under Stampede2 parameters.  This is the
+///        honest-execution counterpart of the paper-scale model figures:
+///        every data point is an actual distributed run.
+
+#include "common.hpp"
+#include "cacqr/baseline/pgeqrf_2d.hpp"
+#include "cacqr/core/ca_cqr.hpp"
+#include "cacqr/core/factorize.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/model/machine.hpp"
+
+namespace {
+
+using namespace cacqr;
+using dist::DistMatrix;
+
+double run_cacqr2(int ranks, i64 m, i64 n, const model::Machine& mach) {
+  const auto [c, d] = core::choose_grid(ranks, m, n);
+  auto per_rank = rt::Runtime::run(
+      ranks,
+      [&, c = c, d = d](rt::Comm& world) {
+        grid::TunableGrid g(world, c, d);
+        auto da = DistMatrix::from_global_on_tunable(
+            lin::hashed_matrix(71, m, n), g);
+        (void)core::ca_cqr2(da, g);
+      },
+      mach.rt_params());
+  return rt::modeled_time(per_rank);
+}
+
+double run_pgeqrf(int ranks, i64 m, i64 n, const model::Machine& mach) {
+  // Tallest process grid satisfying the block-cyclic layout constraints
+  // (b*pr | m, b*pr | n, b*pc | n with block size 4), like the paper's
+  // tall tuned configs.
+  const i64 b = 4;
+  int pr = ranks, pc = 1;
+  while (pr > 1 && (n % (b * pr) != 0 || m % (b * pr) != 0 ||
+                    n % (b * pc) != 0)) {
+    pr /= 2;
+    pc *= 2;
+  }
+  auto per_rank = rt::Runtime::run(
+      ranks,
+      [&, pr = pr, pc = pc, b = b](rt::Comm& world) {
+        baseline::ProcGrid2d g(world, pr, pc);
+        auto da = baseline::BlockCyclicMatrix::from_global(
+            lin::hashed_matrix(72, m, n), b, g);
+        (void)baseline::pgeqrf_2d(da, g, {.normalize_signs = false});
+      },
+      mach.rt_params());
+  return rt::modeled_time(per_rank);
+}
+
+}  // namespace
+
+int main() {
+  const model::Machine s2 = model::stampede2();
+
+  // Strong scaling: fixed 512 x 64.
+  {
+    const i64 m = 512, n = 64;
+    TextTable t;
+    t.header({"ranks", "CACQR2 sim ms", "PGEQRF sim ms", "speedup"});
+    for (const int p : {4, 8, 16, 32, 64}) {
+      const double ca = run_cacqr2(p, m, n, s2);
+      const double sl = run_pgeqrf(p, m, n, s2);
+      t.row({std::to_string(p), TextTable::num(ca * 1e3, 4),
+             TextTable::num(sl * 1e3, 4), TextTable::num(sl / ca, 3)});
+    }
+    std::cout << "Real-execution strong scaling (LogP clock, " << s2.name
+              << "), " << m << " x " << n << ":\n";
+    cacqr::bench::emit("smallscale_strong", t);
+  }
+
+  // Weak scaling: m grows with ranks, n fixed.
+  {
+    const i64 n = 32;
+    TextTable t;
+    t.header({"ranks", "m", "CACQR2 sim ms", "PGEQRF sim ms", "speedup"});
+    for (const int p : {4, 8, 16, 32, 64}) {
+      const i64 m = 64 * p;
+      const double ca = run_cacqr2(p, m, n, s2);
+      const double sl = run_pgeqrf(p, m, n, s2);
+      t.row({std::to_string(p), std::to_string(m),
+             TextTable::num(ca * 1e3, 4), TextTable::num(sl * 1e3, 4),
+             TextTable::num(sl / ca, 3)});
+    }
+    std::cout << "Real-execution weak scaling (LogP clock), m = 64*P x "
+              << n << ":\n";
+    cacqr::bench::emit("smallscale_weak", t);
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+/// \file bench_table2_cfr3d_lines.cpp
+/// \brief Table II: per-line costs of CFR3D (Algorithm 3).  Each line's
+///        operation is executed standalone on a real cubic thread-grid at
+///        the operand sizes of the first recursion level, its counters
+///        measured, and printed next to the analytic per-line cost.
+
+#include <cmath>
+
+#include "common.hpp"
+#include "cacqr/chol/cfr3d.hpp"
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/factor.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/model/costs.hpp"
+
+namespace {
+
+using namespace cacqr;
+using dist::DistMatrix;
+
+rt::CostCounters run_and_measure(
+    int ranks, const std::function<void(rt::Comm&, grid::CubeGrid&)>& body) {
+  std::vector<rt::CostCounters> deltas(static_cast<std::size_t>(ranks));
+  rt::Runtime::run(ranks, [&](rt::Comm& world) {
+    grid::CubeGrid cube(world, static_cast<int>(std::cbrt(double(ranks)) + 0.5));
+    const auto before = world.counters();
+    body(world, cube);
+    deltas[static_cast<std::size_t>(world.rank())] = world.counters() - before;
+  });
+  return rt::max_counters(deltas);
+}
+
+std::string fmt(const rt::CostCounters& c) {
+  return "a=" + std::to_string(c.msgs) + " b=" + std::to_string(c.words) +
+         " g=" + std::to_string(c.flops);
+}
+
+std::string fmt(const model::Cost& c) {
+  return "a=" + TextTable::num(c.alpha, 4) + " b=" + TextTable::num(c.beta, 5) +
+         " g=" + TextTable::num(c.gamma, 6);
+}
+
+}  // namespace
+
+int main() {
+  const int g = 2;
+  const int ranks = g * g * g;
+  const i64 n = 32;      // matrix dimension at the top level
+  const i64 h = n / 2;   // operand size for the per-line ops
+
+  lin::Matrix tall = lin::hashed_matrix(7, 4 * n, n);
+  lin::Matrix spd(n, n);
+  lin::gram(1.0, tall, 0.0, spd);
+  for (i64 i = 0; i < n; ++i) spd(i, i) += double(n);
+
+  TextTable t;
+  t.header({"line", "operation", "measured (max rank)", "model"});
+
+  // Line 2-3 (base case): slice allgather + redundant CholInv at n0.
+  {
+    const i64 n0 = chol::effective_base_case(n, g, 0);
+    auto c = run_and_measure(ranks, [&](rt::Comm&, grid::CubeGrid& cube) {
+      auto da = DistMatrix::from_global_on_cube(
+          materialize(spd.sub(0, 0, n0, n0)), cube);
+      lin::Matrix full = dist::gather(da, cube.slice());
+      (void)lin::cholinv(full);
+    });
+    model::Cost mc = model::cost_allgather(double(n0 * n0), double(g * g));
+    mc.gamma += model::flops_cholinv(double(n0));
+    t.row({"2-3", "base case (allgather + CholInv, n0=" + std::to_string(n0) + ")",
+           fmt(c), fmt(mc)});
+  }
+
+  // Line 6: Transpose of the h x h inverse factor.
+  {
+    auto c = run_and_measure(ranks, [&](rt::Comm&, grid::CubeGrid& cube) {
+      auto da = DistMatrix::from_global_on_cube(
+          materialize(spd.sub(0, 0, h, h)), cube);
+      (void)dist::transpose3d(da, cube);
+    });
+    t.row({"6", "Transpose(Y11), h=" + std::to_string(h), fmt(c),
+           fmt(model::cost_transpose(double(h * h) / (g * g), g * g))});
+  }
+
+  // Line 7: MM3D(A21, W) at h x h x h.
+  {
+    auto c = run_and_measure(ranks, [&](rt::Comm&, grid::CubeGrid& cube) {
+      auto da = DistMatrix::from_global_on_cube(
+          materialize(spd.sub(0, 0, h, h)), cube);
+      (void)dist::mm3d(da, da, cube);
+    });
+    t.row({"7 (also 9,12,14)", "MM3D(h,h,h)", fmt(c),
+           fmt(model::cost_mm3d(double(h), double(h), double(h), g))});
+  }
+
+  // Line 10: the Schur-complement axpy (pure local flops).
+  {
+    auto c = run_and_measure(ranks, [&](rt::Comm& world, grid::CubeGrid& cube) {
+      auto da = DistMatrix::from_global_on_cube(
+          materialize(spd.sub(0, 0, h, h)), cube);
+      auto db = da;
+      dist::add_scaled(db, -1.0, da);
+      world.charge_local_flops();
+    });
+    model::Cost mc;
+    mc.gamma = 2.0 * double(h * h) / (g * g);
+    t.row({"10", "A22 - U (axpy)", fmt(c), fmt(mc)});
+  }
+
+  // Whole algorithm vs composed model.
+  {
+    auto c = run_and_measure(ranks, [&](rt::Comm&, grid::CubeGrid& cube) {
+      auto da = DistMatrix::from_global_on_cube(spd, cube);
+      (void)chol::cfr3d(da, cube);
+    });
+    t.row({"total", "CFR3D(n=" + std::to_string(n) + ")", fmt(c),
+           fmt(model::cost_cfr3d(double(n), g))});
+  }
+
+  bench::emit("table2_cfr3d_lines", t);
+  return 0;
+}

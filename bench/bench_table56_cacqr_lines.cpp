@@ -1,0 +1,109 @@
+/// \file bench_table56_cacqr_lines.cpp
+/// \brief Tables V and VI: per-line costs of CA-CQR and CA-CQR2
+///        (Algorithms 8-9) on a real c x d x c thread-grid, measured
+///        against the analytic rows.  Includes the Gram-assembly phase
+///        (lines 1-5) as a unit, matching how ca_gram executes it.
+
+#include "common.hpp"
+#include "cacqr/chol/cfr3d.hpp"
+#include "cacqr/core/ca_cqr.hpp"
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/model/costs.hpp"
+
+namespace {
+
+using namespace cacqr;
+using dist::DistMatrix;
+
+std::string fmt(const rt::CostCounters& c) {
+  return "a=" + std::to_string(c.msgs) + " b=" + std::to_string(c.words) +
+         " g=" + std::to_string(c.flops);
+}
+
+std::string fmt(const model::Cost& c) {
+  return "a=" + TextTable::num(c.alpha, 4) + " b=" + TextTable::num(c.beta, 5) +
+         " g=" + TextTable::num(c.gamma, 6);
+}
+
+template <class Body>
+rt::CostCounters measure_on_grid(int c, int d, Body body) {
+  const int ranks = c * c * d;
+  std::vector<rt::CostCounters> deltas(static_cast<std::size_t>(ranks));
+  rt::Runtime::run(ranks, [&](rt::Comm& world) {
+    grid::TunableGrid g(world, c, d);
+    const auto before = world.counters();
+    body(world, g);
+    deltas[static_cast<std::size_t>(world.rank())] = world.counters() - before;
+  });
+  return rt::max_counters(deltas);
+}
+
+}  // namespace
+
+int main() {
+  const int c = 2, d = 4;
+  const i64 m = 64, n = 16;
+  lin::Matrix a = lin::hashed_matrix(13, m, n);
+
+  TextTable t;
+  t.header({"table", "lines", "operation", "measured (max rank)", "model"});
+
+  // Table V lines 1-5: Gram assembly Z = A^T A onto every subcube.
+  {
+    auto meas = measure_on_grid(c, d, [&](rt::Comm&, grid::TunableGrid& g) {
+      auto da = DistMatrix::from_global_on_tunable(a, g);
+      (void)core::ca_gram(da, g);
+    });
+    model::Cost mc;
+    mc += model::cost_bcast(double(m * n) / (d * c), c);
+    mc.gamma += model::flops_gemm(double(n) / c, double(m) / d, double(n) / c);
+    mc += model::cost_reduce(double(n * n) / (c * c), c);
+    mc += model::cost_allreduce(double(n * n) / (c * c), double(d) / c);
+    mc += model::cost_bcast(double(n * n) / (c * c), c);
+    t.row({"V", "1-5", "Gram assembly (Bcast,MM,Reduce,Allreduce,Bcast)",
+           fmt(meas), fmt(mc)});
+  }
+
+  // Table V line 7: CFR3D(n) on the c^3 subcube, measured standalone on
+  // an SPD matrix of the same size the Gram phase produces.
+  {
+    auto cfr = measure_on_grid(c, d, [&](rt::Comm&, grid::TunableGrid& g) {
+      lin::Matrix tall = lin::hashed_matrix(17, 4 * n, n);
+      lin::Matrix spd(n, n);
+      lin::gram(1.0, tall, 0.0, spd);
+      for (i64 i = 0; i < n; ++i) spd(i, i) += double(n);
+      auto dz = DistMatrix::from_global_on_cube(spd, g.subcube());
+      (void)chol::cfr3d(dz, g.subcube());
+    });
+    t.row({"V", "7", "CFR3D(n, c^3)", fmt(cfr),
+           fmt(model::cost_cfr3d(double(n), c))});
+  }
+
+  // Table V line 8: MM3D of the (m c/d) x n panel by R^{-1}.
+  {
+    auto meas = measure_on_grid(c, d, [&](rt::Comm&, grid::TunableGrid& g) {
+      auto da = DistMatrix::from_global_on_tunable(a, g);
+      auto panel = da.reinterpret_layout(m * c / d, n, c, c,
+                                         g.coords().y % c, g.coords().x);
+      lin::Matrix rn = lin::hashed_matrix(19, n, n);
+      auto dr = DistMatrix::from_global_on_cube(rn, g.subcube());
+      (void)dist::mm3d(panel, dr, g.subcube());
+    });
+    t.row({"V", "8", "MM3D(m c/d, n, n, c^3)", fmt(meas),
+           fmt(model::cost_mm3d(double(m * c) / d, double(n), double(n), c))});
+  }
+
+  // Table VI: CA-CQR2 total (lines 1-2 are CA-CQR; line 4 the R compose).
+  {
+    auto meas = measure_on_grid(c, d, [&](rt::Comm&, grid::TunableGrid& g) {
+      auto da = DistMatrix::from_global_on_tunable(a, g);
+      (void)core::ca_cqr2(da, g);
+    });
+    t.row({"VI", "1-4", "CA-CQR2 total", fmt(meas),
+           fmt(model::cost_ca_cqr2(double(m), double(n), c, d))});
+  }
+
+  bench::emit("table56_cacqr_lines", t);
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// \file accuracy_study.cpp
+/// \brief Numerical-stability study across the CholeskyQR family: how the
+///        orthogonality error ||Q^T Q - I|| grows with kappa(A) for
+///        CholeskyQR (one pass), CholeskyQR2, shifted CholeskyQR3, and
+///        Householder QR -- the theory the paper's introduction leans on
+///        (CQR degrades as kappa^2 eps; CQR2 is eps-accurate up to
+///        kappa ~ eps^{-1/2} and breaks down beyond; shifted CQR3 holds
+///        to kappa ~ eps^{-1}).
+
+#include <iostream>
+
+#include "cacqr/core/cqr.hpp"
+#include "cacqr/core/shifted.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/lin/qr.hpp"
+#include "cacqr/lin/util.hpp"
+#include "cacqr/support/table.hpp"
+
+int main() {
+  using namespace cacqr;
+  const i64 m = 400, n = 24;
+  Rng rng(99);
+
+  TextTable t;
+  t.header({"kappa(A)", "CQR", "CQR2", "shifted CQR3", "Householder"});
+
+  for (const double kappa : {1e0, 1e2, 1e4, 1e6, 1e7, 1e9, 1e11, 1e13}) {
+    lin::Matrix a = lin::with_cond(rng, m, n, kappa);
+    std::vector<std::string> row = {TextTable::num(kappa, 2)};
+
+    auto err_or_fail = [&](auto&& factorizer) -> std::string {
+      try {
+        auto f = factorizer(a);
+        return TextTable::num(lin::orthogonality_error(f.q), 3);
+      } catch (const NotSpdError&) {
+        return "breakdown";
+      }
+    };
+    row.push_back(err_or_fail([](lin::ConstMatrixView x) { return core::cqr(x); }));
+    row.push_back(err_or_fail([](lin::ConstMatrixView x) { return core::cqr2(x); }));
+    row.push_back(
+        err_or_fail([](lin::ConstMatrixView x) { return core::shifted_cqr3(x); }));
+    auto hh = lin::householder_qr(a);
+    row.push_back(TextTable::num(lin::orthogonality_error(hh.q), 3));
+    t.row(std::move(row));
+  }
+
+  std::cout << "Orthogonality error ||Q^T Q - I||_F vs conditioning (m=" << m
+            << ", n=" << n << ", eps^-1/2 ~ 6.7e7, eps^-1 ~ 4.5e15):\n\n"
+            << t.str() << "\n"
+            << "Reading guide:\n"
+            << "  - CQR degrades like kappa^2 * eps and breaks down once\n"
+            << "    kappa^2 eps ~ 1 (the Gram matrix stops being SPD);\n"
+            << "  - CQR2 restores machine-epsilon orthogonality while the\n"
+            << "    first pass still succeeds (kappa <~ eps^{-1/2});\n"
+            << "  - shifted CQR3 (paper ref [3]) survives far beyond, at\n"
+            << "    the cost of a third pass;\n"
+            << "  - Householder is unconditionally stable (the baseline).\n";
+  return 0;
+}

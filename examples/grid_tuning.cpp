@@ -1,0 +1,74 @@
+/// \file grid_tuning.cpp
+/// \brief The tunable grid in action: for several matrix shapes, sweep
+///        every valid c x d x c grid on a fixed rank budget, print the
+///        modeled cost breakdown (alpha/beta/gamma/memory) and the chosen
+///        grid, and verify the tuner's choice by actually running the
+///        factorization on the best and worst grids.
+///
+/// This is Table I turned into a decision procedure: skinny matrices want
+/// c = 1 (1D algorithm), square matrices want c = P^(1/3) (3D algorithm),
+/// and the sweet spot moves with m/n exactly as m/d == n/c predicts.
+
+#include <cmath>
+#include <iostream>
+
+#include "cacqr/core/ca_cqr.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/lin/util.hpp"
+#include "cacqr/model/sweep.hpp"
+#include "cacqr/support/table.hpp"
+
+int main() {
+  using namespace cacqr;
+  const model::Machine s2 = model::stampede2();
+  const i64 ranks = 4096;
+
+  std::cout << "Grid tuning on " << ranks << " ranks of " << s2.name
+            << "\n\n";
+
+  struct Shape {
+    double m, n;
+    const char* note;
+  };
+  for (const Shape& s : {Shape{1 << 26, 1 << 7, "extremely tall-skinny"},
+                         Shape{1 << 22, 1 << 11, "tall"},
+                         Shape{1 << 18, 1 << 15, "moderately rectangular"},
+                         Shape{1 << 16, 1 << 16, "square"}}) {
+    TextTable t;
+    t.header({"c", "d", "alpha (msgs)", "beta (words)", "gamma (flops)",
+              "mem (words)", "modeled ms"});
+    for (const auto& [c, d] : model::valid_grids(ranks)) {
+      if (double(d) > s.m || double(c) > s.n) continue;
+      const auto ch = model::eval_cacqr2(s.m, s.n, c, d, s2);
+      t.row({std::to_string(c), std::to_string(d),
+             TextTable::num(ch.cost.alpha, 4), TextTable::num(ch.cost.beta, 4),
+             TextTable::num(ch.cost.gamma, 4), TextTable::num(ch.cost.mem, 4),
+             TextTable::num(ch.seconds * 1e3, 4)});
+    }
+    const auto best = model::best_cacqr2(s.m, s.n, ranks, s2);
+    std::cout << "shape " << i64(s.m) << " x " << i64(s.n) << " (" << s.note
+              << "), paper optimum c ~ (Pn/m)^(1/3) = "
+              << TextTable::num(std::cbrt(double(ranks) * s.n / s.m), 3)
+              << ":\n"
+              << t.str() << "  tuner picks c=" << best.c << ", d=" << best.d
+              << "\n\n";
+  }
+
+  // Put the tuner's preference to the test at a scale we can actually
+  // run: 64 thread-ranks, a square-ish matrix, best grid vs the 1D grid.
+  std::cout << "Verification run on 64 real ranks, 64 x 64 matrix:\n";
+  for (const auto& [c, d] : {std::pair<int, int>{4, 4}, {1, 64}}) {
+    auto per_rank = rt::Runtime::run(64, [&, c = c, d = d](rt::Comm& world) {
+      grid::TunableGrid g(world, c, d);
+      auto da = dist::DistMatrix::from_global_on_tunable(
+          lin::hashed_matrix(5, 64, 64), g);
+      (void)core::ca_cqr2(da, g);
+    });
+    const auto mc = rt::max_counters(per_rank);
+    std::cout << "  c=" << c << " d=" << d << ": msgs=" << mc.msgs
+              << " words=" << mc.words << " flops=" << mc.flops << "\n";
+  }
+  std::cout << "(the 3D grid moves far fewer words on the square matrix, "
+               "at the price of more messages -- Table I's tradeoff)\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+#pragma once
+/// \file block_cyclic.hpp
+/// \brief 2D process grid and block-cyclic matrix layout, ScaLAPACK-style.
+///
+/// The PGEQRF baseline reproduces ScaLAPACK's data decomposition: an
+/// m x n matrix is tiled into b x b blocks; block (I, J) lives on process
+/// (I mod pr, J mod pc) at local block position (I / pr, J / pc).  Local
+/// storage concatenates the owned blocks in global order, so any global
+/// row/column range that is block-aligned maps to a contiguous local
+/// range -- the property the panel algorithms rely on.
+///
+/// For bookkeeping simplicity (this is a comparator, not the library's
+/// contribution) dimensions must satisfy b*pr | m and b*pc | n; the bench
+/// harnesses and tests choose conforming sizes.
+
+#include "cacqr/lin/matrix.hpp"
+#include "cacqr/rt/comm.hpp"
+
+namespace cacqr::baseline {
+
+/// pr x pc process grid over a communicator of pr*pc ranks; rank =
+/// mycol + pc * myrow (row-major, like ScaLAPACK's default).
+class ProcGrid2d {
+ public:
+  ProcGrid2d(rt::Comm world, int pr, int pc);
+
+  [[nodiscard]] int pr() const noexcept { return pr_; }
+  [[nodiscard]] int pc() const noexcept { return pc_; }
+  [[nodiscard]] int myrow() const noexcept { return myrow_; }
+  [[nodiscard]] int mycol() const noexcept { return mycol_; }
+  [[nodiscard]] const rt::Comm& world() const noexcept { return world_; }
+  /// Ranks sharing my process row (pc members; comm rank == mycol).
+  [[nodiscard]] const rt::Comm& row_comm() const noexcept { return row_; }
+  /// Ranks sharing my process column (pr members; comm rank == myrow).
+  [[nodiscard]] const rt::Comm& col_comm() const noexcept { return col_; }
+
+ private:
+  int pr_;
+  int pc_;
+  int myrow_ = 0;
+  int mycol_ = 0;
+  rt::Comm world_;
+  rt::Comm row_;
+  rt::Comm col_;
+};
+
+/// This rank's piece of a block-cyclic matrix.
+class BlockCyclicMatrix {
+ public:
+  BlockCyclicMatrix() = default;
+
+  /// Zero matrix; requires b*pr | rows and b*pc | cols.
+  BlockCyclicMatrix(i64 rows, i64 cols, i64 block, const ProcGrid2d& g);
+
+  /// Extracts the local part of a replicated global matrix.
+  [[nodiscard]] static BlockCyclicMatrix from_global(lin::ConstMatrixView a,
+                                                     i64 block,
+                                                     const ProcGrid2d& g);
+  /// Distributed m x n identity (leading n columns of I_m).
+  [[nodiscard]] static BlockCyclicMatrix identity(i64 rows, i64 cols,
+                                                  i64 block,
+                                                  const ProcGrid2d& g);
+
+  [[nodiscard]] i64 rows() const noexcept { return rows_; }
+  [[nodiscard]] i64 cols() const noexcept { return cols_; }
+  [[nodiscard]] i64 block() const noexcept { return block_; }
+  [[nodiscard]] lin::Matrix& local() noexcept { return local_; }
+  [[nodiscard]] const lin::Matrix& local() const noexcept { return local_; }
+
+  /// Global index of local row/column (and the inverse existence tests).
+  [[nodiscard]] i64 global_row(i64 li) const noexcept;
+  [[nodiscard]] i64 global_col(i64 lj) const noexcept;
+
+  /// First local row whose global index is >= k*b + j, given that global
+  /// row block k is the cut point (0 <= j < b).  Because local blocks are
+  /// sorted by global block index, rows >= this cut form a contiguous
+  /// local suffix.
+  [[nodiscard]] i64 local_row_cut(i64 block_k, i64 j) const noexcept;
+  /// First local column whose global index is >= k*b (block-aligned cut).
+  [[nodiscard]] i64 local_col_cut(i64 block_k) const noexcept;
+
+  /// Reassembles the global matrix on every rank (test utility); the
+  /// communicator must be the grid's world communicator.
+  [[nodiscard]] lin::Matrix gather(const ProcGrid2d& g) const;
+
+ private:
+  i64 rows_ = 0;
+  i64 cols_ = 0;
+  i64 block_ = 1;
+  int pr_ = 1;
+  int pc_ = 1;
+  int myrow_ = 0;
+  int mycol_ = 0;
+  lin::Matrix local_;
+};
+
+}  // namespace cacqr::baseline

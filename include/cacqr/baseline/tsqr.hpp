@@ -1,0 +1,31 @@
+#pragma once
+/// \file tsqr.hpp
+/// \brief TSQR: binary-reduction-tree Householder QR for tall-skinny
+///        matrices (Demmel et al., the paper's reference [5]).
+///
+/// The m x n matrix is row-blocked over P ranks.  The up-sweep QR-factors
+/// each local block, then pairwise stacks and factors the n x n R factors
+/// up a binary tree (log P rounds of n^2/2-word messages); the down-sweep
+/// propagates n x n "contribution" blocks back down the tree, and each
+/// leaf applies its stored local Householder factors to recover its rows
+/// of explicit Q.  Costs ~2 log P alpha + ~2 n^2 log P beta +
+/// (2mn^2/P + O(n^3 log P)) gamma: latency-optimal like CholeskyQR2, but
+/// with n^2 log P words versus CQR2's n^2, and no 3D generalization --
+/// the niche CA-CQR2 fills (paper Sections I-II).
+
+#include "cacqr/dist/dist_matrix.hpp"
+
+namespace cacqr::baseline {
+
+struct TsqrResult {
+  dist::DistMatrix q;  ///< distributed like the input (rows cyclic over P)
+  lin::Matrix r;       ///< n x n upper triangular, replicated on all ranks
+};
+
+/// Factors a row-distributed matrix (layout: row_procs == comm.size(),
+/// col_procs == 1, my_row == comm.rank()).  Requires P a power of two and
+/// local blocks with at least n rows (m/P >= n).
+[[nodiscard]] TsqrResult tsqr(const dist::DistMatrix& a,
+                              const rt::Comm& comm);
+
+}  // namespace cacqr::baseline

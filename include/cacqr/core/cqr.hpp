@@ -1,0 +1,29 @@
+#pragma once
+/// \file cqr.hpp
+/// \brief Sequential CholeskyQR and CholeskyQR2 (paper Algorithms 4-5).
+///
+/// CholeskyQR computes W = A^T A, the Cholesky factor R^T = chol(W), and
+/// Q = A R^{-1}.  Its orthogonality error grows as kappa(A)^2 * eps, but
+/// the factorization residual ||A - QR|| stays at eps; CholeskyQR2 runs a
+/// second pass on Q to restore Householder-level orthogonality whenever
+/// kappa(A) <~ eps^{-1/2} (Yamamoto et al., ETNA 2015).  The shifted
+/// third-pass variant for harder conditioning lives in shifted.hpp.
+
+#include "cacqr/lin/matrix.hpp"
+
+namespace cacqr::core {
+
+/// Reduced QR factors.
+struct QrFactors {
+  lin::Matrix q;  ///< m x n, approximately orthonormal columns
+  lin::Matrix r;  ///< n x n, upper triangular with positive diagonal
+};
+
+/// Algorithm 4: one CholeskyQR pass.  Throws NotSpdError when the Gram
+/// matrix is not numerically SPD (kappa(A)^2 >~ 1/eps).
+[[nodiscard]] QrFactors cqr(lin::ConstMatrixView a);
+
+/// Algorithm 5: CholeskyQR2 (two passes, R = R2 * R1).
+[[nodiscard]] QrFactors cqr2(lin::ConstMatrixView a);
+
+}  // namespace cacqr::core

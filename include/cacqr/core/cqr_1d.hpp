@@ -1,0 +1,32 @@
+#pragma once
+/// \file cqr_1d.hpp
+/// \brief The existing parallel 1D-CholeskyQR2 (paper Algorithms 6-7).
+///
+/// The matrix is partitioned by rows over a 1D grid of P ranks (cyclic,
+/// matching the DistMatrix convention with row_procs == P, col_procs == 1).
+/// Each rank forms its local Gram contribution, one Allreduce sums it, all
+/// ranks factor redundantly, and Q is computed locally -- total cost
+/// O(log P) alpha + n^2 beta + (mn^2/P + n^3) gamma (paper Table I).  The
+/// per-rank O(n^2) memory and O(n^3) redundant compute are what restrict
+/// this variant to very overdetermined matrices and what CA-CQR2 removes.
+
+#include "cacqr/dist/dist_matrix.hpp"
+
+namespace cacqr::core {
+
+/// 1D result: Q distributed like A; R replicated on every rank.
+struct Cqr1dResult {
+  dist::DistMatrix q;
+  lin::Matrix r;
+};
+
+/// Algorithm 6: one 1D-CholeskyQR pass.  `a` must have col_procs == 1 and
+/// row_procs == comm.size() with my_row == comm.rank().
+[[nodiscard]] Cqr1dResult cqr_1d(const dist::DistMatrix& a,
+                                 const rt::Comm& comm);
+
+/// Algorithm 7: 1D-CholeskyQR2.
+[[nodiscard]] Cqr1dResult cqr2_1d(const dist::DistMatrix& a,
+                                  const rt::Comm& comm);
+
+}  // namespace cacqr::core

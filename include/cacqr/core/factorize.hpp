@@ -1,0 +1,56 @@
+#pragma once
+/// \file factorize.hpp
+/// \brief High-level QR driver: grid selection, padding, stability
+///        fallback.
+///
+/// The low-level CA-CQR2 entry points require grid-divisible dimensions
+/// and an explicit grid.  This driver accepts any m >= n matrix and rank
+/// count: it picks a (c, d) grid near the paper's communication-optimal
+/// ratio m/d == n/c, pads the matrix to divisible dimensions with the
+/// SPD-preserving augmentation
+///
+///     A_pad = [ A  0       ]     =>  Q_pad = [ Q  0 ],  R_pad = [ R  0    ]
+///             [ 0  delta*I ]                 [ 0  I ]           [ 0  dI   ]
+///
+/// (zero rows keep the Gram matrix intact; delta-scaled identity columns
+/// keep it definite), runs the requested CholeskyQR variant, and strips
+/// the padding.  On a Cholesky breakdown (kappa(A)^2 >~ 1/eps) it falls
+/// back to shifted CholeskyQR3 when `auto_shift` is set.
+
+#include "cacqr/core/ca_cqr.hpp"
+
+namespace cacqr::core {
+
+struct FactorizeOptions {
+  /// Grid shape; 0 selects automatically (see choose_grid).
+  int c = 0;
+  int d = 0;
+  /// CFR3D base-case knob (0 = paper default).
+  i64 base_case = 0;
+  /// 1 = CholeskyQR, 2 = CholeskyQR2 (default), 3 = shifted CholeskyQR3.
+  int passes = 2;
+  /// Retry with shifted CholeskyQR3 when the Gram factorization fails.
+  bool auto_shift = true;
+};
+
+struct FactorizeResult {
+  lin::Matrix q;  ///< m x n, gathered on every rank
+  lin::Matrix r;  ///< n x n upper triangular, gathered on every rank
+  int c = 1;      ///< grid actually used
+  int d = 1;
+  bool used_shift = false;  ///< whether the shifted fallback ran
+};
+
+/// Picks the valid (c, d) grid for P ranks closest to the paper's optimum
+/// c = (P n / m)^(1/3) (i.e. m/d == n/c), preferring powers of two.
+[[nodiscard]] std::pair<int, int> choose_grid(int nranks, i64 m, i64 n);
+
+/// Collective over `world`: every rank passes the same global matrix
+/// (e.g. regenerated from a seed) and receives the gathered factors.
+/// Convenience driver for moderate sizes -- production users hold the
+/// distributed CaCqrResult from ca_cqr2 directly.
+[[nodiscard]] FactorizeResult factorize(lin::ConstMatrixView a,
+                                        const rt::Comm& world,
+                                        FactorizeOptions opts = {});
+
+}  // namespace cacqr::core

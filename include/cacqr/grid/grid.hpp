@@ -1,0 +1,116 @@
+#pragma once
+/// \file grid.hpp
+/// \brief 3D processor grids: the cubic grid used by MM3D/CFR3D and the
+///        tunable c x d x c grid of CA-CQR2 (paper Section III-B).
+///
+/// Axis conventions follow the paper: a rank has coordinates (x, y, z);
+/// "row" communicators vary x (Pi[:, y, z]), "column" communicators vary y
+/// (Pi[x, :, z]), "depth" communicators vary z (Pi[x, y, :]).  Matrices
+/// are distributed over the (x, y) dimensions of each z-slice -- matrix
+/// rows cycle over y, matrix columns over x -- and replicated across z.
+
+#include "cacqr/rt/comm.hpp"
+
+namespace cacqr::grid {
+
+/// 3D grid coordinates.
+struct Coords {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+};
+
+/// Cubic g x g x g grid over a communicator of exactly g^3 ranks, with
+/// rank linearization rank = x + g*(y + g*z).  Construction is collective.
+class CubeGrid {
+ public:
+  CubeGrid(rt::Comm cube, int g);
+
+  [[nodiscard]] int g() const noexcept { return g_; }
+  [[nodiscard]] const Coords& coords() const noexcept { return coords_; }
+
+  [[nodiscard]] const rt::Comm& cube() const noexcept { return cube_; }
+  /// Pi[:, y, z]: varies x; size g; comm rank == x.
+  [[nodiscard]] const rt::Comm& row() const noexcept { return row_; }
+  /// Pi[x, :, z]: varies y; size g; comm rank == y.
+  [[nodiscard]] const rt::Comm& col() const noexcept { return col_; }
+  /// Pi[x, y, :]: varies z; size g; comm rank == z.
+  [[nodiscard]] const rt::Comm& depth() const noexcept { return depth_; }
+  /// Pi[:, :, z]: varies (x, y); size g^2; comm rank == x + g*y.
+  [[nodiscard]] const rt::Comm& slice() const noexcept { return slice_; }
+
+  /// Rank of coordinates (x, y) within the slice communicator.
+  [[nodiscard]] int slice_rank(int x, int y) const noexcept {
+    return x + g_ * y;
+  }
+
+ private:
+  int g_;
+  Coords coords_;
+  rt::Comm cube_;
+  rt::Comm row_;
+  rt::Comm col_;
+  rt::Comm depth_;
+  rt::Comm slice_;
+};
+
+/// Tunable c x d x c grid of CA-CQR2: P = c^2 * d ranks with coordinates
+/// x, z in [0, c) and y in [0, d); rank = x + c*(y + d*z).  Requires
+/// c | d so the grid decomposes into d/c cubic subgrids (Algorithm 8
+/// line 6).  c == 1 degenerates to the 1D-CQR2 layout; c == d == P^(1/3)
+/// is the full 3D grid.  Construction is collective.
+class TunableGrid {
+ public:
+  TunableGrid(rt::Comm world, int c, int d);
+
+  [[nodiscard]] int c() const noexcept { return c_; }
+  [[nodiscard]] int d() const noexcept { return d_; }
+  [[nodiscard]] const Coords& coords() const noexcept { return coords_; }
+
+  [[nodiscard]] const rt::Comm& world() const noexcept { return world_; }
+  /// Pi[:, y, z]: varies x; size c; comm rank == x.
+  [[nodiscard]] const rt::Comm& row() const noexcept { return row_; }
+  /// Pi[x, :, z]: varies y; size d; comm rank == y.
+  [[nodiscard]] const rt::Comm& col() const noexcept { return col_; }
+  /// Pi[x, y, :]: varies z; size c; comm rank == z.
+  [[nodiscard]] const rt::Comm& depth() const noexcept { return depth_; }
+  /// Pi[:, :, z]: varies (x, y); size c*d; comm rank == x + c*y.
+  [[nodiscard]] const rt::Comm& slice() const noexcept { return slice_; }
+  /// Pi[x, c*floor(y/c) : c*ceil((y+1)/c), z]: the contiguous y-group of
+  /// size c used by the Reduce of Algorithm 8 line 3; comm rank == y mod c.
+  [[nodiscard]] const rt::Comm& ygroup_contig() const noexcept {
+    return ygroup_contig_;
+  }
+  /// Pi[x, y mod c :: c, z]: the strided y-group of size d/c used by the
+  /// Allreduce of Algorithm 8 line 4; comm rank == floor(y / c).
+  [[nodiscard]] const rt::Comm& ygroup_strided() const noexcept {
+    return ygroup_strided_;
+  }
+
+  /// Which of the d/c cubic subgrids this rank belongs to (floor(y/c)).
+  [[nodiscard]] int subcube_index() const noexcept { return coords_.y / c_; }
+  /// The c x c x c subgrid containing this rank, with subcube coordinates
+  /// (x' = x, y' = y mod c, z' = z): the Pi_subcube of Algorithm 8.
+  [[nodiscard]] const CubeGrid& subcube() const noexcept { return *subcube_; }
+
+  /// True iff (c, d) is a valid shape for nranks processors.
+  [[nodiscard]] static bool valid_shape(int nranks, int c, int d) noexcept {
+    return c >= 1 && d >= 1 && d % c == 0 &&
+           static_cast<long long>(c) * c * d == nranks;
+  }
+
+ private:
+  int c_;
+  int d_;
+  Coords coords_;
+  rt::Comm world_;
+  rt::Comm row_;
+  rt::Comm col_;
+  rt::Comm depth_;
+  rt::Comm slice_;
+  rt::Comm ygroup_contig_;
+  rt::Comm ygroup_strided_;
+  std::unique_ptr<CubeGrid> subcube_;
+};
+
+}  // namespace cacqr::grid

@@ -1,0 +1,36 @@
+#pragma once
+/// \file flops.hpp
+/// \brief Per-thread floating-point-operation accounting.
+///
+/// Every kernel in cacqr::lin adds the number of flops it actually executes
+/// to a thread-local counter.  Because the message-passing runtime maps one
+/// SPMD rank to one thread, the counter doubles as the per-rank gamma
+/// (compute) tally of the alpha-beta-gamma cost model: the runtime drains
+/// it into the rank's CostCounters at every communication call.
+
+#include "cacqr/support/math.hpp"
+
+namespace cacqr::lin::flops {
+
+namespace detail {
+inline thread_local i64 counter = 0;
+}
+
+/// Adds f flops to the calling thread's tally.
+inline void add(i64 f) noexcept { detail::counter += f; }
+
+/// Current tally.
+[[nodiscard]] inline i64 peek() noexcept { return detail::counter; }
+
+/// Resets the tally to zero.
+inline void reset() noexcept { detail::counter = 0; }
+
+/// Returns the tally and resets it (used by the runtime to attribute
+/// compute to the interval since the previous communication call).
+[[nodiscard]] inline i64 take() noexcept {
+  const i64 v = detail::counter;
+  detail::counter = 0;
+  return v;
+}
+
+}  // namespace cacqr::lin::flops

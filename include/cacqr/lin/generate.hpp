@@ -1,0 +1,45 @@
+#pragma once
+/// \file generate.hpp
+/// \brief Deterministic test/bench matrix generators.
+///
+/// The paper's experiments use random matrices.  These generators add
+/// controlled conditioning (via prescribed singular values) so stability
+/// properties of the CholeskyQR family are testable, and they are
+/// deterministic in the seed so every SPMD rank can regenerate the same
+/// global matrix without communication.
+
+#include <vector>
+
+#include "cacqr/lin/matrix.hpp"
+#include "cacqr/support/rng.hpp"
+
+namespace cacqr::lin {
+
+/// m x n matrix of iid standard normal entries.
+[[nodiscard]] Matrix gaussian(Rng& rng, i64 m, i64 n);
+
+/// Random n x n orthogonal matrix (Q factor of a Gaussian matrix,
+/// sign-normalized; Haar-distributed).
+[[nodiscard]] Matrix random_orthogonal(Rng& rng, i64 n);
+
+/// m x n matrix (m >= n) with the prescribed singular values:
+/// A = U diag(sigma) V^T with random orthonormal U (m x n) and V (n x n).
+[[nodiscard]] Matrix with_singular_values(Rng& rng, i64 m, i64 n,
+                                          const std::vector<double>& sigma);
+
+/// m x n matrix with 2-norm condition number ~kappa (geometrically spaced
+/// singular values from 1 down to 1/kappa).
+[[nodiscard]] Matrix with_cond(Rng& rng, i64 m, i64 n, double kappa);
+
+/// Random n x n SPD matrix with condition number ~kappa.
+[[nodiscard]] Matrix spd_with_cond(Rng& rng, i64 n, double kappa);
+
+/// Deterministic pseudo-random m x n matrix defined purely by (seed, i, j):
+/// every rank of a distributed run can evaluate any entry independently.
+/// Entries are in [-1, 1] with a well-conditioned tall-matrix distribution.
+[[nodiscard]] double entry_hash(u64 seed, i64 i, i64 j) noexcept;
+
+/// Materializes entry_hash over an m x n matrix.
+[[nodiscard]] Matrix hashed_matrix(u64 seed, i64 m, i64 n);
+
+}  // namespace cacqr::lin

@@ -1,0 +1,129 @@
+#pragma once
+/// \file matrix.hpp
+/// \brief Dense column-major matrix container and non-owning strided views.
+///
+/// All linear-algebra kernels in the library operate on these types.
+/// Storage is column-major (BLAS/LAPACK convention) with an explicit
+/// leading dimension on views so that sub-blocks of a larger matrix can be
+/// addressed without copying.
+
+#include <cstddef>
+#include <vector>
+
+#include "cacqr/support/error.hpp"
+#include "cacqr/support/math.hpp"
+
+namespace cacqr::lin {
+
+/// Non-owning read-only view of a column-major matrix block.
+struct ConstMatrixView {
+  const double* data = nullptr;
+  i64 rows = 0;
+  i64 cols = 0;
+  i64 ld = 0;  ///< leading dimension (>= rows)
+
+  [[nodiscard]] const double& operator()(i64 i, i64 j) const noexcept {
+    return data[i + j * ld];
+  }
+
+  /// Read-only sub-block of size h x w starting at (i0, j0).
+  [[nodiscard]] ConstMatrixView sub(i64 i0, i64 j0, i64 h, i64 w) const {
+    ensure_dim(i0 >= 0 && j0 >= 0 && i0 + h <= rows && j0 + w <= cols,
+               "ConstMatrixView::sub out of range");
+    return {data + i0 + j0 * ld, h, w, ld};
+  }
+};
+
+/// Non-owning mutable view of a column-major matrix block.
+struct MatrixView {
+  double* data = nullptr;
+  i64 rows = 0;
+  i64 cols = 0;
+  i64 ld = 0;
+
+  [[nodiscard]] double& operator()(i64 i, i64 j) const noexcept {
+    return data[i + j * ld];
+  }
+
+  [[nodiscard]] MatrixView sub(i64 i0, i64 j0, i64 h, i64 w) const {
+    ensure_dim(i0 >= 0 && j0 >= 0 && i0 + h <= rows && j0 + w <= cols,
+               "MatrixView::sub out of range");
+    return {data + i0 + j0 * ld, h, w, ld};
+  }
+
+  /// Implicit decay to a read-only view.
+  operator ConstMatrixView() const noexcept {  // NOLINT(google-explicit-*)
+    return {data, rows, cols, ld};
+  }
+};
+
+/// Owning dense column-major matrix (leading dimension == rows).
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Allocates an m x n matrix of zeros.
+  Matrix(i64 m, i64 n)
+      : rows_(m), cols_(n),
+        store_(static_cast<std::size_t>(checked_mul(m, n)), 0.0) {
+    ensure_dim(m >= 0 && n >= 0, "Matrix: negative dimension");
+  }
+
+  [[nodiscard]] i64 rows() const noexcept { return rows_; }
+  [[nodiscard]] i64 cols() const noexcept { return cols_; }
+  [[nodiscard]] i64 size() const noexcept { return rows_ * cols_; }
+  [[nodiscard]] double* data() noexcept { return store_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return store_.data(); }
+
+  [[nodiscard]] double& operator()(i64 i, i64 j) noexcept {
+    return store_[static_cast<std::size_t>(i + j * rows_)];
+  }
+  [[nodiscard]] const double& operator()(i64 i, i64 j) const noexcept {
+    return store_[static_cast<std::size_t>(i + j * rows_)];
+  }
+
+  [[nodiscard]] MatrixView view() noexcept {
+    return {store_.data(), rows_, cols_, rows_};
+  }
+  [[nodiscard]] ConstMatrixView view() const noexcept {
+    return {store_.data(), rows_, cols_, rows_};
+  }
+
+  /// Implicit conversion to views so kernels can take Matrix directly.
+  operator MatrixView() noexcept { return view(); }          // NOLINT
+  operator ConstMatrixView() const noexcept { return view(); }  // NOLINT
+
+  [[nodiscard]] MatrixView sub(i64 i0, i64 j0, i64 h, i64 w) {
+    return view().sub(i0, j0, h, w);
+  }
+  [[nodiscard]] ConstMatrixView sub(i64 i0, i64 j0, i64 h, i64 w) const {
+    return view().sub(i0, j0, h, w);
+  }
+
+  /// n x n identity.
+  [[nodiscard]] static Matrix identity(i64 n) {
+    Matrix I(n, n);
+    for (i64 i = 0; i < n; ++i) I(i, i) = 1.0;
+    return I;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.store_ == b.store_;
+  }
+
+ private:
+  i64 rows_ = 0;
+  i64 cols_ = 0;
+  std::vector<double> store_;
+};
+
+/// Copies a view into a freshly-allocated owning matrix.
+[[nodiscard]] inline Matrix materialize(ConstMatrixView a) {
+  Matrix out(a.rows, a.cols);
+  for (i64 j = 0; j < a.cols; ++j) {
+    for (i64 i = 0; i < a.rows; ++i) out(i, j) = a(i, j);
+  }
+  return out;
+}
+
+}  // namespace cacqr::lin

@@ -1,0 +1,47 @@
+#pragma once
+/// \file qr.hpp
+/// \brief Sequential Householder QR (LAPACK geqrf/orgqr-style).
+///
+/// Used as (a) the accuracy reference for all CholeskyQR variants, (b) the
+/// panel kernel of the ScaLAPACK-style PGEQRF baseline, and (c) the local
+/// kernel of the TSQR baseline.
+
+#include <vector>
+
+#include "cacqr/lin/matrix.hpp"
+
+namespace cacqr::lin {
+
+/// In-place Householder QR: on return the upper triangle of `a` holds R
+/// and the columns below the diagonal hold the Householder vectors
+/// (LAPACK geqrf convention, unit diagonal implicit).  Returns tau.
+std::vector<double> geqrf(MatrixView a);
+
+/// Forms the reduced m x n Q factor from geqrf output (LAPACK orgqr).
+[[nodiscard]] Matrix orgqr(ConstMatrixView qr_packed,
+                           const std::vector<double>& tau);
+
+/// Applies Q^T (from geqrf output) to an m x k matrix in place.
+void apply_qt(ConstMatrixView qr_packed, const std::vector<double>& tau,
+              MatrixView c);
+
+/// Applies Q (from geqrf output) to an m x k matrix in place.
+void apply_q(ConstMatrixView qr_packed, const std::vector<double>& tau,
+             MatrixView c);
+
+/// Reduced QR factorization result.
+struct QrResult {
+  Matrix q;  ///< m x n, orthonormal columns
+  Matrix r;  ///< n x n, upper triangular with non-negative diagonal
+};
+
+/// Convenience reduced QR via Householder reflections.  The factorization
+/// is sign-normalized so R's diagonal is non-negative, which makes the
+/// factorization unique and directly comparable to CholeskyQR output.
+[[nodiscard]] QrResult householder_qr(ConstMatrixView a);
+
+/// Solves the least-squares problem min ||A x - b||_2 for full-column-rank
+/// A (m >= n) via Householder QR.  `b` has one or more right-hand sides.
+[[nodiscard]] Matrix lstsq(ConstMatrixView a, ConstMatrixView b);
+
+}  // namespace cacqr::lin

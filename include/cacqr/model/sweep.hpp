@@ -1,0 +1,57 @@
+#pragma once
+/// \file sweep.hpp
+/// \brief Configuration sweeps for the figure benches: enumerate valid
+///        grids, pick the best-performing variant per node count -- the
+///        paper plots "the best performing choice of processor grid at
+///        each node count" (Section I).
+
+#include <utility>
+#include <vector>
+
+#include "cacqr/model/costs.hpp"
+
+namespace cacqr::model {
+
+/// All valid tunable-grid shapes (c, d) for a rank count: c^2 d == ranks,
+/// c | d.
+[[nodiscard]] std::vector<std::pair<i64, i64>> valid_grids(i64 ranks);
+
+/// A CA-CQR2 configuration with its modeled time.
+struct CaCqr2Choice {
+  i64 c = 1;
+  i64 d = 1;
+  double seconds = 0.0;
+  Cost cost;
+};
+
+/// Fastest CA-CQR2 grid for an m x n matrix on `ranks` ranks (requires
+/// d | m and c | n to be meaningful; the sweep skips shapes whose local
+/// blocks would be empty).
+[[nodiscard]] CaCqr2Choice best_cacqr2(double m, double n, i64 ranks,
+                                       const Machine& machine);
+
+/// Evaluates a specific grid (used for the per-variant figure series).
+[[nodiscard]] CaCqr2Choice eval_cacqr2(double m, double n, i64 c, i64 d,
+                                       const Machine& machine);
+
+/// A PGEQRF configuration with its modeled time.
+struct PgeqrfChoice {
+  i64 pr = 1;
+  i64 pc = 1;
+  i64 block = 32;
+  double seconds = 0.0;
+  Cost cost;
+};
+
+/// Fastest ScaLAPACK-style configuration: sweeps power-of-two pr and
+/// block sizes {16, 32, 64} like the paper's tuning.
+[[nodiscard]] PgeqrfChoice best_pgeqrf(double m, double n, i64 ranks,
+                                       const Machine& machine,
+                                       bool form_q = true);
+
+/// Evaluates a specific PGEQRF configuration.
+[[nodiscard]] PgeqrfChoice eval_pgeqrf(double m, double n, i64 pr, i64 pc,
+                                       i64 block, const Machine& machine,
+                                       bool form_q = true);
+
+}  // namespace cacqr::model

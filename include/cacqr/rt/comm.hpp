@@ -1,0 +1,177 @@
+#pragma once
+/// \file comm.hpp
+/// \brief SPMD message-passing runtime: the MPI substitute.
+///
+/// The build environment has no MPI, so the library ships its own runtime:
+/// Runtime::run(P, body) executes `body` on P ranks, each a dedicated
+/// thread.  Ranks interact only through explicit point-to-point messages
+/// and the collectives below, which are implemented as genuine butterfly /
+/// binomial schedules over point-to-point sends -- so the per-rank message
+/// and word counters measured on a run match the collective cost formulas
+/// the paper's analysis charges (Section II-B):
+///
+///   Bcast     = binomial scatter + Bruck allgather : 2 ceil(lg P) alpha + 2n beta
+///   Allreduce = recursive-halving reduce-scatter +
+///               Bruck allgather (Rabenseifner)     : 2 ceil(lg P) alpha + 2n beta
+///   Reduce    = Allreduce, root keeps the result   : same cost (as charged
+///                                                    by the paper's table)
+///   Allgather = Bruck                              : ceil(lg P) alpha + n beta
+///   Transpose = pairwise exchange                  : alpha + n beta
+///
+/// Every rank also carries a cost tally (alpha messages, beta words, gamma
+/// flops) and a LogP-style modeled clock: sends advance the sender's clock
+/// by alpha + n*beta and stamp the message; receives advance the receiver's
+/// clock to at least the stamp.  Sequential kernel flops recorded by
+/// cacqr::lin are drained into the clock at every communication call, so
+/// max-over-ranks of the final clock is the modeled parallel execution time
+/// for the configured machine parameters.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cacqr/support/error.hpp"
+#include "cacqr/support/math.hpp"
+
+namespace cacqr::rt {
+
+/// Alpha-beta-gamma machine parameters for the modeled clock.
+/// Units: seconds per message / per 8-byte word / per flop.
+struct Machine {
+  double alpha = 0.0;
+  double beta = 0.0;
+  double gamma = 0.0;
+
+  /// All-zero machine: runs count alpha/beta/gamma without modeling time.
+  [[nodiscard]] static Machine counting() noexcept { return {}; }
+};
+
+/// Per-rank cost tally.  msgs/words/flops are raw counts (machine
+/// independent); time is the modeled clock under the run's Machine.
+struct CostCounters {
+  i64 msgs = 0;   ///< messages sent by this rank (alpha count)
+  i64 words = 0;  ///< 8-byte words sent by this rank (beta count)
+  i64 flops = 0;  ///< floating-point operations executed (gamma count)
+  double time = 0.0;  ///< modeled clock, seconds
+
+  CostCounters& operator+=(const CostCounters& o) noexcept {
+    msgs += o.msgs;
+    words += o.words;
+    flops += o.flops;
+    time += o.time;
+    return *this;
+  }
+  friend CostCounters operator-(CostCounters a,
+                                const CostCounters& b) noexcept {
+    a.msgs -= b.msgs;
+    a.words -= b.words;
+    a.flops -= b.flops;
+    a.time -= b.time;
+    return a;
+  }
+};
+
+namespace detail {
+struct World;
+struct CommState;
+}  // namespace detail
+
+/// Communicator handle (cheap to copy; copies share identity).  Every
+/// method below that is documented "collective" must be called by all
+/// members of the communicator, in the same order -- the usual MPI
+/// discipline.
+class Comm {
+ public:
+  /// Default state: detached from any run.  Only assignment is valid;
+  /// every operation below requires a communicator obtained from
+  /// Runtime::run or split().
+  Comm() = default;
+
+  /// Rank of the caller within this communicator.
+  [[nodiscard]] int rank() const noexcept;
+  /// Number of ranks in this communicator.
+  [[nodiscard]] int size() const noexcept;
+  /// Rank of the caller in the world communicator.
+  [[nodiscard]] int world_rank() const noexcept;
+
+  // ------------------------------------------------------------- p2p
+  /// Buffered (eager) send: never blocks.
+  void send(int dest, int tag, std::span<const double> data) const;
+  /// Blocking receive; data.size() must equal the matching message size.
+  void recv(int src, int tag, std::span<double> data) const;
+  /// Pairwise exchange with `partner` (no-op when partner == rank()):
+  /// the Transpose primitive of the paper, alpha + n*beta.
+  void sendrecv_swap(int partner, int tag, std::span<double> data) const;
+
+  // ------------------------------------------------------ collectives
+  /// Collective: splits into sub-communicators by color; ranks ordered by
+  /// (key, parent rank).  Every member must call.
+  [[nodiscard]] Comm split(int color, int key) const;
+
+  /// Collective: dissemination barrier.
+  void barrier() const;
+  /// Collective: root's data replicated to all (scatter + allgather).
+  void bcast(std::span<double> data, int root) const;
+  /// Collective: elementwise sum of `data` across ranks; result everywhere.
+  void allreduce_sum(std::span<double> data) const;
+  /// Collective: elementwise sum; result only meaningful on root (costed
+  /// identically to allreduce, as in the paper's tables).
+  void reduce_sum(std::span<double> data, int root) const;
+  /// Collective: concatenation of equal-size contributions, rank order.
+  void allgather(std::span<const double> mine, std::span<double> all) const;
+
+  // ------------------------------------------------------- accounting
+  /// This rank's world-wide running tally (shared across all comms of the
+  /// run).  Drains pending kernel flops first so the snapshot is current.
+  [[nodiscard]] CostCounters counters() const;
+  /// Drains the thread-local lin flop counter into the tally and clock.
+  void charge_local_flops() const;
+  /// Adds modeled idle/imbalance sync: clock = max(clock over members).
+  /// Collective.  Used by benches to close a measurement phase.
+  void sync_clock() const;
+  /// Machine parameters of the enclosing run.
+  [[nodiscard]] const Machine& machine() const noexcept;
+
+ private:
+  friend class Runtime;
+  explicit Comm(std::shared_ptr<detail::CommState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::CommState> state_;
+};
+
+/// SPMD launcher.
+class Runtime {
+ public:
+  /// Runs `body` on `nranks` rank-threads and returns the per-rank final
+  /// cost tallies (modeled clock included).  Exceptions thrown by any rank
+  /// abort the whole team and are rethrown here (first thrower wins).
+  static std::vector<CostCounters> run(
+      int nranks, const std::function<void(Comm&)>& body,
+      Machine machine = Machine::counting());
+};
+
+/// Convenience: modeled parallel execution time = max of per-rank clocks.
+[[nodiscard]] inline double modeled_time(
+    const std::vector<CostCounters>& per_rank) noexcept {
+  double t = 0.0;
+  for (const auto& c : per_rank) t = t > c.time ? t : c.time;
+  return t;
+}
+
+/// Convenience: critical-path-style maxima of the raw counters.
+[[nodiscard]] inline CostCounters max_counters(
+    const std::vector<CostCounters>& per_rank) noexcept {
+  CostCounters m;
+  for (const auto& c : per_rank) {
+    m.msgs = std::max(m.msgs, c.msgs);
+    m.words = std::max(m.words, c.words);
+    m.flops = std::max(m.flops, c.flops);
+    m.time = std::max(m.time, c.time);
+  }
+  return m;
+}
+
+}  // namespace cacqr::rt

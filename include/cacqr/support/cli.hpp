@@ -1,0 +1,33 @@
+#pragma once
+/// \file cli.hpp
+/// \brief Minimal --key=value command-line parsing for bench/example mains.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cacqr {
+
+/// Parses flags of the form --key=value (plus bare --key as "true").
+/// Unknown positional arguments are ignored.  Keys are looked up on demand;
+/// lookups for absent keys return the provided default.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(std::string_view key) const;
+  [[nodiscard]] std::string get(std::string_view key,
+                                const std::string& fallback) const;
+  [[nodiscard]] long long get_int(std::string_view key,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+ private:
+  // Stored as parallel key/value vectors: tiny argument counts make a map
+  // unnecessary.
+  std::vector<std::string> keys_;
+  std::vector<std::string> values_;
+};
+
+}  // namespace cacqr

@@ -1,0 +1,71 @@
+#pragma once
+/// \file math.hpp
+/// \brief Small integer utilities shared by grid/layout/cost code.
+
+#include <cstdint>
+#include <limits>
+
+#include "cacqr/support/error.hpp"
+
+namespace cacqr {
+
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+
+/// True iff x is a power of two (x > 0).
+[[nodiscard]] constexpr bool is_pow2(i64 x) noexcept {
+  return x > 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr int ilog2(i64 x) noexcept {
+  int r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1; 0 for x == 1.
+[[nodiscard]] constexpr int ceil_log2(i64 x) noexcept {
+  return is_pow2(x) ? ilog2(x) : ilog2(x) + 1;
+}
+
+/// ceil(a / b) for a >= 0, b > 0.
+[[nodiscard]] constexpr i64 ceil_div(i64 a, i64 b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Smallest multiple of b that is >= a (a >= 0, b > 0).
+[[nodiscard]] constexpr i64 round_up(i64 a, i64 b) noexcept {
+  return ceil_div(a, b) * b;
+}
+
+/// Integer cube root for exact cubes; throws otherwise.
+[[nodiscard]] inline i64 exact_cbrt(i64 x) {
+  i64 r = 0;
+  while (r * r * r < x) ++r;
+  ensure_dim(r * r * r == x, "exact_cbrt: ", x, " is not a perfect cube");
+  return r;
+}
+
+/// Multiplication with overflow detection; dimensions and word counts in
+/// cost models can exceed 2^32 easily (e.g. m = 2^25, n = 2^13).
+[[nodiscard]] inline i64 checked_mul(i64 a, i64 b) {
+  ensure(a >= 0 && b >= 0, "checked_mul: negative operand");
+  if (a != 0) {
+    ensure(b <= std::numeric_limits<i64>::max() / a,
+           "checked_mul: overflow: ", a, " * ", b);
+  }
+  return a * b;
+}
+
+/// x^e for small non-negative integer exponents.
+[[nodiscard]] constexpr i64 ipow(i64 x, int e) noexcept {
+  i64 r = 1;
+  for (int i = 0; i < e; ++i) r *= x;
+  return r;
+}
+
+}  // namespace cacqr

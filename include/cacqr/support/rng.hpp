@@ -1,0 +1,72 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic pseudo-random generation for reproducible
+///        experiments.
+///
+/// The paper evaluates on random matrices.  To make every test and bench
+/// reproducible bit-for-bit (and to let every SPMD rank regenerate the same
+/// global matrix without communication), we use a self-contained
+/// xoshiro256** generator seeded via splitmix64 instead of std::mt19937,
+/// whose streams differ across standard library implementations.
+
+#include <cstdint>
+
+namespace cacqr {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation, re-expressed in C++).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    // splitmix64 expansion of the seed into the 256-bit state, as
+    // recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal() noexcept;
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) noexcept { return next_u64() % n; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace cacqr

@@ -1,0 +1,27 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Wall-clock timing for benchmarks.
+
+#include <chrono>
+
+namespace cacqr {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace cacqr

@@ -1,0 +1,151 @@
+#include <vector>
+
+#include "cacqr/baseline/tsqr.hpp"
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/qr.hpp"
+#include "cacqr/lin/util.hpp"
+
+namespace cacqr::baseline {
+
+using dist::DistMatrix;
+
+namespace {
+
+/// Packs the upper triangle (n(n+1)/2 words -- what the TSQR analysis
+/// charges per tree message).
+std::vector<double> pack_upper(const lin::Matrix& r) {
+  const i64 n = r.cols();
+  std::vector<double> buf;
+  buf.reserve(static_cast<std::size_t>(n * (n + 1) / 2));
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 i = 0; i <= j; ++i) buf.push_back(r(i, j));
+  }
+  return buf;
+}
+
+lin::Matrix unpack_upper(const std::vector<double>& buf, i64 n) {
+  lin::Matrix r(n, n);
+  std::size_t idx = 0;
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 i = 0; i <= j; ++i) r(i, j) = buf[idx++];
+  }
+  return r;
+}
+
+/// Extracts the upper n x n triangle of a packed geqrf result.
+lin::Matrix upper_of(const lin::Matrix& packed) {
+  const i64 n = packed.cols();
+  lin::Matrix r(n, n);
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 i = 0; i <= j; ++i) r(i, j) = packed(i, j);
+  }
+  return r;
+}
+
+/// One internal tree node: the packed Householder factorization of the
+/// stacked [R_mine; R_partner].
+struct TreeNode {
+  lin::Matrix packed;        // 2n x n
+  std::vector<double> taus;
+};
+
+}  // namespace
+
+TsqrResult tsqr(const DistMatrix& a, const rt::Comm& comm) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  const i64 n = a.cols();
+  ensure_dim(a.layout().col_procs == 1 && a.layout().row_procs == p &&
+                 a.layout().my_row == me,
+             "tsqr: matrix must be row-distributed over the communicator");
+  ensure_dim(is_pow2(p), "tsqr: rank count must be a power of two");
+  ensure_dim(a.layout().local_rows() >= n,
+             "tsqr: local blocks need at least n rows (m/P >= n)");
+  const int levels = ilog2(p);
+  const int tag = 0;
+
+  // Leaf factorization.
+  lin::Matrix packed0 = materialize(a.local().view());
+  std::vector<double> taus0 = lin::geqrf(packed0);
+  lin::Matrix r = upper_of(packed0);
+
+  // Up-sweep: pairwise-stack R factors up the binary tree.  Rank `me`
+  // creates internal nodes at levels 0 .. tz-1 (tz = trailing zeros of
+  // me; all levels for rank 0), then ships its R to the parent.
+  std::vector<TreeNode> nodes;
+  int my_top = levels;  // level at which I hand off (rank 0 never does)
+  for (int s = 0; s < levels; ++s) {
+    const int step = 1 << s;
+    if (me % (2 * step) == 0) {
+      std::vector<double> buf(static_cast<std::size_t>(n * (n + 1) / 2));
+      comm.recv(me + step, tag, buf);
+      lin::Matrix r_partner = unpack_upper(buf, n);
+      TreeNode node;
+      node.packed = lin::Matrix(2 * n, n);
+      lin::copy(r, node.packed.sub(0, 0, n, n));
+      lin::copy(r_partner, node.packed.sub(n, 0, n, n));
+      node.taus = lin::geqrf(node.packed);
+      r = upper_of(node.packed);
+      nodes.push_back(std::move(node));
+    } else {
+      comm.send(me - step, tag, pack_upper(r));
+      my_top = s;
+      break;
+    }
+  }
+
+  // Down-sweep: propagate n x n contribution blocks back down.  The
+  // subtree identity is Q_subtree * C = diag(Q_left, Q_right) *
+  // (Q_node * [C; 0])'s halves.
+  lin::Matrix c;
+  if (me == 0) {
+    c = lin::Matrix::identity(n);
+  } else {
+    std::vector<double> buf(static_cast<std::size_t>(n * n));
+    comm.recv(me - (1 << my_top), tag, buf);
+    c = lin::Matrix(n, n);
+    std::copy(buf.begin(), buf.end(), c.data());
+  }
+  for (int s = static_cast<int>(nodes.size()) - 1; s >= 0; --s) {
+    const TreeNode& node = nodes[static_cast<std::size_t>(s)];
+    lin::Matrix stacked(2 * n, n);
+    lin::copy(c, stacked.sub(0, 0, n, n));
+    lin::apply_q(node.packed, node.taus, stacked);
+    c = materialize(stacked.sub(0, 0, n, n));
+    // Bottom half goes to the partner subtree.
+    std::vector<double> buf(static_cast<std::size_t>(n * n));
+    auto bottom = stacked.sub(n, 0, n, n);
+    for (i64 j = 0; j < n; ++j) {
+      for (i64 i = 0; i < n; ++i) {
+        buf[static_cast<std::size_t>(i + j * n)] = bottom(i, j);
+      }
+    }
+    comm.send(me + (1 << s), tag, buf);
+  }
+
+  // Leaf: my rows of Q are Q_local * C.
+  TsqrResult out{a, lin::Matrix(n, n)};
+  lin::Matrix qfull(packed0.rows(), n);
+  lin::copy(c, qfull.sub(0, 0, n, n));
+  lin::apply_q(packed0, taus0, qfull);
+  out.q.local() = std::move(qfull);
+
+  // Replicate R from the root and sign-normalize (diag >= 0) so the
+  // factorization is unique; Q columns flip to match (no communication,
+  // every rank sees the same R).
+  std::vector<double> rbuf(static_cast<std::size_t>(n * n));
+  if (me == 0) std::copy_n(r.data(), n * n, rbuf.data());
+  comm.bcast(rbuf, 0);
+  std::copy_n(rbuf.data(), n * n, out.r.data());
+  for (i64 i = 0; i < n; ++i) {
+    if (out.r(i, i) < 0.0) {
+      for (i64 j = i; j < n; ++j) out.r(i, j) = -out.r(i, j);
+      for (i64 li = 0; li < out.q.local().rows(); ++li) {
+        out.q.local()(li, i) = -out.q.local()(li, i);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cacqr::baseline

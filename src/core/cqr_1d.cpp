@@ -1,0 +1,56 @@
+#include "cacqr/core/cqr_1d.hpp"
+
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/factor.hpp"
+
+namespace cacqr::core {
+
+using dist::DistMatrix;
+
+namespace {
+
+void check_1d_layout(const DistMatrix& a, const rt::Comm& comm) {
+  ensure_dim(a.layout().col_procs == 1 &&
+                 a.layout().row_procs == comm.size() &&
+                 a.layout().my_row == comm.rank(),
+             "cqr_1d: matrix must be row-distributed over the communicator");
+  ensure_dim(a.rows() >= a.cols(), "cqr_1d: requires m >= n");
+}
+
+}  // namespace
+
+Cqr1dResult cqr_1d(const DistMatrix& a, const rt::Comm& comm) {
+  check_1d_layout(a, comm);
+  const i64 n = a.cols();
+
+  // Line 1: local symmetric rank-(m/P) update X = A_p^T A_p.
+  lin::Matrix z(n, n);
+  lin::gram(1.0, a.local(), 0.0, z);
+
+  // Line 2: Allreduce the n x n Gram contributions.
+  comm.allreduce_sum({z.data(), static_cast<std::size_t>(z.size())});
+
+  // Line 3: redundant CholInv: R^T = chol(Z), R^{-T} = L^{-1}.
+  auto li = lin::cholinv(z);
+
+  // Line 4: Q_p = A_p R^{-1}, purely local triangular multiply.
+  Cqr1dResult out{a, lin::Matrix(n, n)};
+  lin::trmm(lin::Side::Right, lin::Uplo::Lower, lin::Trans::T,
+            lin::Diag::NonUnit, 1.0, li.l_inv, out.q.local());
+
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 i = 0; i <= j; ++i) out.r(i, j) = li.l(j, i);
+  }
+  return out;
+}
+
+Cqr1dResult cqr2_1d(const DistMatrix& a, const rt::Comm& comm) {
+  // Algorithm 7: two passes, then R = R2 * R1 sequentially on every rank.
+  Cqr1dResult first = cqr_1d(a, comm);
+  Cqr1dResult second = cqr_1d(first.q, comm);
+  lin::trmm(lin::Side::Left, lin::Uplo::Upper, lin::Trans::N,
+            lin::Diag::NonUnit, 1.0, second.r, first.r);
+  return {std::move(second.q), std::move(first.r)};
+}
+
+}  // namespace cacqr::core

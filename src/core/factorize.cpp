@@ -1,0 +1,115 @@
+#include <cmath>
+#include <utility>
+
+#include "cacqr/core/factorize.hpp"
+#include "cacqr/core/shifted.hpp"
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/util.hpp"
+
+namespace cacqr::core {
+
+using dist::DistMatrix;
+
+std::pair<int, int> choose_grid(int nranks, i64 m, i64 n) {
+  ensure_dim(nranks >= 1 && m >= n && n >= 1, "choose_grid: bad arguments");
+  const double c_ideal = std::cbrt(static_cast<double>(nranks) *
+                                   static_cast<double>(n) /
+                                   static_cast<double>(m));
+  int best_c = 1;
+  int best_d = nranks;
+  double best_score = std::abs(std::log(1.0 / std::max(c_ideal, 1e-300)));
+  for (int c = 2; static_cast<long long>(c) * c * c <= nranks; ++c) {
+    if (nranks % (c * c) != 0) continue;
+    const int d = nranks / (c * c);
+    if (d % c != 0) continue;
+    const double score = std::abs(std::log(static_cast<double>(c) / c_ideal));
+    if (score < best_score) {
+      best_score = score;
+      best_c = c;
+      best_d = d;
+    }
+  }
+  return {best_c, best_d};
+}
+
+namespace {
+
+/// Padded dimensions and the padded matrix itself (see factorize.hpp).
+struct Padded {
+  lin::Matrix a;
+  i64 m = 0;  ///< original rows
+  i64 n = 0;  ///< original cols
+};
+
+Padded pad_for_grid(lin::ConstMatrixView a, int c, int d) {
+  const i64 m = a.rows;
+  const i64 n = a.cols;
+  const i64 n_pad = round_up(n, c);
+  const i64 m_pad = round_up(std::max(m + (n_pad - n), n_pad), d);
+  if (m_pad == m && n_pad == n) {
+    return {lin::materialize(a), m, n};
+  }
+  const double fro = lin::frob_norm(a);
+  const double delta =
+      fro > 0.0 ? fro / std::sqrt(static_cast<double>(n)) : 1.0;
+  lin::Matrix padded(m_pad, n_pad);
+  lin::copy(a, padded.sub(0, 0, m, n));
+  for (i64 j = n; j < n_pad; ++j) {
+    padded(m + (j - n), j) = delta;
+  }
+  return {std::move(padded), m, n};
+}
+
+}  // namespace
+
+FactorizeResult factorize(lin::ConstMatrixView a, const rt::Comm& world,
+                          FactorizeOptions opts) {
+  ensure_dim(a.rows >= a.cols && a.cols >= 1,
+             "factorize: requires m >= n >= 1");
+  ensure(opts.passes >= 1 && opts.passes <= 3,
+         "factorize: passes must be 1, 2 or 3");
+
+  int c = opts.c;
+  int d = opts.d;
+  if (c == 0 || d == 0) {
+    std::tie(c, d) = choose_grid(world.size(), a.rows, a.cols);
+  }
+  ensure_dim(grid::TunableGrid::valid_shape(world.size(), c, d),
+             "factorize: grid ", c, "x", d, "x", c, " invalid for ",
+             world.size(), " ranks");
+
+  Padded padded = pad_for_grid(a, c, d);
+  grid::TunableGrid g(world, c, d);
+  DistMatrix da = DistMatrix::from_global_on_tunable(padded.a, g);
+
+  FactorizeResult out;
+  out.c = c;
+  out.d = d;
+  const CaCqrOptions run_opts{.base_case = opts.base_case, .shift = 0.0};
+
+  CaCqrResult fact;
+  if (opts.passes == 3) {
+    fact = ca_cqr3(da, g, run_opts);
+    out.used_shift = true;
+  } else {
+    try {
+      fact = opts.passes == 1 ? ca_cqr(da, g, run_opts)
+                              : ca_cqr2(da, g, run_opts);
+    } catch (const NotSpdError&) {
+      if (!opts.auto_shift) throw;
+      // Every rank fails identically (replicated factorization inputs),
+      // so every rank lands here and retries collectively.
+      fact = ca_cqr3(da, g, run_opts);
+      out.used_shift = true;
+    }
+  }
+
+  // Gather and strip the padding.
+  lin::Matrix q_full = dist::gather(fact.q, g.slice());
+  lin::Matrix r_full = dist::gather(fact.r, g.subcube().slice());
+  out.q = lin::materialize(q_full.sub(0, 0, padded.m, padded.n));
+  out.r = lin::materialize(r_full.sub(0, 0, padded.n, padded.n));
+  return out;
+}
+
+}  // namespace cacqr::core

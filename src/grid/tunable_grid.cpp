@@ -1,0 +1,42 @@
+#include "cacqr/grid/grid.hpp"
+
+namespace cacqr::grid {
+
+CubeGrid::CubeGrid(rt::Comm cube, int g) : g_(g), cube_(std::move(cube)) {
+  ensure_dim(g >= 1, "CubeGrid: g must be positive");
+  ensure_dim(cube_.size() == g * g * g, "CubeGrid: communicator has ",
+             cube_.size(), " ranks, need g^3 = ", g * g * g);
+  const int r = cube_.rank();
+  coords_ = Coords{r % g, (r / g) % g, r / (g * g)};
+  const auto [x, y, z] = coords_;
+  // Split order is part of the collective contract: every member must
+  // construct the CubeGrid at the same point in its program.
+  row_ = cube_.split(y + g * z, x);
+  col_ = cube_.split(x + g * z, y);
+  depth_ = cube_.split(x + g * y, z);
+  slice_ = cube_.split(z, x + g * y);
+}
+
+TunableGrid::TunableGrid(rt::Comm world, int c, int d)
+    : c_(c), d_(d), world_(std::move(world)) {
+  ensure_dim(valid_shape(world_.size(), c, d),
+             "TunableGrid: invalid shape c=", c, " d=", d, " for P=",
+             world_.size(), " (need P == c^2*d and c | d)");
+  const int r = world_.rank();
+  coords_ = Coords{r % c, (r / c) % d, r / (c * d)};
+  const auto [x, y, z] = coords_;
+
+  row_ = world_.split(y + d * z, x);
+  col_ = world_.split(x + c * z, y);
+  depth_ = world_.split(x + c * y, z);
+  slice_ = world_.split(z, x + c * y);
+  ygroup_contig_ = world_.split(x + c * (z + c * (y / c)), y % c);
+  ygroup_strided_ = world_.split(x + c * (z + c * (y % c)), y / c);
+
+  // Subcube of Algorithm 8 line 6: contiguous y-groups of height c, with
+  // internal coordinates (x, y mod c, z) linearized the CubeGrid way.
+  rt::Comm subcube_comm = world_.split(y / c, x + c * ((y % c) + c * z));
+  subcube_ = std::make_unique<CubeGrid>(std::move(subcube_comm), c);
+}
+
+}  // namespace cacqr::grid

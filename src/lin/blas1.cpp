@@ -1,0 +1,85 @@
+#include <cmath>
+
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/flops.hpp"
+
+namespace cacqr::lin {
+
+void axpy(double alpha, ConstMatrixView x, MatrixView y) {
+  ensure_dim(x.rows == y.rows && x.cols == y.cols, "axpy: shape mismatch");
+  for (i64 j = 0; j < x.cols; ++j) {
+    const double* xc = x.data + j * x.ld;
+    double* yc = y.data + j * y.ld;
+    for (i64 i = 0; i < x.rows; ++i) yc[i] += alpha * xc[i];
+  }
+  flops::add(2 * x.rows * x.cols);
+}
+
+void scal(double alpha, MatrixView x) {
+  for (i64 j = 0; j < x.cols; ++j) {
+    double* xc = x.data + j * x.ld;
+    for (i64 i = 0; i < x.rows; ++i) xc[i] *= alpha;
+  }
+  flops::add(x.rows * x.cols);
+}
+
+double dot(ConstMatrixView x, ConstMatrixView y) {
+  ensure_dim(x.rows == y.rows && x.cols == y.cols, "dot: shape mismatch");
+  double acc = 0.0;
+  for (i64 j = 0; j < x.cols; ++j) {
+    const double* xc = x.data + j * x.ld;
+    const double* yc = y.data + j * y.ld;
+    for (i64 i = 0; i < x.rows; ++i) acc += xc[i] * yc[i];
+  }
+  flops::add(2 * x.rows * x.cols);
+  return acc;
+}
+
+double nrm2(ConstMatrixView x) {
+  // Scaled accumulation to avoid overflow/underflow, as in LAPACK dlassq.
+  double scale = 0.0;
+  double ssq = 1.0;
+  for (i64 j = 0; j < x.cols; ++j) {
+    const double* xc = x.data + j * x.ld;
+    for (i64 i = 0; i < x.rows; ++i) {
+      const double v = std::fabs(xc[i]);
+      if (v == 0.0) continue;
+      if (scale < v) {
+        ssq = 1.0 + ssq * (scale / v) * (scale / v);
+        scale = v;
+      } else {
+        ssq += (v / scale) * (v / scale);
+      }
+    }
+  }
+  flops::add(2 * x.rows * x.cols);
+  return scale * std::sqrt(ssq);
+}
+
+void gemv(Trans trans, double alpha, ConstMatrixView a, ConstMatrixView x,
+          double beta, MatrixView y) {
+  const i64 out_len = trans == Trans::N ? a.rows : a.cols;
+  const i64 in_len = trans == Trans::N ? a.cols : a.rows;
+  ensure_dim(x.cols == 1 && y.cols == 1, "gemv: x, y must be column vectors");
+  ensure_dim(x.rows == in_len && y.rows == out_len, "gemv: shape mismatch");
+
+  for (i64 i = 0; i < out_len; ++i) y.data[i] *= beta;
+  if (trans == Trans::N) {
+    // y += alpha * A x, traversing A by columns.
+    for (i64 j = 0; j < a.cols; ++j) {
+      const double ax = alpha * x.data[j];
+      const double* col = a.data + j * a.ld;
+      for (i64 i = 0; i < a.rows; ++i) y.data[i] += ax * col[i];
+    }
+  } else {
+    for (i64 j = 0; j < a.cols; ++j) {
+      const double* col = a.data + j * a.ld;
+      double acc = 0.0;
+      for (i64 i = 0; i < a.rows; ++i) acc += col[i] * x.data[i];
+      y.data[j] += alpha * acc;
+    }
+  }
+  flops::add(2 * a.rows * a.cols);
+}
+
+}  // namespace cacqr::lin

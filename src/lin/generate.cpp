@@ -1,0 +1,92 @@
+#include <cmath>
+
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/lin/qr.hpp"
+
+namespace cacqr::lin {
+
+Matrix gaussian(Rng& rng, i64 m, i64 n) {
+  Matrix a(m, n);
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 i = 0; i < m; ++i) a(i, j) = rng.normal();
+  }
+  return a;
+}
+
+Matrix random_orthogonal(Rng& rng, i64 n) {
+  return householder_qr(gaussian(rng, n, n)).q;
+}
+
+Matrix with_singular_values(Rng& rng, i64 m, i64 n,
+                            const std::vector<double>& sigma) {
+  ensure_dim(m >= n, "with_singular_values: need m >= n");
+  ensure_dim(static_cast<i64>(sigma.size()) == n,
+             "with_singular_values: need exactly n singular values");
+  // U: m x n with orthonormal columns; V: n x n orthogonal.
+  Matrix u = householder_qr(gaussian(rng, m, n)).q;
+  Matrix v = random_orthogonal(rng, n);
+  // A = U diag(sigma) V^T: scale U's columns, then multiply by V^T.
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 i = 0; i < m; ++i) u(i, j) *= sigma[static_cast<std::size_t>(j)];
+  }
+  Matrix a(m, n);
+  gemm(Trans::N, Trans::T, 1.0, u, v, 0.0, a);
+  return a;
+}
+
+Matrix with_cond(Rng& rng, i64 m, i64 n, double kappa) {
+  ensure(kappa >= 1.0, "with_cond: kappa must be >= 1");
+  std::vector<double> sigma(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    const double t = n == 1 ? 0.0 : static_cast<double>(i) / static_cast<double>(n - 1);
+    sigma[static_cast<std::size_t>(i)] = std::pow(kappa, -t);
+  }
+  return with_singular_values(rng, m, n, sigma);
+}
+
+Matrix spd_with_cond(Rng& rng, i64 n, double kappa) {
+  ensure(kappa >= 1.0, "spd_with_cond: kappa must be >= 1");
+  Matrix v = random_orthogonal(rng, n);
+  // A = V diag(lambda) V^T with geometrically spaced eigenvalues.
+  Matrix scaled = v;
+  for (i64 j = 0; j < n; ++j) {
+    const double t = n == 1 ? 0.0 : static_cast<double>(j) / static_cast<double>(n - 1);
+    const double lambda = std::pow(kappa, -t);
+    for (i64 i = 0; i < n; ++i) scaled(i, j) *= lambda;
+  }
+  Matrix a(n, n);
+  gemm(Trans::N, Trans::T, 1.0, scaled, v, 0.0, a);
+  // Exact symmetrization (gemm rounding can leave ~eps asymmetry).
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 i = j + 1; i < n; ++i) {
+      const double s = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = s;
+      a(j, i) = s;
+    }
+  }
+  return a;
+}
+
+double entry_hash(u64 seed, i64 i, i64 j) noexcept {
+  // SplitMix64-style scramble of (seed, i, j) -> double in [-1, 1].
+  u64 x = seed ^ (static_cast<u64>(i) * 0x9e3779b97f4a7c15ULL) ^
+          (static_cast<u64>(j) * 0xbf58476d1ce4e5b9ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  const double unit = static_cast<double>(x >> 11) * 0x1.0p-53;  // [0,1)
+  return 2.0 * unit - 1.0;
+}
+
+Matrix hashed_matrix(u64 seed, i64 m, i64 n) {
+  Matrix a(m, n);
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 i = 0; i < m; ++i) a(i, j) = entry_hash(seed, i, j);
+  }
+  return a;
+}
+
+}  // namespace cacqr::lin

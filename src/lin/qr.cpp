@@ -1,0 +1,140 @@
+#include <cmath>
+
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/flops.hpp"
+#include "cacqr/lin/qr.hpp"
+
+namespace cacqr::lin {
+
+namespace {
+
+/// Applies the elementary reflector H = I - tau v v^T (v(0)=1 implicit,
+/// stored in `v` from index 1) to C(0:len, :) in place.
+void apply_reflector(const double* v, i64 len, double tau, MatrixView c) {
+  if (tau == 0.0) return;
+  for (i64 j = 0; j < c.cols; ++j) {
+    double* col = c.data + j * c.ld;
+    double w = col[0];
+    for (i64 i = 1; i < len; ++i) w += v[i] * col[i];
+    w *= tau;
+    col[0] -= w;
+    for (i64 i = 1; i < len; ++i) col[i] -= w * v[i];
+  }
+  flops::add(4 * len * c.cols);
+}
+
+}  // namespace
+
+std::vector<double> geqrf(MatrixView a) {
+  const i64 m = a.rows;
+  const i64 n = a.cols;
+  ensure_dim(m >= n, "geqrf: requires m >= n (reduced QR of tall matrix)");
+  std::vector<double> tau(static_cast<std::size_t>(n), 0.0);
+
+  for (i64 j = 0; j < n; ++j) {
+    const i64 len = m - j;
+    double* col = a.data + j + j * a.ld;
+    // Householder vector for column j (LAPACK dlarfg).
+    double alpha = col[0];
+    double xnorm = 0.0;
+    for (i64 i = 1; i < len; ++i) xnorm += col[i] * col[i];
+    xnorm = std::sqrt(xnorm);
+    if (xnorm == 0.0) {
+      tau[j] = 0.0;
+      continue;
+    }
+    const double beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+    tau[j] = (beta - alpha) / beta;
+    const double inv = 1.0 / (alpha - beta);
+    for (i64 i = 1; i < len; ++i) col[i] *= inv;
+    col[0] = beta;
+    flops::add(3 * len);
+    // Apply to the trailing columns with v implicit in col (v0 = 1).
+    if (j + 1 < n) {
+      // Temporarily set the diagonal to 1 for a uniform reflector apply.
+      const double saved = col[0];
+      col[0] = 1.0;
+      apply_reflector(col, len, tau[j], a.sub(j, j + 1, len, n - j - 1));
+      col[0] = saved;
+    }
+  }
+  return tau;
+}
+
+Matrix orgqr(ConstMatrixView qr_packed, const std::vector<double>& tau) {
+  const i64 m = qr_packed.rows;
+  const i64 n = qr_packed.cols;
+  Matrix q(m, n);
+  for (i64 j = 0; j < n; ++j) q(j, j) = 1.0;
+  // Apply H_1 H_2 ... H_n to I, last reflector first.
+  std::vector<double> v(static_cast<std::size_t>(m));
+  for (i64 j = n - 1; j >= 0; --j) {
+    const i64 len = m - j;
+    v[0] = 1.0;
+    for (i64 i = 1; i < len; ++i) v[i] = qr_packed(j + i, j);
+    apply_reflector(v.data(), len, tau[j], q.sub(j, j, len, n - j));
+  }
+  return q;
+}
+
+void apply_qt(ConstMatrixView qr_packed, const std::vector<double>& tau,
+              MatrixView c) {
+  const i64 m = qr_packed.rows;
+  const i64 n = qr_packed.cols;
+  ensure_dim(c.rows == m, "apply_qt: row mismatch");
+  std::vector<double> v(static_cast<std::size_t>(m));
+  // Q^T = H_n ... H_1, so apply in forward order.
+  for (i64 j = 0; j < n; ++j) {
+    const i64 len = m - j;
+    v[0] = 1.0;
+    for (i64 i = 1; i < len; ++i) v[i] = qr_packed(j + i, j);
+    apply_reflector(v.data(), len, tau[j], c.sub(j, 0, len, c.cols));
+  }
+}
+
+void apply_q(ConstMatrixView qr_packed, const std::vector<double>& tau,
+             MatrixView c) {
+  const i64 m = qr_packed.rows;
+  const i64 n = qr_packed.cols;
+  ensure_dim(c.rows == m, "apply_q: row mismatch");
+  std::vector<double> v(static_cast<std::size_t>(m));
+  // Q = H_1 ... H_n, so apply in reverse order.
+  for (i64 j = n - 1; j >= 0; --j) {
+    const i64 len = m - j;
+    v[0] = 1.0;
+    for (i64 i = 1; i < len; ++i) v[i] = qr_packed(j + i, j);
+    apply_reflector(v.data(), len, tau[j], c.sub(j, 0, len, c.cols));
+  }
+}
+
+QrResult householder_qr(ConstMatrixView a) {
+  Matrix packed = materialize(a);
+  auto tau = geqrf(packed);
+  QrResult out{orgqr(packed, tau), Matrix(a.cols, a.cols)};
+  for (i64 j = 0; j < a.cols; ++j) {
+    for (i64 i = 0; i <= j; ++i) out.r(i, j) = packed(i, j);
+  }
+  // Sign-normalize: make diag(R) >= 0 by flipping matching Q columns.
+  for (i64 i = 0; i < a.cols; ++i) {
+    if (out.r(i, i) < 0.0) {
+      for (i64 j = i; j < a.cols; ++j) out.r(i, j) = -out.r(i, j);
+      for (i64 k = 0; k < a.rows; ++k) out.q(k, i) = -out.q(k, i);
+    }
+  }
+  return out;
+}
+
+Matrix lstsq(ConstMatrixView a, ConstMatrixView b) {
+  ensure_dim(a.rows == b.rows, "lstsq: A and b row counts differ");
+  Matrix packed = materialize(a);
+  auto tau = geqrf(packed);
+  Matrix rhs = materialize(b);
+  apply_qt(packed, tau, rhs);
+  // Solve R x = (Q^T b)(0:n, :).
+  Matrix x = materialize(rhs.sub(0, 0, a.cols, b.cols));
+  auto r_view = packed.sub(0, 0, a.cols, a.cols);
+  trsm(Side::Left, Uplo::Upper, Trans::N, Diag::NonUnit, 1.0, r_view, x);
+  return x;
+}
+
+}  // namespace cacqr::lin

@@ -1,0 +1,181 @@
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/flops.hpp"
+
+namespace cacqr::lin {
+
+namespace {
+
+/// Whether T(i,k) participates for the given uplo/trans combination, i.e.
+/// whether entry (i,k) of op(T) is inside the stored triangle.
+inline bool in_tri(Uplo uplo, Trans trans, i64 i, i64 k) noexcept {
+  const bool lower_op =
+      (uplo == Uplo::Lower) == (trans == Trans::N);  // op(T) lower?
+  return lower_op ? i >= k : i <= k;
+}
+
+inline double tri_at(ConstMatrixView t, Trans trans, i64 i, i64 k) noexcept {
+  return trans == Trans::N ? t(i, k) : t(k, i);
+}
+
+}  // namespace
+
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView t, MatrixView b) {
+  ensure_dim(t.rows == t.cols, "trmm: T must be square");
+  const i64 n_tri = t.rows;
+  i64 madds = 0;
+
+  if (side == Side::Left) {
+    // B := alpha * op(T) * B.  Each output column independently.
+    ensure_dim(b.rows == n_tri, "trmm: left operand size mismatch");
+    const bool lower_op = (uplo == Uplo::Lower) == (trans == Trans::N);
+    for (i64 j = 0; j < b.cols; ++j) {
+      double* col = b.data + j * b.ld;
+      if (lower_op) {
+        // Row i depends on rows <= i: traverse bottom-up to update in place.
+        for (i64 i = n_tri - 1; i >= 0; --i) {
+          double acc = diag == Diag::Unit ? col[i] : tri_at(t, trans, i, i) * col[i];
+          for (i64 k = 0; k < i; ++k) {
+            acc += tri_at(t, trans, i, k) * col[k];
+            ++madds;
+          }
+          col[i] = alpha * acc;
+        }
+      } else {
+        for (i64 i = 0; i < n_tri; ++i) {
+          double acc = diag == Diag::Unit ? col[i] : tri_at(t, trans, i, i) * col[i];
+          for (i64 k = i + 1; k < n_tri; ++k) {
+            acc += tri_at(t, trans, i, k) * col[k];
+            ++madds;
+          }
+          col[i] = alpha * acc;
+        }
+      }
+      madds += n_tri;  // diagonal multiplies
+    }
+  } else {
+    // B := alpha * B * op(T).  Column j of the result mixes columns k of B
+    // where op(T)(k,j) is non-zero.
+    ensure_dim(b.cols == n_tri, "trmm: right operand size mismatch");
+    const bool lower_op = (uplo == Uplo::Lower) == (trans == Trans::N);
+    if (lower_op) {
+      // Result column j depends on B columns k >= j: traverse left-to-right.
+      for (i64 j = 0; j < n_tri; ++j) {
+        double* cj = b.data + j * b.ld;
+        const double djj =
+            diag == Diag::Unit ? 1.0 : tri_at(t, trans, j, j);
+        for (i64 i = 0; i < b.rows; ++i) cj[i] *= djj;
+        for (i64 k = j + 1; k < n_tri; ++k) {
+          const double tkj = tri_at(t, trans, k, j);
+          if (tkj == 0.0) continue;
+          const double* ck = b.data + k * b.ld;
+          for (i64 i = 0; i < b.rows; ++i) cj[i] += tkj * ck[i];
+          madds += b.rows;
+        }
+        if (alpha != 1.0) {
+          for (i64 i = 0; i < b.rows; ++i) cj[i] *= alpha;
+        }
+        madds += b.rows;
+      }
+    } else {
+      // Result column j depends on B columns k <= j: traverse right-to-left.
+      for (i64 j = n_tri - 1; j >= 0; --j) {
+        double* cj = b.data + j * b.ld;
+        const double djj =
+            diag == Diag::Unit ? 1.0 : tri_at(t, trans, j, j);
+        for (i64 i = 0; i < b.rows; ++i) cj[i] *= djj;
+        for (i64 k = 0; k < j; ++k) {
+          const double tkj = tri_at(t, trans, k, j);
+          if (tkj == 0.0) continue;
+          const double* ck = b.data + k * b.ld;
+          for (i64 i = 0; i < b.rows; ++i) cj[i] += tkj * ck[i];
+          madds += b.rows;
+        }
+        if (alpha != 1.0) {
+          for (i64 i = 0; i < b.rows; ++i) cj[i] *= alpha;
+        }
+        madds += b.rows;
+      }
+    }
+  }
+  flops::add(2 * madds);
+}
+
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView t, MatrixView b) {
+  ensure_dim(t.rows == t.cols, "trsm: T must be square");
+  const i64 n_tri = t.rows;
+  i64 madds = 0;
+
+  if (alpha != 1.0) scal(alpha, b);
+
+  if (side == Side::Left) {
+    // Solve op(T) X = B column by column (forward or backward substitution).
+    ensure_dim(b.rows == n_tri, "trsm: left operand size mismatch");
+    const bool lower_op = (uplo == Uplo::Lower) == (trans == Trans::N);
+    for (i64 j = 0; j < b.cols; ++j) {
+      double* col = b.data + j * b.ld;
+      if (lower_op) {
+        for (i64 i = 0; i < n_tri; ++i) {
+          double acc = col[i];
+          for (i64 k = 0; k < i; ++k) {
+            acc -= tri_at(t, trans, i, k) * col[k];
+            ++madds;
+          }
+          col[i] = diag == Diag::Unit ? acc : acc / tri_at(t, trans, i, i);
+        }
+      } else {
+        for (i64 i = n_tri - 1; i >= 0; --i) {
+          double acc = col[i];
+          for (i64 k = i + 1; k < n_tri; ++k) {
+            acc -= tri_at(t, trans, i, k) * col[k];
+            ++madds;
+          }
+          col[i] = diag == Diag::Unit ? acc : acc / tri_at(t, trans, i, i);
+        }
+      }
+      madds += n_tri;
+    }
+  } else {
+    // Solve X op(T) = B: process result columns in dependency order.
+    ensure_dim(b.cols == n_tri, "trsm: right operand size mismatch");
+    const bool lower_op = (uplo == Uplo::Lower) == (trans == Trans::N);
+    if (lower_op) {
+      // X(:,j) = (B(:,j) - sum_{k>j} X(:,k) T(k,j)) / T(j,j): go right-to-left.
+      for (i64 j = n_tri - 1; j >= 0; --j) {
+        double* cj = b.data + j * b.ld;
+        for (i64 k = j + 1; k < n_tri; ++k) {
+          const double tkj = tri_at(t, trans, k, j);
+          if (tkj == 0.0) continue;
+          const double* ck = b.data + k * b.ld;
+          for (i64 i = 0; i < b.rows; ++i) cj[i] -= tkj * ck[i];
+          madds += b.rows;
+        }
+        if (diag == Diag::NonUnit) {
+          const double djj = tri_at(t, trans, j, j);
+          for (i64 i = 0; i < b.rows; ++i) cj[i] /= djj;
+          madds += b.rows;
+        }
+      }
+    } else {
+      for (i64 j = 0; j < n_tri; ++j) {
+        double* cj = b.data + j * b.ld;
+        for (i64 k = 0; k < j; ++k) {
+          const double tkj = tri_at(t, trans, k, j);
+          if (tkj == 0.0) continue;
+          const double* ck = b.data + k * b.ld;
+          for (i64 i = 0; i < b.rows; ++i) cj[i] -= tkj * ck[i];
+          madds += b.rows;
+        }
+        if (diag == Diag::NonUnit) {
+          const double djj = tri_at(t, trans, j, j);
+          for (i64 i = 0; i < b.rows; ++i) cj[i] /= djj;
+          madds += b.rows;
+        }
+      }
+    }
+  }
+  flops::add(2 * madds);
+}
+
+}  // namespace cacqr::lin

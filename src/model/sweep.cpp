@@ -1,0 +1,80 @@
+#include <limits>
+
+#include "cacqr/model/sweep.hpp"
+
+namespace cacqr::model {
+
+std::vector<std::pair<i64, i64>> valid_grids(i64 ranks) {
+  std::vector<std::pair<i64, i64>> out;
+  for (i64 c = 1; c * c * c <= ranks; ++c) {
+    if (ranks % (c * c) != 0) continue;
+    const i64 d = ranks / (c * c);
+    if (d % c != 0) continue;
+    out.emplace_back(c, d);
+  }
+  return out;
+}
+
+CaCqr2Choice eval_cacqr2(double m, double n, i64 c, i64 d,
+                         const Machine& machine) {
+  CaCqr2Choice ch;
+  ch.c = c;
+  ch.d = d;
+  ch.cost = cost_ca_cqr2(m, n, static_cast<double>(c),
+                         static_cast<double>(d));
+  ch.seconds = ch.cost.time(machine);
+  return ch;
+}
+
+CaCqr2Choice best_cacqr2(double m, double n, i64 ranks,
+                         const Machine& machine) {
+  CaCqr2Choice best;
+  best.seconds = std::numeric_limits<double>::infinity();
+  for (const auto& [c, d] : valid_grids(ranks)) {
+    // Local blocks must be non-empty: at least one matrix row per rank
+    // row class and one column per rank column class.
+    if (static_cast<double>(d) > m || static_cast<double>(c) > n) continue;
+    const CaCqr2Choice ch = eval_cacqr2(m, n, c, d, machine);
+    if (ch.seconds < best.seconds) best = ch;
+  }
+  ensure(best.seconds < std::numeric_limits<double>::infinity(),
+         "best_cacqr2: no valid grid for ", ranks, " ranks");
+  return best;
+}
+
+PgeqrfChoice eval_pgeqrf(double m, double n, i64 pr, i64 pc, i64 block,
+                         const Machine& machine, bool form_q) {
+  PgeqrfChoice ch;
+  ch.pr = pr;
+  ch.pc = pc;
+  ch.block = block;
+  ch.cost = cost_pgeqrf_2d(m, n, static_cast<double>(pr),
+                           static_cast<double>(pc),
+                           static_cast<double>(block), form_q);
+  ch.seconds = ch.cost.time(machine);
+  return ch;
+}
+
+PgeqrfChoice best_pgeqrf(double m, double n, i64 ranks,
+                         const Machine& machine, bool form_q) {
+  PgeqrfChoice best;
+  best.seconds = std::numeric_limits<double>::infinity();
+  for (i64 pr = 1; pr <= ranks; pr *= 2) {
+    if (ranks % pr != 0) continue;
+    const i64 pc = ranks / pr;
+    for (const i64 b : {i64{16}, i64{32}, i64{64}}) {
+      // The layout needs at least one block row/column per process.
+      if (static_cast<double>(pr) * static_cast<double>(b) > m ||
+          static_cast<double>(pc) * static_cast<double>(b) > n) {
+        continue;
+      }
+      const PgeqrfChoice ch = eval_pgeqrf(m, n, pr, pc, b, machine, form_q);
+      if (ch.seconds < best.seconds) best = ch;
+    }
+  }
+  ensure(best.seconds < std::numeric_limits<double>::infinity(),
+         "best_pgeqrf: no valid configuration for ", ranks, " ranks");
+  return best;
+}
+
+}  // namespace cacqr::model

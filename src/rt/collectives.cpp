@@ -1,0 +1,240 @@
+/// \file collectives.cpp
+/// \brief Butterfly/binomial collective algorithms over point-to-point.
+///
+/// Algorithm choices are driven by the paper's collective cost table
+/// (Section II-B): Bcast/Reduce/Allreduce must cost 2 ceil(lg P) alpha +
+/// 2n beta and Allgather ceil(lg P) alpha + n beta *as actually measured
+/// by the per-rank counters*, because the model-validation benches compare
+/// measured counters against those formulas.  Hence:
+///   - bcast      = binomial scatter + Bruck allgather (van de Geijn)
+///   - allreduce  = recursive-halving reduce-scatter + Bruck allgather
+///                  (Rabenseifner), with pre/post folding for non-pow2 P
+///   - reduce     = allreduce (the paper charges Reduce == Allreduce)
+///   - allgather  = Bruck (works for any P, ragged chunks)
+///   - barrier    = dissemination
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "internal.hpp"
+
+namespace cacqr::rt {
+
+namespace {
+
+/// Balanced partition of n words into p chunks (first n%p chunks 1 larger).
+std::vector<i64> chunk_offsets(i64 n, int p) {
+  std::vector<i64> off(static_cast<std::size_t>(p) + 1, 0);
+  const i64 base = n / p;
+  const i64 rem = n % p;
+  for (int i = 0; i < p; ++i) {
+    off[static_cast<std::size_t>(i) + 1] =
+        off[static_cast<std::size_t>(i)] + base + (i < rem ? 1 : 0);
+  }
+  return off;
+}
+
+i64 chunk_size(const std::vector<i64>& off, int i) {
+  return off[static_cast<std::size_t>(i) + 1] - off[static_cast<std::size_t>(i)];
+}
+
+}  // namespace
+
+namespace detail {
+
+/// Reserves a fresh internal tag for one collective invocation.  Distinct
+/// invocations on the same communicator get distinct tags; within one
+/// invocation, FIFO ordering per (src, tag) channel keeps stages paired.
+int next_internal_tag(CommState& s) {
+  return -1 - static_cast<int>(s.op_seq++ & 0x3fffffffULL);
+}
+
+/// Bruck allgather over `nparts` participants that are a subset of the
+/// communicator.  Participant i is comm rank part_rank(i); the caller is
+/// participant `my_part`.  On entry data[off[my_part]..off[my_part+1]) is
+/// the caller's contribution; on return data holds all chunks.
+void bruck_allgather(const Comm& comm, std::span<double> data,
+                     const std::vector<i64>& off, int nparts, int my_part,
+                     const std::function<int(int)>& part_rank, int tag) {
+  if (nparts <= 1) return;
+  // Rotated staging buffer: position q holds chunk (my_part + q) % nparts.
+  std::vector<i64> pos(static_cast<std::size_t>(nparts) + 1, 0);
+  for (int q = 0; q < nparts; ++q) {
+    pos[static_cast<std::size_t>(q) + 1] =
+        pos[static_cast<std::size_t>(q)] +
+        chunk_size(off, (my_part + q) % nparts);
+  }
+  std::vector<double> temp(static_cast<std::size_t>(pos.back()));
+  std::copy_n(data.data() + off[static_cast<std::size_t>(my_part)],
+              chunk_size(off, my_part), temp.data());
+
+  for (i64 s = 1; s < nparts; s <<= 1) {
+    const int blocks = static_cast<int>(std::min<i64>(s, nparts - s));
+    const int dst_part = static_cast<int>((my_part - s % nparts + nparts) % nparts);
+    const int src_part = static_cast<int>((my_part + s) % nparts);
+    const i64 send_words = pos[static_cast<std::size_t>(blocks)];
+    const i64 recv_at = pos[static_cast<std::size_t>(s)];
+    const i64 recv_words =
+        pos[static_cast<std::size_t>(s) + blocks] - recv_at;
+    comm.send(part_rank(dst_part), tag, {temp.data(), static_cast<std::size_t>(send_words)});
+    comm.recv(part_rank(src_part), tag,
+              {temp.data() + recv_at, static_cast<std::size_t>(recv_words)});
+  }
+
+  // Un-rotate back into chunk order.
+  for (int q = 0; q < nparts; ++q) {
+    const int g = (my_part + q) % nparts;
+    std::copy_n(temp.data() + pos[static_cast<std::size_t>(q)], chunk_size(off, g),
+                data.data() + off[static_cast<std::size_t>(g)]);
+  }
+}
+
+}  // namespace detail
+
+void Comm::barrier() const {
+  const int p = size();
+  if (p == 1) return;
+  const int me = rank();
+  const int tag = detail::next_internal_tag(*state_);
+  for (int s = 1; s < p; s <<= 1) {
+    send((me + s) % p, tag, {});
+    recv((me - s % p + p) % p, tag, {});
+  }
+}
+
+void Comm::bcast(std::span<double> data, int root) const {
+  const int p = size();
+  ensure<CommError>(root >= 0 && root < p, "bcast: bad root ", root);
+  if (p == 1 || data.empty()) return;
+  const int me = rank();
+  const int tag = detail::next_internal_tag(*state_);
+  const auto off = chunk_offsets(static_cast<i64>(data.size()), p);
+  // Work in "virtual rank" space where the root is vrank 0.
+  const int v = (me - root + p) % p;
+  auto vrank_to_rank = [&](int vr) { return (vr + root) % p; };
+
+  // Binomial scatter: the vrank-range root forwards the far half's words.
+  int lo = 0, hi = p;
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo + 1) / 2;
+    const i64 o0 = off[static_cast<std::size_t>(mid)];
+    const i64 o1 = off[static_cast<std::size_t>(hi)];
+    if (v == lo) {
+      send(vrank_to_rank(mid), tag,
+           {data.data() + o0, static_cast<std::size_t>(o1 - o0)});
+      hi = mid;
+    } else if (v == mid) {
+      recv(vrank_to_rank(lo), tag,
+           {data.data() + o0, static_cast<std::size_t>(o1 - o0)});
+      lo = mid;
+    } else if (v < mid) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+
+  // Allgather the scattered chunks (chunk index == vrank).
+  detail::bruck_allgather(*this, data, off, p, v, vrank_to_rank, tag);
+}
+
+void Comm::allreduce_sum(std::span<double> data) const {
+  const int p = size();
+  if (p == 1 || data.empty()) return;
+  const int me = rank();
+  const int tag = detail::next_internal_tag(*state_);
+  const int p2 = 1 << ilog2(p);  // largest power of two <= p
+  const int extras = p - p2;
+
+  std::vector<double> temp(data.size());
+
+  // Fold: ranks [p2, p) ship their vectors to partners [0, extras) and wait
+  // for the final result.
+  if (me >= p2) {
+    send(me - p2, tag, data);
+    recv(me - p2, tag, data);
+    return;
+  }
+  if (me < extras) {
+    recv(me + p2, tag, temp);
+    for (std::size_t i = 0; i < data.size(); ++i) data[i] += temp[i];
+  }
+
+  // Recursive-halving reduce-scatter among the pow2 set [0, p2).
+  const auto off = chunk_offsets(static_cast<i64>(data.size()), p2);
+  int lo = 0, hi = p2;
+  while (hi - lo > 1) {
+    const int half = (hi - lo) / 2;
+    const int mid = lo + half;
+    const bool lower = me < mid;
+    const int partner = lower ? me + half : me - half;
+    // Send the half I am not keeping; receive my half and accumulate.
+    const int s0 = lower ? mid : lo;
+    const int s1 = lower ? hi : mid;
+    const int k0 = lower ? lo : mid;
+    const int k1 = lower ? mid : hi;
+    const i64 so = off[static_cast<std::size_t>(s0)];
+    const i64 sn = off[static_cast<std::size_t>(s1)] - so;
+    const i64 ko = off[static_cast<std::size_t>(k0)];
+    const i64 kn = off[static_cast<std::size_t>(k1)] - ko;
+    send(partner, tag, {data.data() + so, static_cast<std::size_t>(sn)});
+    recv(partner, tag, {temp.data(), static_cast<std::size_t>(kn)});
+    for (i64 i = 0; i < kn; ++i) data[ko + i] += temp[static_cast<std::size_t>(i)];
+    if (lower) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+
+  // Allgather the reduced chunks (chunk index == rank within [0, p2)).
+  detail::bruck_allgather(*this, data, off, p2, me,
+                          [](int r) { return r; }, tag);
+
+  // Unfold: return the finished vector to the folded partner.
+  if (me < extras) send(me + p2, tag, data);
+}
+
+void Comm::reduce_sum(std::span<double> data, int root) const {
+  ensure<CommError>(root >= 0 && root < size(), "reduce_sum: bad root ", root);
+  // The paper's cost table charges Reduce identically to Allreduce
+  // (reduce-scatter + gather); delivering the result everywhere costs the
+  // same in this model and keeps one code path.
+  allreduce_sum(data);
+}
+
+void Comm::allgather(std::span<const double> mine, std::span<double> all) const {
+  const int p = size();
+  ensure<CommError>(all.size() == mine.size() * static_cast<std::size_t>(p),
+                    "allgather: output must be size * input");
+  const int me = rank();
+  std::copy(mine.begin(), mine.end(),
+            all.begin() + static_cast<std::ptrdiff_t>(mine.size()) * me);
+  if (p == 1 || mine.empty()) return;
+  const int tag = detail::next_internal_tag(*state_);
+  const auto off = chunk_offsets(static_cast<i64>(all.size()), p);
+  detail::bruck_allgather(*this, all, off, p, me,
+                          [](int r) { return r; }, tag);
+}
+
+void Comm::sync_clock() const {
+  // Jumps every member's clock to the member maximum without perturbing the
+  // alpha/beta tallies: snapshot my tally, allgather the pre-exchange clock
+  // values (each rank reads only its own tally, so there is no race), then
+  // restore my tally and apply the max.
+  charge_local_flops();
+  detail::World& w = *state_->world;
+  auto& my_tally = w.ranks[static_cast<std::size_t>(world_rank())].tally;
+  const CostCounters saved = my_tally;
+
+  std::vector<double> mine = {saved.time};
+  std::vector<double> all(state_->members.size());
+  allgather(mine, all);
+
+  my_tally = saved;
+  const double t = *std::max_element(all.begin(), all.end());
+  my_tally.time = std::max(saved.time, t);
+}
+
+}  // namespace cacqr::rt

@@ -1,0 +1,225 @@
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "cacqr/lin/flops.hpp"
+#include "internal.hpp"
+
+namespace cacqr::rt {
+
+using detail::CommState;
+using detail::Message;
+using detail::World;
+
+namespace detail {
+
+u64 mix64(u64 x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+void World::abort_all() {
+  aborted.store(true, std::memory_order_release);
+  for (auto& mb : mailboxes) {
+    std::lock_guard<std::mutex> lock(mb->mu);
+    mb->cv.notify_all();
+  }
+}
+
+}  // namespace detail
+
+int Comm::rank() const noexcept { return state_->myrank; }
+
+int Comm::size() const noexcept {
+  return static_cast<int>(state_->members.size());
+}
+
+int Comm::world_rank() const noexcept {
+  return state_->members[static_cast<std::size_t>(state_->myrank)];
+}
+
+const Machine& Comm::machine() const noexcept { return state_->world->machine; }
+
+void Comm::charge_local_flops() const {
+  const i64 f = lin::flops::take();
+  if (f == 0) return;
+  auto& rank_state =
+      state_->world->ranks[static_cast<std::size_t>(world_rank())];
+  rank_state.tally.flops += f;
+  rank_state.tally.time += static_cast<double>(f) * machine().gamma;
+}
+
+CostCounters Comm::counters() const {
+  charge_local_flops();
+  return state_->world->ranks[static_cast<std::size_t>(world_rank())].tally;
+}
+
+void Comm::send(int dest, int tag, std::span<const double> data) const {
+  ensure<CommError>(dest >= 0 && dest < size(), "send: bad dest rank ", dest);
+  charge_local_flops();
+  World& w = *state_->world;
+  auto& me = w.ranks[static_cast<std::size_t>(world_rank())].tally;
+  me.msgs += 1;
+  me.words += static_cast<i64>(data.size());
+  me.time +=
+      machine().alpha + static_cast<double>(data.size()) * machine().beta;
+
+  Message msg;
+  msg.ctx = state_->ctx;
+  msg.src_world = world_rank();
+  msg.tag = tag;
+  msg.arrival = me.time;
+  msg.payload.assign(data.begin(), data.end());
+
+  const int dest_world = state_->members[static_cast<std::size_t>(dest)];
+  auto& mb = *w.mailboxes[static_cast<std::size_t>(dest_world)];
+  {
+    std::lock_guard<std::mutex> lock(mb.mu);
+    mb.queue.push_back(std::move(msg));
+  }
+  mb.cv.notify_all();
+}
+
+void Comm::recv(int src, int tag, std::span<double> data) const {
+  ensure<CommError>(src >= 0 && src < size(), "recv: bad src rank ", src);
+  charge_local_flops();
+  World& w = *state_->world;
+  const int src_world = state_->members[static_cast<std::size_t>(src)];
+  auto& mb = *w.mailboxes[static_cast<std::size_t>(world_rank())];
+
+  Message msg;
+  {
+    std::unique_lock<std::mutex> lock(mb.mu);
+    for (;;) {
+      if (w.aborted.load(std::memory_order_acquire)) {
+        throw AbortError("recv: run aborted by another rank");
+      }
+      // First queued message matching (ctx, src, tag): FIFO per channel.
+      auto it = mb.queue.begin();
+      for (; it != mb.queue.end(); ++it) {
+        if (it->ctx == state_->ctx && it->src_world == src_world &&
+            it->tag == tag) {
+          break;
+        }
+      }
+      if (it != mb.queue.end()) {
+        msg = std::move(*it);
+        mb.queue.erase(it);
+        break;
+      }
+      mb.cv.wait(lock);
+    }
+  }
+  ensure<CommError>(msg.payload.size() == data.size(),
+                    "recv: size mismatch: expected ", data.size(), " got ",
+                    msg.payload.size());
+  std::copy(msg.payload.begin(), msg.payload.end(), data.begin());
+  auto& me = w.ranks[static_cast<std::size_t>(world_rank())].tally;
+  me.time = std::max(me.time, msg.arrival);
+}
+
+void Comm::sendrecv_swap(int partner, int tag, std::span<double> data) const {
+  if (partner == rank()) return;
+  send(partner, tag, data);
+  recv(partner, tag, data);
+}
+
+Comm Comm::split(int color, int key) const {
+  // Gather (color, key) from every member, then form groups locally.
+  // Encoding ints as doubles is exact (|values| << 2^53).
+  const int p = size();
+  std::vector<double> mine = {static_cast<double>(color),
+                              static_cast<double>(key)};
+  std::vector<double> all(static_cast<std::size_t>(2 * p));
+  allgather(mine, all);
+
+  // Members of my color, ordered by (key, parent rank).
+  struct Entry {
+    int key;
+    int parent_rank;
+  };
+  std::vector<Entry> group;
+  for (int r = 0; r < p; ++r) {
+    const int c = static_cast<int>(all[static_cast<std::size_t>(2 * r)]);
+    const int k = static_cast<int>(all[static_cast<std::size_t>(2 * r + 1)]);
+    if (c == color) group.push_back({k, r});
+  }
+  std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.parent_rank < b.parent_rank;
+  });
+
+  auto child = std::make_shared<CommState>();
+  child->world = state_->world;
+  child->ctx = detail::mix64(state_->ctx ^ detail::mix64(state_->split_seq) ^
+                             detail::mix64(static_cast<u64>(color) + 0x51ed));
+  ++state_->split_seq;
+  child->members.reserve(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const int parent_rank = group[i].parent_rank;
+    child->members.push_back(
+        state_->members[static_cast<std::size_t>(parent_rank)]);
+    if (parent_rank == rank()) child->myrank = static_cast<int>(i);
+  }
+  ensure<CommError>(child->myrank >= 0, "split: caller missing from group");
+  return Comm(std::move(child));
+}
+
+std::vector<CostCounters> Runtime::run(
+    int nranks, const std::function<void(Comm&)>& body, Machine machine) {
+  ensure<CommError>(nranks >= 1, "Runtime::run: need at least one rank");
+  World world;
+  world.nranks = nranks;
+  world.machine = machine;
+  world.ranks.resize(static_cast<std::size_t>(nranks));
+  world.mailboxes.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    world.mailboxes.push_back(std::make_unique<detail::Mailbox>());
+  }
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  auto rank_main = [&](int r) {
+    lin::flops::reset();
+    auto state = std::make_shared<CommState>();
+    state->world = &world;
+    state->ctx = 1;
+    state->members.resize(static_cast<std::size_t>(nranks));
+    for (int i = 0; i < nranks; ++i) state->members[static_cast<std::size_t>(i)] = i;
+    state->myrank = r;
+    Comm comm(std::move(state));
+    try {
+      body(comm);
+      comm.charge_local_flops();
+    } catch (const AbortError&) {
+      // Secondary failure caused by another rank's abort: ignore.
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      world.abort_all();
+    }
+  };
+
+  if (nranks == 1) {
+    rank_main(0);  // run inline: keeps single-rank uses debuggable
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) threads.emplace_back(rank_main, r);
+    for (auto& t : threads) t.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+  std::vector<CostCounters> out;
+  out.reserve(static_cast<std::size_t>(nranks));
+  for (const auto& rs : world.ranks) out.push_back(rs.tally);
+  return out;
+}
+
+}  // namespace cacqr::rt

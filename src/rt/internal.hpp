@@ -1,0 +1,62 @@
+#pragma once
+/// \file internal.hpp
+/// \brief Shared internals of the rt module (world state, mailboxes).
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "cacqr/rt/comm.hpp"
+
+namespace cacqr::rt::detail {
+
+/// One in-flight message.  `arrival` is the sender's modeled clock after
+/// charging alpha + n*beta: the earliest time the receiver can have it.
+struct Message {
+  u64 ctx = 0;
+  int src_world = -1;
+  int tag = 0;
+  double arrival = 0.0;
+  std::vector<double> payload;
+};
+
+/// Per-destination-rank mailbox.
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Message> queue;
+};
+
+/// Per-rank mutable state, touched only by the owning rank thread.
+struct RankState {
+  CostCounters tally;
+};
+
+/// Whole-run shared state.
+struct World {
+  int nranks = 0;
+  Machine machine;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  std::vector<RankState> ranks;
+  std::atomic<bool> aborted{false};
+
+  /// Wakes every blocked receiver so it can observe `aborted`.
+  void abort_all();
+};
+
+/// Per-rank view of one communicator.  Copies of a Comm share this state,
+/// so the collective-operation sequence number stays consistent.
+struct CommState {
+  World* world = nullptr;
+  u64 ctx = 0;            ///< communicator identity, equal on all members
+  std::vector<int> members;  ///< world ranks, ordered by comm rank
+  int myrank = -1;           ///< my rank within `members`
+  u64 op_seq = 0;  ///< per-comm collective sequence (tag disambiguation)
+  u64 split_seq = 0;  ///< per-comm split counter (child identity derivation)
+};
+
+/// 64-bit mix for communicator identity derivation.
+[[nodiscard]] u64 mix64(u64 x) noexcept;
+
+}  // namespace cacqr::rt::detail

@@ -1,0 +1,54 @@
+#include "cacqr/support/cli.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+namespace cacqr {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) continue;
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      keys_.emplace_back(arg);
+      values_.emplace_back("true");
+    } else {
+      keys_.emplace_back(arg.substr(0, eq));
+      values_.emplace_back(arg.substr(eq + 1));
+    }
+  }
+}
+
+bool CliArgs::has(std::string_view key) const {
+  for (const auto& k : keys_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::string CliArgs::get(std::string_view key, const std::string& fallback) const {
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) return values_[i];
+  }
+  return fallback;
+}
+
+long long CliArgs::get_int(std::string_view key, long long fallback) const {
+  const std::string v = get(key, "");
+  return v.empty() ? fallback : std::atoll(v.c_str());
+}
+
+double CliArgs::get_double(std::string_view key, double fallback) const {
+  const std::string v = get(key, "");
+  return v.empty() ? fallback : std::atof(v.c_str());
+}
+
+bool CliArgs::get_bool(std::string_view key, bool fallback) const {
+  const std::string v = get(key, "");
+  if (v.empty()) return fallback;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace cacqr

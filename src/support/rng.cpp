@@ -1,0 +1,23 @@
+#include "cacqr/support/rng.hpp"
+
+#include <cmath>
+
+namespace cacqr {
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller: two uniforms -> two independent standard normals.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();  // avoid log(0)
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  constexpr double two_pi = 6.283185307179586476925286766559;
+  cached_normal_ = r * std::sin(two_pi * u2);
+  has_cached_normal_ = true;
+  return r * std::cos(two_pi * u2);
+}
+
+}  // namespace cacqr

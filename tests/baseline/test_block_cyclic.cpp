@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "cacqr/baseline/block_cyclic.hpp"
+#include "cacqr/lin/generate.hpp"
+
+namespace cacqr::baseline {
+namespace {
+
+TEST(ProcGrid2dTest, CoordinatesAndComms) {
+  rt::Runtime::run(6, [](rt::Comm& world) {
+    ProcGrid2d g(world, 2, 3);
+    EXPECT_EQ(g.myrow(), world.rank() / 3);
+    EXPECT_EQ(g.mycol(), world.rank() % 3);
+    EXPECT_EQ(g.row_comm().size(), 3);
+    EXPECT_EQ(g.col_comm().size(), 2);
+    EXPECT_EQ(g.row_comm().rank(), g.mycol());
+    EXPECT_EQ(g.col_comm().rank(), g.myrow());
+  });
+}
+
+TEST(ProcGrid2dTest, RejectsWrongSize) {
+  rt::Runtime::run(5, [](rt::Comm& world) {
+    EXPECT_THROW(ProcGrid2d(world, 2, 3), DimensionError);
+  });
+}
+
+TEST(BlockCyclicTest, IndexMapsRoundTrip) {
+  rt::Runtime::run(4, [](rt::Comm& world) {
+    ProcGrid2d g(world, 2, 2);
+    // 8x8, block 2: blocks (I, J) on process (I%2, J%2).
+    lin::Matrix a(8, 8);
+    for (i64 j = 0; j < 8; ++j) {
+      for (i64 i = 0; i < 8; ++i) a(i, j) = static_cast<double>(10 * i + j);
+    }
+    auto d = BlockCyclicMatrix::from_global(a, 2, g);
+    EXPECT_EQ(d.local().rows(), 4);
+    EXPECT_EQ(d.local().cols(), 4);
+    for (i64 lj = 0; lj < 4; ++lj) {
+      for (i64 li = 0; li < 4; ++li) {
+        EXPECT_EQ(d.local()(li, lj), a(d.global_row(li), d.global_col(lj)));
+      }
+    }
+  });
+}
+
+TEST(BlockCyclicTest, GatherRoundTrip) {
+  rt::Runtime::run(4, [](rt::Comm& world) {
+    ProcGrid2d g(world, 2, 2);
+    lin::Matrix a = lin::hashed_matrix(91, 16, 8);
+    auto d = BlockCyclicMatrix::from_global(a, 2, g);
+    EXPECT_EQ(d.gather(g), a);
+  });
+}
+
+TEST(BlockCyclicTest, RowCutContiguity) {
+  // For every (k, j) the set {local rows with global index >= k*b+j} must
+  // be exactly [local_row_cut(k, j), local_rows).
+  rt::Runtime::run(6, [](rt::Comm& world) {
+    ProcGrid2d g(world, 3, 2);
+    BlockCyclicMatrix d(18, 4, 2, g);  // 9 row blocks over 3 process rows
+    for (i64 k = 0; k < 9; ++k) {
+      for (i64 j = 0; j < 2; ++j) {
+        const i64 cut = d.local_row_cut(k, j);
+        const i64 g0 = k * 2 + j;
+        for (i64 li = 0; li < d.local().rows(); ++li) {
+          EXPECT_EQ(d.global_row(li) >= g0, li >= cut)
+              << "k=" << k << " j=" << j << " li=" << li << " rank "
+              << world.rank();
+        }
+      }
+    }
+  });
+}
+
+TEST(BlockCyclicTest, ColCutContiguity) {
+  rt::Runtime::run(6, [](rt::Comm& world) {
+    ProcGrid2d g(world, 3, 2);
+    BlockCyclicMatrix d(6, 12, 2, g);
+    for (i64 k = 0; k <= 6; ++k) {
+      const i64 cut = d.local_col_cut(k);
+      for (i64 lj = 0; lj < d.local().cols(); ++lj) {
+        EXPECT_EQ(d.global_col(lj) >= k * 2, lj >= cut) << "k=" << k;
+      }
+    }
+  });
+}
+
+TEST(BlockCyclicTest, IdentityHasUnitDiagonal) {
+  rt::Runtime::run(4, [](rt::Comm& world) {
+    ProcGrid2d g(world, 2, 2);
+    auto d = BlockCyclicMatrix::identity(8, 4, 2, g);
+    lin::Matrix full = d.gather(g);
+    for (i64 j = 0; j < 4; ++j) {
+      for (i64 i = 0; i < 8; ++i) {
+        EXPECT_EQ(full(i, j), i == j ? 1.0 : 0.0);
+      }
+    }
+  });
+}
+
+TEST(BlockCyclicTest, DivisibilityEnforced) {
+  rt::Runtime::run(4, [](rt::Comm& world) {
+    ProcGrid2d g(world, 2, 2);
+    EXPECT_THROW(BlockCyclicMatrix(10, 8, 2, g), DimensionError);
+    EXPECT_THROW(BlockCyclicMatrix(8, 6, 2, g), DimensionError);
+  });
+}
+
+}  // namespace
+}  // namespace cacqr::baseline

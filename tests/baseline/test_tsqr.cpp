@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "cacqr/baseline/tsqr.hpp"
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/lin/qr.hpp"
+#include "cacqr/lin/util.hpp"
+#include "cacqr/support/math.hpp"
+
+namespace cacqr::baseline {
+namespace {
+
+using dist::DistMatrix;
+
+class TsqrSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TsqrSweep, MatchesSequentialHouseholder) {
+  const int p = GetParam();
+  const i64 n = 6;
+  const i64 m = 8 * n * p;
+  rt::Runtime::run(p, [&](rt::Comm& world) {
+    lin::Matrix a = lin::hashed_matrix(101, m, n);
+    auto da = DistMatrix::from_global(a, p, 1, world.rank(), 0);
+    auto res = tsqr(da, world);
+    auto hh = lin::householder_qr(a);
+    EXPECT_LT(lin::max_abs_diff(res.r, hh.r),
+              1e-10 * (1.0 + lin::max_abs(hh.r)))
+        << "p=" << p;
+    lin::Matrix qg = gather(res.q, world);
+    EXPECT_LT(lin::max_abs_diff(qg, hh.q), 1e-10) << "p=" << p;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, TsqrSweep, ::testing::Values(1, 2, 4, 8));
+
+TEST(TsqrTest, InvariantsOnIllConditioned) {
+  // TSQR is unconditionally stable, unlike CholeskyQR2.
+  Rng rng(102);
+  const int p = 4;
+  lin::Matrix a = lin::with_cond(rng, 64, 8, 1e12);
+  rt::Runtime::run(p, [&](rt::Comm& world) {
+    auto da = DistMatrix::from_global(a, p, 1, world.rank(), 0);
+    auto res = tsqr(da, world);
+    lin::Matrix qg = gather(res.q, world);
+    EXPECT_LT(lin::orthogonality_error(qg), 1e-12);
+    EXPECT_LT(lin::residual_error(a, qg, res.r), 1e-12);
+  });
+}
+
+TEST(TsqrTest, RejectsNonPow2) {
+  rt::Runtime::run(3, [](rt::Comm& world) {
+    DistMatrix a(12, 2, 3, 1, world.rank(), 0);
+    EXPECT_THROW((void)tsqr(a, world), DimensionError);
+  });
+}
+
+TEST(TsqrTest, RejectsShortBlocks) {
+  rt::Runtime::run(4, [](rt::Comm& world) {
+    DistMatrix a(8, 4, 4, 1, world.rank(), 0);  // m/P = 2 < n = 4
+    EXPECT_THROW((void)tsqr(a, world), DimensionError);
+  });
+}
+
+TEST(TsqrCostTest, LogarithmicMessageCount) {
+  // TSQR's up+down sweeps: O(log P) messages, independent of m.
+  const i64 n = 4;
+  auto msgs_for = [&](int p, i64 m) {
+    auto per_rank = rt::Runtime::run(p, [&](rt::Comm& world) {
+      lin::Matrix a = lin::hashed_matrix(103, m, n);
+      auto da = DistMatrix::from_global(a, p, 1, world.rank(), 0);
+      (void)tsqr(da, world);
+    });
+    return rt::max_counters(per_rank).msgs;
+  };
+  const i64 at8 = msgs_for(8, 8 * 8 * n);
+  const i64 at8_tall = msgs_for(8, 32 * 8 * n);
+  EXPECT_EQ(at8, at8_tall);  // independent of m
+  // Root (rank 0) does one recv+send... critical path ~ 2 log P + bcast.
+  EXPECT_LE(at8, 2 * 3 + 2 * ceil_log2(8) + 2);
+}
+
+TEST(TsqrCostTest, BetaScalesWithN2LogP) {
+  // Tree messages carry n^2-size payloads: beta ~ n^2 log P, the gap to
+  // CholeskyQR2's single n^2 allreduce.
+  auto words_for = [&](i64 n) {
+    auto per_rank = rt::Runtime::run(8, [&](rt::Comm& world) {
+      lin::Matrix a = lin::hashed_matrix(104, 64 * n, n);
+      auto da = DistMatrix::from_global(a, 8, 1, world.rank(), 0);
+      (void)tsqr(da, world);
+    });
+    return rt::max_counters(per_rank).words;
+  };
+  const i64 w4 = words_for(4);
+  const i64 w8 = words_for(8);
+  // Quadrupling expected when n doubles.
+  EXPECT_GT(w8, 3 * w4);
+  EXPECT_LT(w8, 6 * w4);
+}
+
+}  // namespace
+}  // namespace cacqr::baseline

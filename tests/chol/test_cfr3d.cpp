@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cacqr/chol/cfr3d.hpp"
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/factor.hpp"
+#include "cacqr/lin/generate.hpp"
+
+namespace cacqr::chol {
+namespace {
+
+using dist::DistMatrix;
+
+/// Deterministic SPD test matrix every rank can build locally: a hashed
+/// tall matrix's Gram matrix plus a diagonal shift.
+lin::Matrix make_spd(u64 seed, i64 n) {
+  lin::Matrix tall = lin::hashed_matrix(seed, 4 * n, n);
+  lin::Matrix a(n, n);
+  lin::gram(1.0, tall, 0.0, a);
+  for (i64 i = 0; i < n; ++i) a(i, i) += 0.5 * static_cast<double>(n);
+  return a;
+}
+
+TEST(BaseCaseTest, EffectiveBaseCaseRespectsDivisibility) {
+  // n=16, g=2: paper default target = max(2, 16/4) = 4.
+  EXPECT_EQ(effective_base_case(16, 2, 0), 4);
+  // Explicit request rounds to a reachable level.
+  EXPECT_EQ(effective_base_case(16, 2, 8), 8);
+  EXPECT_EQ(effective_base_case(16, 2, 16), 16);
+  // Request below the grid dimension clamps to g.
+  EXPECT_EQ(effective_base_case(16, 4, 1), 4);
+  // Halving stops when divisibility by g would break: n=24, g=2 halves to
+  // 12 and 6 (target max(2, 6)=6), never 3.
+  EXPECT_EQ(effective_base_case(24, 2, 0), 6);
+  // g=1 degenerates to the sequential base case at the target size.
+  EXPECT_EQ(effective_base_case(64, 1, 0), 64);
+}
+
+using CfrParam = std::tuple<int, int, int>;  // g, n-per-g units, base_case
+
+class Cfr3dSweep : public ::testing::TestWithParam<CfrParam> {};
+
+TEST_P(Cfr3dSweep, MatchesSequentialCholInv) {
+  const auto [g, nu, bc] = GetParam();
+  const i64 n = static_cast<i64>(nu) * g;
+  rt::Runtime::run(g * g * g, [&, g = g, bc = bc](rt::Comm& world) {
+    grid::CubeGrid grid(world, g);
+    lin::Matrix a = make_spd(1234, n);
+    auto da = DistMatrix::from_global_on_cube(a, grid);
+
+    auto [l, y] = cfr3d(da, grid, {.base_case = bc});
+
+    lin::Matrix lg = gather(l, grid.slice());
+    lin::Matrix yg = gather(y, grid.slice());
+    auto seq = lin::cholinv(a);
+
+    EXPECT_LT(lin::max_abs_diff(lg, seq.l), 1e-9 * (1.0 + lin::max_abs(seq.l)))
+        << "g=" << g << " n=" << n << " bc=" << bc;
+    EXPECT_LT(lin::max_abs_diff(yg, seq.l_inv),
+              1e-9 * (1.0 + lin::max_abs(seq.l_inv)));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridsAndSizes, Cfr3dSweep,
+    ::testing::Values(CfrParam{1, 16, 0}, CfrParam{2, 8, 0},
+                      CfrParam{2, 8, 4}, CfrParam{2, 8, 8},
+                      CfrParam{2, 16, 2}, CfrParam{3, 8, 0},
+                      CfrParam{4, 4, 0}, CfrParam{2, 4, 2}));
+
+TEST(Cfr3dTest, FactorReconstructsInput) {
+  const int g = 2;
+  const i64 n = 16;
+  rt::Runtime::run(g * g * g, [&](rt::Comm& world) {
+    grid::CubeGrid grid(world, g);
+    lin::Matrix a = make_spd(99, n);
+    auto da = DistMatrix::from_global_on_cube(a, grid);
+    auto [l, y] = cfr3d(da, grid);
+    lin::Matrix lg = gather(l, grid.slice());
+    // L L^T == A.
+    lin::Matrix back(n, n);
+    lin::gemm(lin::Trans::N, lin::Trans::T, 1.0, lg, lg, 0.0, back);
+    EXPECT_LT(lin::max_abs_diff(back, a), 1e-9 * (1.0 + lin::max_abs(a)));
+    // L Y == I.
+    lin::Matrix yg = gather(y, grid.slice());
+    lin::Matrix prod(n, n);
+    lin::matmul(lg, yg, prod);
+    EXPECT_LT(lin::max_abs_diff(prod, lin::Matrix::identity(n)), 1e-9);
+  });
+}
+
+TEST(Cfr3dTest, StrictUpperTrianglesAreZero) {
+  const int g = 2;
+  const i64 n = 8;
+  rt::Runtime::run(g * g * g, [&](rt::Comm& world) {
+    grid::CubeGrid grid(world, g);
+    auto da = DistMatrix::from_global_on_cube(make_spd(7, n), grid);
+    auto [l, y] = cfr3d(da, grid);
+    lin::Matrix lg = gather(l, grid.slice());
+    lin::Matrix yg = gather(y, grid.slice());
+    for (i64 j = 1; j < n; ++j) {
+      for (i64 i = 0; i < j; ++i) {
+        EXPECT_EQ(lg(i, j), 0.0);
+        EXPECT_EQ(yg(i, j), 0.0);
+      }
+    }
+  });
+}
+
+TEST(Cfr3dTest, ThrowsOnIndefiniteEverywhere) {
+  const int g = 2;
+  rt::Runtime::run(g * g * g, [&](rt::Comm& world) {
+    grid::CubeGrid grid(world, g);
+    lin::Matrix a = make_spd(55, 8);
+    a(5, 5) = -100.0;  // break definiteness
+    auto da = DistMatrix::from_global_on_cube(a, grid);
+    EXPECT_THROW((void)cfr3d(da, grid), NotSpdError);
+  });
+}
+
+TEST(Cfr3dTest, RejectsNonSquare) {
+  const int g = 2;
+  rt::Runtime::run(g * g * g, [&](rt::Comm& world) {
+    grid::CubeGrid grid(world, g);
+    DistMatrix bad(8, 4, g, g, grid.coords().y, grid.coords().x);
+    EXPECT_THROW((void)cfr3d(bad, grid), DimensionError);
+  });
+}
+
+TEST(Cfr3dTest, DeterministicAcrossRuns) {
+  const int g = 2;
+  const i64 n = 16;
+  lin::Matrix first;
+  for (int run = 0; run < 2; ++run) {
+    rt::Runtime::run(g * g * g, [&](rt::Comm& world) {
+      grid::CubeGrid grid(world, g);
+      auto da = DistMatrix::from_global_on_cube(make_spd(3, n), grid);
+      auto [l, y] = cfr3d(da, grid);
+      (void)y;
+      if (world.rank() == 0) {
+        lin::Matrix lg = gather(l, grid.slice());
+        if (run == 0) {
+          first = lg;
+        } else {
+          EXPECT_EQ(lg, first);  // bitwise reproducible
+        }
+      } else {
+        (void)gather(l, grid.slice());
+      }
+    });
+  }
+}
+
+TEST(Cfr3dInverseDepthTest, PartialInverseIsBlockDiagonal) {
+  // inverse_depth = 1: Y must be exactly [Y11 0; 0 Y22] with each half a
+  // true inverse of the corresponding L block; L must be unchanged.
+  const int g = 2;
+  const i64 n = 16;
+  rt::Runtime::run(g * g * g, [&](rt::Comm& world) {
+    grid::CubeGrid grid(world, g);
+    lin::Matrix a = make_spd(77, n);
+    auto da = DistMatrix::from_global_on_cube(a, grid);
+    auto full = cfr3d(da, grid);
+    auto part = cfr3d(da, grid, {.inverse_depth = 1});
+
+    lin::Matrix l_full = gather(full.l, grid.slice());
+    lin::Matrix l_part = gather(part.l, grid.slice());
+    EXPECT_LT(lin::max_abs_diff(l_full, l_part),
+              1e-10 * (1.0 + lin::max_abs(l_full)));
+
+    lin::Matrix y = gather(part.l_inv, grid.slice());
+    // Off-diagonal block zero.
+    for (i64 j = 0; j < n / 2; ++j) {
+      for (i64 i = n / 2; i < n; ++i) EXPECT_EQ(y(i, j), 0.0);
+    }
+    // Diagonal blocks invert the L blocks.
+    for (int blk = 0; blk < 2; ++blk) {
+      const i64 o = blk * n / 2;
+      lin::Matrix prod(n / 2, n / 2);
+      lin::matmul(l_part.sub(o, o, n / 2, n / 2), y.sub(o, o, n / 2, n / 2),
+                  prod);
+      EXPECT_LT(lin::max_abs_diff(prod, lin::Matrix::identity(n / 2)), 1e-9)
+          << "block " << blk;
+    }
+  });
+}
+
+TEST(Cfr3dInverseDepthTest, DepthTwoGivesFourBlocks) {
+  const int g = 2;
+  const i64 n = 32;
+  rt::Runtime::run(g * g * g, [&](rt::Comm& world) {
+    grid::CubeGrid grid(world, g);
+    lin::Matrix a = make_spd(78, n);
+    auto da = DistMatrix::from_global_on_cube(a, grid);
+    auto part = cfr3d(da, grid, {.base_case = 4, .inverse_depth = 2});
+    lin::Matrix y = gather(part.l_inv, grid.slice());
+    lin::Matrix l = gather(part.l, grid.slice());
+    const i64 bs = n / 4;
+    for (i64 bj = 0; bj < 4; ++bj) {
+      for (i64 bi = 0; bi < 4; ++bi) {
+        auto blk = y.sub(bi * bs, bj * bs, bs, bs);
+        if (bi != bj) {
+          EXPECT_EQ(lin::max_abs(blk), 0.0) << bi << "," << bj;
+        } else {
+          lin::Matrix prod(bs, bs);
+          lin::matmul(l.sub(bi * bs, bi * bs, bs, bs), blk, prod);
+          EXPECT_LT(lin::max_abs_diff(prod, lin::Matrix::identity(bs)), 1e-9);
+        }
+      }
+    }
+  });
+}
+
+TEST(Cfr3dInverseDepthTest, DepthClampedToRecursion) {
+  // Requesting more depth than recursion levels must not break anything.
+  const int g = 2;
+  rt::Runtime::run(g * g * g, [&](rt::Comm& world) {
+    grid::CubeGrid grid(world, g);
+    auto da = DistMatrix::from_global_on_cube(make_spd(79, 8), grid);
+    EXPECT_NO_THROW((void)cfr3d(da, grid, {.inverse_depth = 10}));
+  });
+}
+
+TEST(Cfr3dCostTest, SmallerBaseCaseMeansMoreMessages) {
+  // The n0 knob trades synchronization (alpha) against bandwidth (beta):
+  // deeper recursion -> more messages (paper Section II-D).
+  const int g = 2;
+  const i64 n = 32;
+  i64 msgs_deep = 0, msgs_shallow = 0;
+  auto run_with = [&](i64 bc) {
+    auto per_rank = rt::Runtime::run(g * g * g, [&](rt::Comm& world) {
+      grid::CubeGrid grid(world, g);
+      auto da = DistMatrix::from_global_on_cube(make_spd(11, n), grid);
+      (void)cfr3d(da, grid, {.base_case = bc});
+    });
+    return rt::max_counters(per_rank).msgs;
+  };
+  msgs_deep = run_with(2);      // n0 = 2: 4 recursion levels
+  msgs_shallow = run_with(16);  // n0 = 16: 1 recursion level
+  EXPECT_GT(msgs_deep, msgs_shallow);
+}
+
+}  // namespace
+}  // namespace cacqr::chol

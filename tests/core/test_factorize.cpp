@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "cacqr/core/factorize.hpp"
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/lin/qr.hpp"
+#include "cacqr/lin/util.hpp"
+
+namespace cacqr::core {
+namespace {
+
+TEST(ChooseGridTest, PicksValidShapes) {
+  for (const int p : {1, 2, 4, 8, 16, 27, 32, 64, 100}) {
+    for (const auto& [m, n] : {std::pair<i64, i64>{1 << 20, 1 << 5},
+                               {1 << 12, 1 << 10}, {1 << 8, 1 << 8}}) {
+      const auto [c, d] = choose_grid(p, m, n);
+      EXPECT_TRUE(grid::TunableGrid::valid_shape(p, c, d))
+          << "p=" << p << " m=" << m << " n=" << n << " -> c=" << c
+          << " d=" << d;
+    }
+  }
+}
+
+TEST(ChooseGridTest, TallSkinnyPrefersSmallC) {
+  // Extremely overdetermined: the 1D layout is optimal.
+  const auto [c, d] = choose_grid(64, i64{1} << 26, 64);
+  EXPECT_EQ(c, 1);
+  EXPECT_EQ(d, 64);
+}
+
+TEST(ChooseGridTest, SquarePrefersFullCube) {
+  const auto [c, d] = choose_grid(64, 4096, 4096);
+  EXPECT_EQ(c, 4);
+  EXPECT_EQ(d, 4);
+}
+
+TEST(FactorizeTest, ExactDivisibleShape) {
+  rt::Runtime::run(8, [](rt::Comm& world) {
+    lin::Matrix a = lin::hashed_matrix(81, 32, 8);
+    auto res = factorize(a, world, {.c = 2, .d = 2});
+    EXPECT_EQ(res.c, 2);
+    EXPECT_EQ(res.d, 2);
+    EXPECT_FALSE(res.used_shift);
+    EXPECT_LT(lin::orthogonality_error(res.q), 1e-11);
+    EXPECT_LT(lin::residual_error(a, res.q, res.r), 1e-12);
+    EXPECT_TRUE(lin::is_upper_triangular(res.r));
+  });
+}
+
+TEST(FactorizeTest, AwkwardShapesArePadded) {
+  // Dimensions with no relation to the grid: 37 x 5 on P = 8 and 16.
+  for (const int p : {8, 16}) {
+    rt::Runtime::run(p, [&](rt::Comm& world) {
+      lin::Matrix a = lin::hashed_matrix(82, 37, 5);
+      auto res = factorize(a, world);
+      EXPECT_EQ(res.q.rows(), 37);
+      EXPECT_EQ(res.q.cols(), 5);
+      EXPECT_EQ(res.r.rows(), 5);
+      EXPECT_LT(lin::orthogonality_error(res.q), 1e-11) << "p=" << p;
+      EXPECT_LT(lin::residual_error(a, res.q, res.r), 1e-11) << "p=" << p;
+    });
+  }
+}
+
+TEST(FactorizeTest, PrimeDimensions) {
+  rt::Runtime::run(4, [](rt::Comm& world) {
+    lin::Matrix a = lin::hashed_matrix(83, 101, 13);
+    auto res = factorize(a, world);
+    EXPECT_LT(lin::orthogonality_error(res.q), 1e-11);
+    EXPECT_LT(lin::residual_error(a, res.q, res.r), 1e-11);
+  });
+}
+
+TEST(FactorizeTest, MatchesHouseholder) {
+  rt::Runtime::run(8, [](rt::Comm& world) {
+    lin::Matrix a = lin::hashed_matrix(84, 50, 10);
+    auto res = factorize(a, world);
+    auto hh = lin::householder_qr(a);
+    EXPECT_LT(lin::max_abs_diff(res.r, hh.r),
+              1e-9 * (1.0 + lin::max_abs(hh.r)));
+    EXPECT_LT(lin::max_abs_diff(res.q, hh.q), 1e-9);
+  });
+}
+
+TEST(FactorizeTest, SinglePassOption) {
+  rt::Runtime::run(4, [](rt::Comm& world) {
+    lin::Matrix a = lin::hashed_matrix(85, 24, 6);
+    auto res = factorize(a, world, {.passes = 1});
+    // One pass on a well-conditioned matrix is already good.
+    EXPECT_LT(lin::orthogonality_error(res.q), 1e-10);
+  });
+}
+
+TEST(FactorizeTest, AutoShiftFallback) {
+  Rng rng(86);
+  lin::Matrix a = lin::with_cond(rng, 32, 8, 1e11);
+  rt::Runtime::run(4, [&](rt::Comm& world) {
+    auto res = factorize(a, world);
+    EXPECT_TRUE(res.used_shift);
+    EXPECT_LT(lin::orthogonality_error(res.q), 1e-10);
+    EXPECT_LT(lin::residual_error(a, res.q, res.r), 1e-9);
+  });
+}
+
+TEST(FactorizeTest, AutoShiftDisabledPropagates) {
+  Rng rng(87);
+  lin::Matrix a = lin::with_cond(rng, 32, 8, 1e11);
+  rt::Runtime::run(4, [&](rt::Comm& world) {
+    EXPECT_THROW((void)factorize(a, world, {.auto_shift = false}),
+                 NotSpdError);
+  });
+}
+
+TEST(FactorizeTest, ExplicitThreePass) {
+  rt::Runtime::run(4, [](rt::Comm& world) {
+    lin::Matrix a = lin::hashed_matrix(88, 40, 8);
+    auto res = factorize(a, world, {.passes = 3});
+    EXPECT_TRUE(res.used_shift);
+    EXPECT_LT(lin::orthogonality_error(res.q), 1e-12);
+  });
+}
+
+TEST(FactorizeTest, WideMatrixRejected) {
+  rt::Runtime::run(2, [](rt::Comm& world) {
+    lin::Matrix a(4, 8);
+    EXPECT_THROW((void)factorize(a, world), DimensionError);
+  });
+}
+
+TEST(FactorizeTest, SingleRankWorks) {
+  rt::Runtime::run(1, [](rt::Comm& world) {
+    lin::Matrix a = lin::hashed_matrix(89, 20, 7);
+    auto res = factorize(a, world);
+    EXPECT_EQ(res.c, 1);
+    EXPECT_EQ(res.d, 1);
+    EXPECT_LT(lin::orthogonality_error(res.q), 1e-12);
+  });
+}
+
+}  // namespace
+}  // namespace cacqr::core

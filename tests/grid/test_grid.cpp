@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cacqr/grid/grid.hpp"
+
+namespace cacqr::grid {
+namespace {
+
+/// World ranks of a communicator's members in comm-rank order.
+std::vector<int> members_of(const rt::Comm& c) {
+  std::vector<double> mine = {static_cast<double>(c.world_rank())};
+  std::vector<double> all(static_cast<std::size_t>(c.size()));
+  c.allgather(mine, all);
+  std::vector<int> out;
+  out.reserve(all.size());
+  for (double v : all) out.push_back(static_cast<int>(v));
+  return out;
+}
+
+TEST(CubeGridTest, CoordinateRoundTrip) {
+  for (const int g : {1, 2, 3}) {
+    rt::Runtime::run(g * g * g, [&](rt::Comm& world) {
+      CubeGrid grid(world, g);
+      const auto [x, y, z] = grid.coords();
+      EXPECT_EQ(world.rank(), x + g * (y + g * z));
+      EXPECT_GE(x, 0);
+      EXPECT_LT(x, g);
+      EXPECT_GE(y, 0);
+      EXPECT_LT(y, g);
+      EXPECT_GE(z, 0);
+      EXPECT_LT(z, g);
+    });
+  }
+}
+
+TEST(CubeGridTest, CommSizesAndRanks) {
+  const int g = 2;
+  rt::Runtime::run(g * g * g, [&](rt::Comm& world) {
+    CubeGrid grid(world, g);
+    const auto [x, y, z] = grid.coords();
+    EXPECT_EQ(grid.row().size(), g);
+    EXPECT_EQ(grid.col().size(), g);
+    EXPECT_EQ(grid.depth().size(), g);
+    EXPECT_EQ(grid.slice().size(), g * g);
+    EXPECT_EQ(grid.row().rank(), x);
+    EXPECT_EQ(grid.col().rank(), y);
+    EXPECT_EQ(grid.depth().rank(), z);
+    EXPECT_EQ(grid.slice().rank(), x + g * y);
+  });
+}
+
+TEST(CubeGridTest, RowCommMembership) {
+  // Pi[:, y, z] must contain exactly the ranks x' + g*(y + g*z).
+  const int g = 3;
+  rt::Runtime::run(g * g * g, [&](rt::Comm& world) {
+    CubeGrid grid(world, g);
+    const auto [x, y, z] = grid.coords();
+    (void)x;
+    const auto got = members_of(grid.row());
+    for (int xp = 0; xp < g; ++xp) {
+      EXPECT_EQ(got[xp], xp + g * (y + g * z));
+    }
+  });
+}
+
+TEST(CubeGridTest, DepthCommMembership) {
+  const int g = 3;
+  rt::Runtime::run(g * g * g, [&](rt::Comm& world) {
+    CubeGrid grid(world, g);
+    const auto [x, y, z] = grid.coords();
+    (void)z;
+    const auto got = members_of(grid.depth());
+    for (int zp = 0; zp < g; ++zp) {
+      EXPECT_EQ(got[zp], x + g * (y + g * zp));
+    }
+  });
+}
+
+TEST(CubeGridTest, RejectsWrongSize) {
+  rt::Runtime::run(6, [](rt::Comm& world) {
+    EXPECT_THROW(CubeGrid(world, 2), DimensionError);
+  });
+}
+
+TEST(TunableGridTest, ValidShape) {
+  EXPECT_TRUE(TunableGrid::valid_shape(4, 1, 4));
+  EXPECT_TRUE(TunableGrid::valid_shape(8, 2, 2));
+  EXPECT_TRUE(TunableGrid::valid_shape(16, 2, 4));
+  EXPECT_TRUE(TunableGrid::valid_shape(1, 1, 1));
+  EXPECT_FALSE(TunableGrid::valid_shape(8, 2, 4));   // wrong product
+  EXPECT_FALSE(TunableGrid::valid_shape(18, 3, 2));  // c does not divide d
+  EXPECT_FALSE(TunableGrid::valid_shape(4, 2, 1));   // d < c
+}
+
+TEST(TunableGridTest, CoordinatesAndSizes) {
+  // c=2, d=4: P = 16.
+  rt::Runtime::run(16, [](rt::Comm& world) {
+    TunableGrid grid(world, 2, 4);
+    const auto [x, y, z] = grid.coords();
+    EXPECT_EQ(world.rank(), x + 2 * (y + 4 * z));
+    EXPECT_EQ(grid.row().size(), 2);
+    EXPECT_EQ(grid.col().size(), 4);
+    EXPECT_EQ(grid.depth().size(), 2);
+    EXPECT_EQ(grid.slice().size(), 8);
+    EXPECT_EQ(grid.ygroup_contig().size(), 2);
+    EXPECT_EQ(grid.ygroup_strided().size(), 2);
+    EXPECT_EQ(grid.row().rank(), x);
+    EXPECT_EQ(grid.col().rank(), y);
+    EXPECT_EQ(grid.depth().rank(), z);
+  });
+}
+
+TEST(TunableGridTest, ContiguousYGroupMembership) {
+  // c=2, d=4: groups {0,1} and {2,3} along y.
+  rt::Runtime::run(16, [](rt::Comm& world) {
+    TunableGrid grid(world, 2, 4);
+    const auto [x, y, z] = grid.coords();
+    const auto got = members_of(grid.ygroup_contig());
+    const int base = 2 * (y / 2);
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_EQ(got[i], x + 2 * ((base + i) + 4 * z));
+    }
+    EXPECT_EQ(grid.ygroup_contig().rank(), y % 2);
+  });
+}
+
+TEST(TunableGridTest, StridedYGroupMembership) {
+  // c=2, d=4: strided groups {0,2} and {1,3} along y.
+  rt::Runtime::run(16, [](rt::Comm& world) {
+    TunableGrid grid(world, 2, 4);
+    const auto [x, y, z] = grid.coords();
+    const auto got = members_of(grid.ygroup_strided());
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_EQ(got[i], x + 2 * ((y % 2 + 2 * i) + 4 * z));
+    }
+    EXPECT_EQ(grid.ygroup_strided().rank(), y / 2);
+  });
+}
+
+TEST(TunableGridTest, SubcubeCoordinates) {
+  // The subcube must be a well-formed CubeGrid with y' = y mod c.
+  rt::Runtime::run(16, [](rt::Comm& world) {
+    TunableGrid grid(world, 2, 4);
+    const auto [x, y, z] = grid.coords();
+    EXPECT_EQ(grid.subcube_index(), y / 2);
+    const auto& sub = grid.subcube();
+    EXPECT_EQ(sub.g(), 2);
+    EXPECT_EQ(sub.coords().x, x);
+    EXPECT_EQ(sub.coords().y, y % 2);
+    EXPECT_EQ(sub.coords().z, z);
+  });
+}
+
+TEST(TunableGridTest, DegenerateOneDimensional) {
+  // c=1: the 1D-CQR2 layout; subcubes are single ranks.
+  rt::Runtime::run(6, [](rt::Comm& world) {
+    TunableGrid grid(world, 1, 6);
+    EXPECT_EQ(grid.row().size(), 1);
+    EXPECT_EQ(grid.col().size(), 6);
+    EXPECT_EQ(grid.depth().size(), 1);
+    EXPECT_EQ(grid.subcube().g(), 1);
+    EXPECT_EQ(grid.subcube_index(), grid.coords().y);
+    EXPECT_EQ(grid.ygroup_strided().size(), 6);
+  });
+}
+
+TEST(TunableGridTest, FullCubeSpecialCase) {
+  // c == d == P^(1/3): single subcube spanning the whole grid (3D-CQR2).
+  rt::Runtime::run(8, [](rt::Comm& world) {
+    TunableGrid grid(world, 2, 2);
+    EXPECT_EQ(grid.subcube_index(), 0);
+    EXPECT_EQ(grid.subcube().g(), 2);
+    EXPECT_EQ(grid.subcube().cube().size(), 8);
+    EXPECT_EQ(grid.ygroup_strided().size(), 1);
+  });
+}
+
+TEST(TunableGridTest, RejectsInvalidShape) {
+  rt::Runtime::run(8, [](rt::Comm& world) {
+    EXPECT_THROW(TunableGrid(world, 2, 4), DimensionError);
+  });
+}
+
+}  // namespace
+}  // namespace cacqr::grid

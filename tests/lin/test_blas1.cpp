@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/flops.hpp"
+#include "cacqr/lin/generate.hpp"
+
+namespace cacqr::lin {
+namespace {
+
+TEST(Blas1Test, Axpy) {
+  Matrix x(3, 2), y(3, 2);
+  for (i64 j = 0; j < 2; ++j) {
+    for (i64 i = 0; i < 3; ++i) {
+      x(i, j) = static_cast<double>(i + j);
+      y(i, j) = 1.0;
+    }
+  }
+  axpy(2.0, x, y);
+  for (i64 j = 0; j < 2; ++j) {
+    for (i64 i = 0; i < 3; ++i) {
+      EXPECT_DOUBLE_EQ(y(i, j), 1.0 + 2.0 * static_cast<double>(i + j));
+    }
+  }
+}
+
+TEST(Blas1Test, AxpyShapeMismatchThrows) {
+  Matrix x(3, 2), y(2, 3);
+  EXPECT_THROW(axpy(1.0, x, y), DimensionError);
+}
+
+TEST(Blas1Test, Scal) {
+  Matrix x(2, 2);
+  x(0, 0) = 1;
+  x(1, 1) = -2;
+  scal(-3.0, x);
+  EXPECT_DOUBLE_EQ(x(0, 0), -3.0);
+  EXPECT_DOUBLE_EQ(x(1, 1), 6.0);
+}
+
+TEST(Blas1Test, DotAndNrm2Agree) {
+  Rng rng(5);
+  Matrix x = gaussian(rng, 7, 3);
+  const double d = dot(x, x);
+  const double n = nrm2(x);
+  EXPECT_NEAR(std::sqrt(d), n, 1e-12 * n);
+}
+
+TEST(Blas1Test, Nrm2AvoidsOverflow) {
+  Matrix x(2, 1);
+  x(0, 0) = 1e200;
+  x(1, 0) = 1e200;
+  EXPECT_NEAR(nrm2(x), std::sqrt(2.0) * 1e200, 1e188);
+}
+
+TEST(Blas1Test, Nrm2AvoidsUnderflow) {
+  Matrix x(2, 1);
+  x(0, 0) = 1e-200;
+  x(1, 0) = 1e-200;
+  EXPECT_NEAR(nrm2(x), std::sqrt(2.0) * 1e-200, 1e-212);
+}
+
+TEST(Blas1Test, GemvNoTrans) {
+  // A = [1 2; 3 4], x = [1; 1] -> A x = [3; 7].
+  Matrix a(2, 2), x(2, 1), y(2, 1);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  x(0, 0) = 1;
+  x(1, 0) = 1;
+  gemv(Trans::N, 1.0, a, x, 0.0, y);
+  EXPECT_DOUBLE_EQ(y(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(y(1, 0), 7.0);
+}
+
+TEST(Blas1Test, GemvTransWithBeta) {
+  Matrix a(2, 2), x(2, 1), y(2, 1);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  x(0, 0) = 1;
+  x(1, 0) = 2;
+  y(0, 0) = 10;
+  y(1, 0) = 20;
+  // y = A^T x + 0.5 y = [1+6; 2+8] + [5; 10] = [12; 20].
+  gemv(Trans::T, 1.0, a, x, 0.5, y);
+  EXPECT_DOUBLE_EQ(y(0, 0), 12.0);
+  EXPECT_DOUBLE_EQ(y(1, 0), 20.0);
+}
+
+TEST(Blas1Test, FlopAccounting) {
+  flops::reset();
+  Matrix x(4, 5), y(4, 5);
+  axpy(1.0, x, y);
+  EXPECT_EQ(flops::peek(), 2 * 4 * 5);
+  const i64 taken = flops::take();
+  EXPECT_EQ(taken, 2 * 4 * 5);
+  EXPECT_EQ(flops::peek(), 0);
+}
+
+}  // namespace
+}  // namespace cacqr::lin

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/flops.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/lin/util.hpp"
+
+namespace cacqr::lin {
+namespace {
+
+/// Reference triple-loop product used to validate the blocked kernel.
+Matrix naive_gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                  ConstMatrixView b, double beta, ConstMatrixView c0) {
+  const i64 m = ta == Trans::N ? a.rows : a.cols;
+  const i64 k = ta == Trans::N ? a.cols : a.rows;
+  const i64 n = tb == Trans::N ? b.cols : b.rows;
+  Matrix c = materialize(c0);
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (i64 kk = 0; kk < k; ++kk) {
+        const double av = ta == Trans::N ? a(i, kk) : a(kk, i);
+        const double bv = tb == Trans::N ? b(kk, j) : b(j, kk);
+        acc += av * bv;
+      }
+      c(i, j) = alpha * acc + beta * c(i, j);
+    }
+  }
+  return c;
+}
+
+using GemmParam = std::tuple<int, int, int, int, int>;  // m, n, k, ta, tb
+
+class GemmSweep : public ::testing::TestWithParam<GemmParam> {};
+
+TEST_P(GemmSweep, MatchesNaive) {
+  const auto [m, n, k, tai, tbi] = GetParam();
+  const Trans ta = tai ? Trans::T : Trans::N;
+  const Trans tb = tbi ? Trans::T : Trans::N;
+  Rng rng(static_cast<u64>(1000 * m + 100 * n + 10 * k + 2 * tai + tbi));
+  Matrix a = gaussian(rng, ta == Trans::N ? m : k, ta == Trans::N ? k : m);
+  Matrix b = gaussian(rng, tb == Trans::N ? k : n, tb == Trans::N ? n : k);
+  Matrix c = gaussian(rng, m, n);
+  Matrix expect = naive_gemm(ta, tb, -1.5, a, b, 0.5, c);
+  gemm(ta, tb, -1.5, a, b, 0.5, c);
+  EXPECT_LT(max_abs_diff(c, expect), 1e-11 * (1.0 + max_abs(expect)))
+      << "m=" << m << " n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(
+        GemmParam{1, 1, 1, 0, 0}, GemmParam{3, 2, 4, 0, 0},
+        GemmParam{16, 16, 16, 0, 0}, GemmParam{33, 17, 65, 0, 0},
+        GemmParam{128, 64, 300, 0, 0}, GemmParam{300, 129, 64, 0, 0},
+        GemmParam{8, 8, 8, 1, 0}, GemmParam{31, 17, 12, 1, 0},
+        GemmParam{64, 33, 129, 1, 0}, GemmParam{8, 8, 8, 0, 1},
+        GemmParam{17, 31, 12, 0, 1}, GemmParam{64, 129, 33, 0, 1},
+        GemmParam{8, 8, 8, 1, 1}, GemmParam{23, 19, 29, 1, 1},
+        GemmParam{5, 130, 7, 1, 1}));
+
+TEST(GemmTest, SubViewOperands) {
+  // Multiplying sub-blocks must respect leading dimensions.
+  Rng rng(77);
+  Matrix big = gaussian(rng, 10, 10);
+  auto a = big.sub(1, 1, 4, 3);
+  auto b = big.sub(2, 4, 3, 5);
+  Matrix c(4, 5);
+  matmul(a, b, c);
+  Matrix zero(4, 5);
+  Matrix expect = naive_gemm(Trans::N, Trans::N, 1.0, a, b, 0.0, zero.view());
+  EXPECT_LT(max_abs_diff(c, expect), 1e-12);
+}
+
+TEST(GemmTest, BetaZeroOverwritesNan) {
+  // beta == 0 must overwrite even NaN garbage in C (BLAS semantics).
+  Matrix a = Matrix::identity(2);
+  Matrix b = Matrix::identity(2);
+  Matrix c(2, 2);
+  c(0, 0) = std::nan("");
+  gemm(Trans::N, Trans::N, 1.0, a, b, 0.0, c);
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+}
+
+TEST(GemmTest, DimensionMismatchThrows) {
+  Matrix a(3, 4), b(5, 2), c(3, 2);
+  EXPECT_THROW(matmul(a, b, c), DimensionError);
+  Matrix b2(4, 2), cbad(2, 2);
+  EXPECT_THROW(matmul(a, b2, cbad), DimensionError);
+}
+
+TEST(GemmTest, FlopCount) {
+  Matrix a(8, 4), b(4, 6), c(8, 6);
+  flops::reset();
+  matmul(a, b, c);
+  EXPECT_EQ(flops::take(), 2 * 8 * 6 * 4);
+}
+
+TEST(GramTest, MatchesGemmTN) {
+  Rng rng(11);
+  Matrix a = gaussian(rng, 20, 7);
+  Matrix g1(7, 7), g2(7, 7);
+  gram(1.0, a, 0.0, g1);
+  gemm(Trans::T, Trans::N, 1.0, a, a, 0.0, g2);
+  EXPECT_LT(max_abs_diff(g1, g2), 1e-12 * max_abs(g2));
+}
+
+TEST(GramTest, ResultExactlySymmetric) {
+  Rng rng(13);
+  Matrix a = gaussian(rng, 33, 9);
+  Matrix g(9, 9);
+  gram(1.0, a, 0.0, g);
+  for (i64 j = 0; j < 9; ++j) {
+    for (i64 i = 0; i < 9; ++i) EXPECT_EQ(g(i, j), g(j, i));
+  }
+}
+
+TEST(GramTest, HalfTheGemmFlops) {
+  Matrix a(16, 8);
+  flops::reset();
+  Matrix g(8, 8);
+  gram(1.0, a, 0.0, g);
+  const i64 f = flops::take();
+  EXPECT_EQ(f, 16 * 8 * 9);  // m * n * (n+1)
+  EXPECT_LT(f, 2 * 16 * 8 * 8);
+}
+
+TEST(SyrkTest, MatchesGemmNT) {
+  Rng rng(17);
+  Matrix a = gaussian(rng, 9, 21);
+  Matrix c1(9, 9), c2(9, 9);
+  syrk_nt(-1.0, a, 0.0, c1, Uplo::Lower);
+  gemm(Trans::N, Trans::T, -1.0, a, a, 0.0, c2);
+  EXPECT_LT(max_abs_diff(c1, c2), 1e-12 * (1.0 + max_abs(c2)));
+}
+
+TEST(SyrkTest, AccumulatesWithBeta) {
+  Rng rng(19);
+  Matrix a = gaussian(rng, 5, 4);
+  Matrix c = Matrix::identity(5);
+  syrk_nt(1.0, a, 2.0, c, Uplo::Lower);
+  Matrix expect = Matrix::identity(5);
+  scal(2.0, expect);
+  gemm(Trans::N, Trans::T, 1.0, a, a, 1.0, expect);
+  EXPECT_LT(max_abs_diff(c, expect), 1e-12 * (1.0 + max_abs(expect)));
+}
+
+}  // namespace
+}  // namespace cacqr::lin

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "cacqr/lin/matrix.hpp"
+
+namespace cacqr::lin {
+namespace {
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix a(3, 4);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 4);
+  for (i64 j = 0; j < 4; ++j) {
+    for (i64 i = 0; i < 3; ++i) EXPECT_EQ(a(i, j), 0.0);
+  }
+}
+
+TEST(MatrixTest, ColumnMajorLayout) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(1, 0) = 2;
+  a(0, 1) = 3;
+  a(1, 2) = 6;
+  EXPECT_EQ(a.data()[0], 1);
+  EXPECT_EQ(a.data()[1], 2);
+  EXPECT_EQ(a.data()[2], 3);
+  EXPECT_EQ(a.data()[5], 6);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix eye = Matrix::identity(4);
+  for (i64 j = 0; j < 4; ++j) {
+    for (i64 i = 0; i < 4; ++i) EXPECT_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+  }
+}
+
+TEST(MatrixTest, SubViewAliasesStorage) {
+  Matrix a(4, 4);
+  auto block = a.sub(1, 2, 2, 2);
+  block(0, 0) = 42.0;
+  block(1, 1) = -1.0;
+  EXPECT_EQ(a(1, 2), 42.0);
+  EXPECT_EQ(a(2, 3), -1.0);
+  EXPECT_EQ(block.ld, 4);
+  EXPECT_EQ(block.rows, 2);
+}
+
+TEST(MatrixTest, SubViewBoundsChecked) {
+  Matrix a(4, 4);
+  EXPECT_THROW((void)a.sub(3, 3, 2, 2), DimensionError);
+  EXPECT_THROW((void)a.sub(-1, 0, 1, 1), DimensionError);
+  EXPECT_NO_THROW((void)a.sub(0, 0, 4, 4));
+}
+
+TEST(MatrixTest, NestedSubView) {
+  Matrix a(6, 6);
+  for (i64 j = 0; j < 6; ++j) {
+    for (i64 i = 0; i < 6; ++i) a(i, j) = static_cast<double>(10 * i + j);
+  }
+  auto outer = a.sub(1, 1, 4, 4);
+  auto inner = outer.sub(1, 1, 2, 2);
+  EXPECT_EQ(inner(0, 0), a(2, 2));
+  EXPECT_EQ(inner(1, 1), a(3, 3));
+}
+
+TEST(MatrixTest, MaterializeCopies) {
+  Matrix a(3, 3);
+  a(1, 1) = 5.0;
+  Matrix b = materialize(a.sub(0, 0, 2, 2));
+  EXPECT_EQ(b.rows(), 2);
+  EXPECT_EQ(b(1, 1), 5.0);
+  b(1, 1) = 9.0;
+  EXPECT_EQ(a(1, 1), 5.0);  // deep copy
+}
+
+TEST(MatrixTest, Equality) {
+  Matrix a(2, 2), b(2, 2);
+  EXPECT_TRUE(a == b);
+  b(0, 1) = 1e-300;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace cacqr::lin

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/lin/qr.hpp"
+#include "cacqr/lin/util.hpp"
+
+namespace cacqr::lin {
+namespace {
+
+using QrParam = std::tuple<int, int>;  // m, n
+
+class QrSweep : public ::testing::TestWithParam<QrParam> {};
+
+TEST_P(QrSweep, FactorsAreValid) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<u64>(m * 1000 + n));
+  Matrix a = gaussian(rng, m, n);
+  auto [q, r] = householder_qr(a);
+
+  EXPECT_EQ(q.rows(), m);
+  EXPECT_EQ(q.cols(), n);
+  EXPECT_TRUE(is_upper_triangular(r));
+  for (i64 i = 0; i < n; ++i) EXPECT_GE(r(i, i), 0.0);
+  EXPECT_LT(orthogonality_error(q), 1e-13 * std::sqrt(static_cast<double>(n)) + 1e-14);
+  EXPECT_LT(residual_error(a, q, r), 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrSweep,
+                         ::testing::Values(QrParam{1, 1}, QrParam{4, 4},
+                                           QrParam{16, 8}, QrParam{100, 17},
+                                           QrParam{64, 64}, QrParam{257, 32},
+                                           QrParam{512, 3}));
+
+TEST(QrTest, UniquenessAgainstGram) {
+  // With diag(R) > 0 the factorization is unique, so R^T R == A^T A.
+  Rng rng(41);
+  Matrix a = with_cond(rng, 40, 12, 10.0);
+  auto [q, r] = householder_qr(a);
+  Matrix rtr(12, 12);
+  gemm(Trans::T, Trans::N, 1.0, r, r, 0.0, rtr);
+  Matrix ata(12, 12);
+  gram(1.0, a, 0.0, ata);
+  EXPECT_LT(max_abs_diff(rtr, ata), 1e-11 * (1.0 + max_abs(ata)));
+}
+
+TEST(QrTest, RankDeficientColumnHandled) {
+  // A zero column produces tau == 0 and a zero R row; no NaNs.
+  Matrix a(6, 3);
+  Rng rng(43);
+  for (i64 i = 0; i < 6; ++i) {
+    a(i, 0) = rng.normal();
+    a(i, 2) = rng.normal();
+  }
+  Matrix packed = materialize(a.view());
+  auto tau = geqrf(packed);
+  for (i64 j = 0; j < 3; ++j) {
+    for (i64 i = 0; i <= j; ++i) EXPECT_TRUE(std::isfinite(packed(i, j)));
+  }
+}
+
+TEST(QrTest, RequiresTall) {
+  Matrix a(3, 5);
+  EXPECT_THROW(geqrf(a), DimensionError);
+}
+
+TEST(QrTest, ApplyQtMatchesExplicitQ) {
+  Rng rng(47);
+  Matrix a = gaussian(rng, 20, 6);
+  Matrix packed = materialize(a.view());
+  auto tau = geqrf(packed);
+  Matrix q = orgqr(packed, tau);
+
+  Matrix b = gaussian(rng, 20, 4);
+  Matrix qtb_explicit(6, 4);
+  gemm(Trans::T, Trans::N, 1.0, q, b, 0.0, qtb_explicit);
+
+  Matrix c = materialize(b.view());
+  apply_qt(packed, tau, c);
+  EXPECT_LT(max_abs_diff(c.sub(0, 0, 6, 4), qtb_explicit.view()),
+            1e-12 * (1.0 + max_abs(qtb_explicit)));
+}
+
+TEST(LstsqTest, RecoversExactSolution) {
+  // Consistent system: b = A x_true exactly.
+  Rng rng(53);
+  Matrix a = with_cond(rng, 30, 8, 5.0);
+  Matrix x_true = gaussian(rng, 8, 2);
+  Matrix b(30, 2);
+  matmul(a, x_true, b);
+  Matrix x = lstsq(a, b);
+  EXPECT_LT(max_abs_diff(x, x_true), 1e-10);
+}
+
+TEST(LstsqTest, ResidualOrthogonalToRange) {
+  // For inconsistent b, A^T (A x - b) must vanish (normal equations).
+  Rng rng(59);
+  Matrix a = with_cond(rng, 25, 6, 3.0);
+  Matrix b = gaussian(rng, 25, 1);
+  Matrix x = lstsq(a, b);
+  Matrix resid = materialize(b.view());
+  gemm(Trans::N, Trans::N, 1.0, a, x, -1.0, resid);
+  scal(-1.0, resid);  // resid = A x - b
+  Matrix atr(6, 1);
+  gemm(Trans::T, Trans::N, 1.0, a, resid, 0.0, atr);
+  EXPECT_LT(max_abs(atr), 1e-11 * (1.0 + max_abs(b)));
+}
+
+TEST(QrTest, IllConditionedStillBackwardStable) {
+  Rng rng(61);
+  Matrix a = with_cond(rng, 60, 12, 1e10);
+  auto [q, r] = householder_qr(a);
+  // Householder QR is unconditionally backward stable: both errors stay at
+  // machine-epsilon level regardless of conditioning.
+  EXPECT_LT(orthogonality_error(q), 1e-12);
+  EXPECT_LT(residual_error(a, q, r), 1e-12);
+}
+
+}  // namespace
+}  // namespace cacqr::lin

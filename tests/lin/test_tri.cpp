@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/lin/util.hpp"
+
+namespace cacqr::lin {
+namespace {
+
+/// Random well-conditioned triangular matrix (unit-dominant diagonal).
+Matrix random_tri(Rng& rng, i64 n, Uplo uplo, Diag diag) {
+  Matrix t(n, n);
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 i = 0; i < n; ++i) {
+      const bool stored = uplo == Uplo::Lower ? i > j : i < j;
+      if (stored) t(i, j) = 0.3 * rng.normal();
+    }
+    t(j, j) = diag == Diag::Unit ? 1.0 : 2.0 + rng.uniform();
+  }
+  return t;
+}
+
+/// Densifies op(T) honoring uplo/diag so gemm can serve as the reference.
+Matrix densify(ConstMatrixView t, Uplo uplo, Trans trans, Diag diag) {
+  const i64 n = t.rows;
+  Matrix full(n, n);
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 i = 0; i < n; ++i) {
+      const bool stored = uplo == Uplo::Lower ? i >= j : i <= j;
+      if (stored) full(i, j) = (i == j && diag == Diag::Unit) ? 1.0 : t(i, j);
+    }
+  }
+  return trans == Trans::T ? transposed(full) : full;
+}
+
+using TriParam = std::tuple<int, int, int, int, int>;  // side,uplo,trans,diag,n
+
+class TrmmSweep : public ::testing::TestWithParam<TriParam> {};
+
+TEST_P(TrmmSweep, MatchesDenseReference) {
+  const auto [sidei, uploi, transi, diagi, n] = GetParam();
+  const Side side = sidei ? Side::Right : Side::Left;
+  const Uplo uplo = uploi ? Uplo::Upper : Uplo::Lower;
+  const Trans trans = transi ? Trans::T : Trans::N;
+  const Diag diag = diagi ? Diag::Unit : Diag::NonUnit;
+  Rng rng(static_cast<u64>(97 * n + 8 * sidei + 4 * uploi + 2 * transi + diagi));
+
+  Matrix t = random_tri(rng, n, uplo, diag);
+  const i64 rows = side == Side::Left ? n : n + 3;
+  const i64 cols = side == Side::Left ? n + 3 : n;
+  Matrix b = gaussian(rng, rows, cols);
+  Matrix dense = densify(t, uplo, trans, diag);
+
+  Matrix expect(rows, cols);
+  if (side == Side::Left) {
+    gemm(Trans::N, Trans::N, -2.0, dense, b, 0.0, expect);
+  } else {
+    gemm(Trans::N, Trans::N, -2.0, b, dense, 0.0, expect);
+  }
+
+  trmm(side, uplo, trans, diag, -2.0, t, b);
+  EXPECT_LT(max_abs_diff(b, expect), 1e-11 * (1.0 + max_abs(expect)));
+}
+
+class TrsmSweep : public ::testing::TestWithParam<TriParam> {};
+
+TEST_P(TrsmSweep, SolveThenMultiplyRoundTrips) {
+  const auto [sidei, uploi, transi, diagi, n] = GetParam();
+  const Side side = sidei ? Side::Right : Side::Left;
+  const Uplo uplo = uploi ? Uplo::Upper : Uplo::Lower;
+  const Trans trans = transi ? Trans::T : Trans::N;
+  const Diag diag = diagi ? Diag::Unit : Diag::NonUnit;
+  Rng rng(static_cast<u64>(131 * n + 8 * sidei + 4 * uploi + 2 * transi + diagi));
+
+  Matrix t = random_tri(rng, n, uplo, diag);
+  const i64 rows = side == Side::Left ? n : n + 2;
+  const i64 cols = side == Side::Left ? n + 2 : n;
+  Matrix b = gaussian(rng, rows, cols);
+  Matrix x = materialize(b.view());
+
+  trsm(side, uplo, trans, diag, 1.0, t, x);
+  // op(T) X == B (left) or X op(T) == B (right)?
+  Matrix dense = densify(t, uplo, trans, diag);
+  Matrix back(rows, cols);
+  if (side == Side::Left) {
+    gemm(Trans::N, Trans::N, 1.0, dense, x, 0.0, back);
+  } else {
+    gemm(Trans::N, Trans::N, 1.0, x, dense, 0.0, back);
+  }
+  EXPECT_LT(max_abs_diff(back, b), 1e-10 * (1.0 + max_abs(b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TrmmSweep,
+    ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1),
+                       ::testing::Values(0, 1), ::testing::Values(0, 1),
+                       ::testing::Values(1, 5, 23, 64)));
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TrsmSweep,
+    ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1),
+                       ::testing::Values(0, 1), ::testing::Values(0, 1),
+                       ::testing::Values(1, 5, 23, 64)));
+
+TEST(TrsmTest, AlphaScaling) {
+  Rng rng(3);
+  Matrix t = random_tri(rng, 4, Uplo::Lower, Diag::NonUnit);
+  Matrix b = gaussian(rng, 4, 2);
+  Matrix x1 = materialize(b.view());
+  Matrix x2 = materialize(b.view());
+  trsm(Side::Left, Uplo::Lower, Trans::N, Diag::NonUnit, 2.0, t, x1);
+  trsm(Side::Left, Uplo::Lower, Trans::N, Diag::NonUnit, 1.0, t, x2);
+  scal(2.0, x2);
+  EXPECT_LT(max_abs_diff(x1, x2), 1e-12 * (1.0 + max_abs(x2)));
+}
+
+TEST(TrmmTest, InverseComposesToIdentity) {
+  // B * U then solve against U returns B.
+  Rng rng(31);
+  Matrix u = random_tri(rng, 8, Uplo::Upper, Diag::NonUnit);
+  Matrix b = gaussian(rng, 5, 8);
+  Matrix orig = materialize(b.view());
+  trmm(Side::Right, Uplo::Upper, Trans::N, Diag::NonUnit, 1.0, u, b);
+  trsm(Side::Right, Uplo::Upper, Trans::N, Diag::NonUnit, 1.0, u, b);
+  EXPECT_LT(max_abs_diff(b, orig), 1e-10 * (1.0 + max_abs(orig)));
+}
+
+}  // namespace
+}  // namespace cacqr::lin

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "cacqr/model/sweep.hpp"
+
+namespace cacqr::model {
+namespace {
+
+TEST(SweepTest, ValidGridsEnumeration) {
+  // P = 64: c in {1, 2, 4}: (1,64), (2,16), (4,4).
+  const auto grids = valid_grids(64);
+  ASSERT_EQ(grids.size(), 3u);
+  EXPECT_EQ(grids[0], (std::pair<i64, i64>{1, 64}));
+  EXPECT_EQ(grids[1], (std::pair<i64, i64>{2, 16}));
+  EXPECT_EQ(grids[2], (std::pair<i64, i64>{4, 4}));
+  // P = 8: (1,8), (2,2).  c=2 -> d=2, 2 | 2 ok.
+  EXPECT_EQ(valid_grids(8).size(), 2u);
+  // Prime P: only 1D.
+  EXPECT_EQ(valid_grids(7).size(), 1u);
+}
+
+TEST(SweepTest, TallSkinnyPrefersSmallC) {
+  const Machine s2 = stampede2();
+  // 2^25 x 128: extremely overdetermined -> 1D wins.
+  const auto best = best_cacqr2(double(1 << 30), 128, 4096, s2);
+  EXPECT_EQ(best.c, 1);
+}
+
+TEST(SweepTest, SquarePrefersLargeC) {
+  const Machine s2 = stampede2();
+  const auto best = best_cacqr2(1 << 14, 1 << 14, 4096, s2);
+  EXPECT_EQ(best.c, 16);  // full P^(1/3) cube
+}
+
+TEST(SweepTest, EvalAgreesWithCost) {
+  const Machine s2 = stampede2();
+  const auto ch = eval_cacqr2(1 << 20, 1 << 10, 4, 256, s2);
+  const Cost direct = cost_ca_cqr2(1 << 20, 1 << 10, 4, 256);
+  EXPECT_DOUBLE_EQ(ch.seconds, direct.time(s2));
+  EXPECT_EQ(ch.c, 4);
+  EXPECT_EQ(ch.d, 256);
+}
+
+TEST(SweepTest, PgeqrfSweepPicksValidConfig) {
+  const Machine s2 = stampede2();
+  const auto best = best_pgeqrf(1 << 22, 1 << 11, 4096, s2);
+  EXPECT_EQ(best.pr * best.pc, 4096);
+  EXPECT_TRUE(best.block == 16 || best.block == 32 || best.block == 64);
+  EXPECT_GT(best.seconds, 0.0);
+  // Tall matrices want tall grids.
+  EXPECT_GT(best.pr, best.pc);
+}
+
+TEST(SweepTest, BestBeatsArbitrary) {
+  const Machine s2 = stampede2();
+  const double m = 1 << 22, n = 1 << 11;
+  const auto best = best_cacqr2(m, n, 1024, s2);
+  for (const auto& [c, d] : valid_grids(1024)) {
+    EXPECT_LE(best.seconds, eval_cacqr2(m, n, c, d, s2).seconds + 1e-12);
+  }
+}
+
+TEST(SweepTest, ImpossibleSweepThrows) {
+  const Machine s2 = stampede2();
+  // No grid fits: more ranks than matrix entries in each direction.
+  EXPECT_THROW((void)best_cacqr2(2, 2, 4096, s2), Error);
+}
+
+}  // namespace
+}  // namespace cacqr::model

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cacqr/rt/comm.hpp"
+
+namespace cacqr::rt {
+namespace {
+
+TEST(RuntimeTest, SingleRankRunsInline) {
+  int visits = 0;
+  Runtime::run(1, [&](Comm& c) {
+    EXPECT_EQ(c.rank(), 0);
+    EXPECT_EQ(c.size(), 1);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(RuntimeTest, AllRanksExecute) {
+  const int p = 8;
+  std::vector<int> seen(p, 0);
+  Runtime::run(p, [&](Comm& c) { seen[c.rank()] = 1 + c.world_rank(); });
+  for (int r = 0; r < p; ++r) EXPECT_EQ(seen[r], r + 1);
+}
+
+TEST(RuntimeTest, ExceptionPropagatesAndAbortsTeam) {
+  // Rank 2 throws while others block in recv: the abort must unwind all.
+  EXPECT_THROW(
+      Runtime::run(4,
+                   [](Comm& c) {
+                     if (c.rank() == 2) throw Error("rank 2 exploded");
+                     std::vector<double> buf(4);
+                     c.recv((c.rank() + 1) % 4, 0, buf);  // never satisfied
+                   }),
+      Error);
+}
+
+TEST(RuntimeTest, InvalidRankCountThrows) {
+  EXPECT_THROW(Runtime::run(0, [](Comm&) {}), CommError);
+}
+
+TEST(P2pTest, BasicSendRecv) {
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> data = {1.0, 2.0, 3.0};
+      c.send(1, 7, data);
+    } else {
+      std::vector<double> data(3);
+      c.recv(0, 7, data);
+      EXPECT_EQ(data[0], 1.0);
+      EXPECT_EQ(data[2], 3.0);
+    }
+  });
+}
+
+TEST(P2pTest, TagSelectivity) {
+  // Messages with different tags must match the right receives, even when
+  // posted out of order.
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> a = {1.0};
+      std::vector<double> b = {2.0};
+      c.send(1, 100, a);
+      c.send(1, 200, b);
+    } else {
+      std::vector<double> b(1), a(1);
+      c.recv(0, 200, b);  // reverse order of sends
+      c.recv(0, 100, a);
+      EXPECT_EQ(a[0], 1.0);
+      EXPECT_EQ(b[0], 2.0);
+    }
+  });
+}
+
+TEST(P2pTest, FifoPerChannel) {
+  Runtime::run(2, [](Comm& c) {
+    const int burst = 32;
+    if (c.rank() == 0) {
+      for (int i = 0; i < burst; ++i) {
+        std::vector<double> v = {static_cast<double>(i)};
+        c.send(1, 5, v);
+      }
+    } else {
+      for (int i = 0; i < burst; ++i) {
+        std::vector<double> v(1);
+        c.recv(0, 5, v);
+        EXPECT_EQ(v[0], static_cast<double>(i));
+      }
+    }
+  });
+}
+
+TEST(P2pTest, SizeMismatchDetected) {
+  EXPECT_THROW(Runtime::run(2,
+                            [](Comm& c) {
+                              std::vector<double> v3(3), v4(4);
+                              if (c.rank() == 0) {
+                                c.send(1, 0, v3);
+                              } else {
+                                c.recv(0, 0, v4);
+                              }
+                            }),
+               CommError);
+}
+
+TEST(P2pTest, SwapExchangesBuffers) {
+  Runtime::run(4, [](Comm& c) {
+    std::vector<double> v = {static_cast<double>(c.rank())};
+    const int partner = c.rank() ^ 1;
+    c.sendrecv_swap(partner, 3, v);
+    EXPECT_EQ(v[0], static_cast<double>(partner));
+  });
+}
+
+TEST(P2pTest, SwapWithSelfIsNoop) {
+  Runtime::run(3, [](Comm& c) {
+    std::vector<double> v = {42.0};
+    c.sendrecv_swap(c.rank(), 0, v);
+    EXPECT_EQ(v[0], 42.0);
+  });
+}
+
+TEST(P2pTest, BadRankThrows) {
+  EXPECT_THROW(Runtime::run(2,
+                            [](Comm& c) {
+                              std::vector<double> v(1);
+                              c.send(5, 0, v);
+                            }),
+               CommError);
+}
+
+TEST(SplitTest, RowsAndColumns) {
+  // 2x3 grid: split by row then by column; check ranks and sizes.
+  Runtime::run(6, [](Comm& c) {
+    const int row = c.rank() / 3;
+    const int col = c.rank() % 3;
+    Comm row_comm = c.split(row, col);
+    EXPECT_EQ(row_comm.size(), 3);
+    EXPECT_EQ(row_comm.rank(), col);
+    Comm col_comm = c.split(col, row);
+    EXPECT_EQ(col_comm.size(), 2);
+    EXPECT_EQ(col_comm.rank(), row);
+    EXPECT_EQ(col_comm.world_rank(), c.rank());
+  });
+}
+
+TEST(SplitTest, KeyReordersRanks) {
+  Runtime::run(4, [](Comm& c) {
+    // Reverse order via key.
+    Comm rev = c.split(0, 100 - c.rank());
+    EXPECT_EQ(rev.rank(), 3 - c.rank());
+  });
+}
+
+TEST(SplitTest, SubCommunicatorIsolation) {
+  // Traffic in one subcomm must not leak into a sibling subcomm even with
+  // identical ranks and tags.
+  Runtime::run(4, [](Comm& c) {
+    const int color = c.rank() / 2;
+    Comm sub = c.split(color, c.rank());
+    std::vector<double> v = {static_cast<double>(c.rank())};
+    if (sub.rank() == 0) {
+      sub.send(1, 9, v);
+    } else {
+      std::vector<double> got(1);
+      sub.recv(0, 9, got);
+      // Must come from the rank 0 of MY group.
+      EXPECT_EQ(got[0], static_cast<double>(color * 2));
+    }
+  });
+}
+
+TEST(SplitTest, NestedSplits) {
+  Runtime::run(8, [](Comm& c) {
+    Comm half = c.split(c.rank() / 4, c.rank());
+    Comm quarter = half.split(half.rank() / 2, half.rank());
+    EXPECT_EQ(quarter.size(), 2);
+    // World rank still traceable.
+    EXPECT_EQ(quarter.world_rank(), c.rank());
+  });
+}
+
+}  // namespace
+}  // namespace cacqr::rt

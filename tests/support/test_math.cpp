@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "cacqr/support/error.hpp"
+#include "cacqr/support/math.hpp"
+
+namespace cacqr {
+namespace {
+
+TEST(MathTest, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(-4));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(MathTest, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(4), 2);
+  EXPECT_EQ(ilog2(1 << 20), 20);
+}
+
+TEST(MathTest, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+}
+
+TEST(MathTest, CeilDivRoundUp) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(round_up(10, 4), 12);
+  EXPECT_EQ(round_up(12, 4), 12);
+  EXPECT_EQ(round_up(0, 4), 0);
+}
+
+TEST(MathTest, ExactCbrt) {
+  EXPECT_EQ(exact_cbrt(1), 1);
+  EXPECT_EQ(exact_cbrt(8), 2);
+  EXPECT_EQ(exact_cbrt(27), 3);
+  EXPECT_EQ(exact_cbrt(64 * 64 * 64), 64);
+  EXPECT_THROW((void)exact_cbrt(9), DimensionError);
+}
+
+TEST(MathTest, CheckedMul) {
+  EXPECT_EQ(checked_mul(1 << 20, 1 << 20), i64{1} << 40);
+  EXPECT_THROW((void)checked_mul(i64{1} << 40, i64{1} << 40), Error);
+  EXPECT_THROW((void)checked_mul(-1, 2), Error);
+}
+
+TEST(MathTest, Ipow) {
+  EXPECT_EQ(ipow(2, 10), 1024);
+  EXPECT_EQ(ipow(3, 3), 27);
+  EXPECT_EQ(ipow(7, 0), 1);
+}
+
+TEST(ErrorTest, EnsureThrowsWithMessage) {
+  EXPECT_NO_THROW(ensure(true, "fine"));
+  try {
+    ensure<DimensionError>(false, "bad dims: ", 3, " vs ", 4);
+    FAIL() << "expected throw";
+  } catch (const DimensionError& e) {
+    EXPECT_STREQ(e.what(), "bad dims: 3 vs 4");
+  }
+}
+
+TEST(ErrorTest, NotSpdCarriesPivot) {
+  try {
+    throw NotSpdError("pivot failed", 7);
+  } catch (const NotSpdError& e) {
+    EXPECT_EQ(e.pivot, 7u);
+  }
+}
+
+}  // namespace
+}  // namespace cacqr

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cacqr/support/cli.hpp"
+#include "cacqr/support/table.hpp"
+
+namespace cacqr {
+namespace {
+
+TEST(TableTest, AlignedRender) {
+  TextTable t;
+  t.header({"nodes", "gflops"});
+  t.row({"64", "123.4"});
+  t.row({"1024", "7.5"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("nodes"), std::string::npos);
+  EXPECT_NE(s.find("1024"), std::string::npos);
+  // Header line must be at least as wide as the widest cell.
+  std::istringstream is(s);
+  std::string line1, rule;
+  std::getline(is, line1);
+  std::getline(is, rule);
+  EXPECT_GE(rule.size(), std::string("nodes  gflops").size());
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  TextTable t;
+  t.header({"a", "b"});
+  t.row({"1", "2"});
+  t.row({"3", "4"});
+  const std::string path = testing::TempDir() + "cacqr_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string l1, l2, l3;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  std::getline(in, l3);
+  EXPECT_EQ(l1, "a,b");
+  EXPECT_EQ(l2, "1,2");
+  EXPECT_EQ(l3, "3,4");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(TextTable::num(1.5), "1.5");
+  EXPECT_EQ(TextTable::num(2.0), "2");
+  EXPECT_EQ(TextTable::num(0.333333333, 3), "0.333");
+}
+
+TEST(CliTest, ParsesFlags) {
+  const char* argv[] = {"prog", "--nodes=64", "--verbose", "positional",
+                        "--ratio=1.5"};
+  CliArgs args(5, argv);
+  EXPECT_TRUE(args.has("nodes"));
+  EXPECT_EQ(args.get_int("nodes", 0), 64);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0.0), 1.5);
+  EXPECT_FALSE(args.has("positional"));
+  EXPECT_EQ(args.get_int("absent", 7), 7);
+  EXPECT_EQ(args.get("absent", "x"), "x");
+}
+
+}  // namespace
+}  // namespace cacqr
