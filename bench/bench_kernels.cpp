@@ -1,139 +1,335 @@
 /// \file bench_kernels.cpp
-/// \brief google-benchmark microbenches for the sequential kernel
-///        substrate (the BLAS/LAPACK substitute): wall-clock throughput
-///        of gemm/gram/trmm/trsm/potrf/trtri/geqrf and the sequential
-///        CholeskyQR variants.
+/// \brief GFLOP/s of the packed micro-kernel level-3 paths against the
+///        seed's scalar loops, over the tall-skinny shapes CholeskyQR2
+///        actually feeds (Gram products and triangular updates of m x n
+///        panels with m >> n).
+///
+/// The "seed" reference implementations below are verbatim copies of the
+/// scalar kernels this library shipped with before the packed micro-kernel
+/// rebuild (see DESIGN.md section 2), kept here so every future PR can
+/// re-measure the speedup against the same baseline.
+///
+/// Usage: bench_kernels [--json[=PATH]] [--quick]
+///   --json   additionally write machine-readable results (default PATH:
+///            bench_out/bench_kernels.json) -- the perf-trajectory artifact
+///            CI uploads and PRs commit.
+///   --quick  smaller shapes / shorter repetitions (CI smoke mode).
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
-#include "cacqr/core/cqr.hpp"
-#include "cacqr/core/shifted.hpp"
 #include "cacqr/lin/blas.hpp"
 #include "cacqr/lin/factor.hpp"
 #include "cacqr/lin/generate.hpp"
-#include "cacqr/lin/qr.hpp"
+#include "cacqr/lin/util.hpp"
+#include "cacqr/support/rng.hpp"
 
 namespace {
 
 using namespace cacqr;
+using lin::ConstMatrixView;
+using lin::Matrix;
+using lin::MatrixView;
 
-void BM_Gemm(benchmark::State& state) {
-  const i64 n = state.range(0);
-  Rng rng(1);
-  lin::Matrix a = lin::gaussian(rng, n, n);
-  lin::Matrix b = lin::gaussian(rng, n, n);
-  lin::Matrix c(n, n);
-  for (auto _ : state) {
-    lin::matmul(a, b, c);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
-}
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+// ------------------------------------------------- seed reference kernels
 
-void BM_Gram(benchmark::State& state) {
-  const i64 n = state.range(0);
-  Rng rng(2);
-  lin::Matrix a = lin::gaussian(rng, 8 * n, n);
-  lin::Matrix g(n, n);
-  for (auto _ : state) {
-    lin::gram(1.0, a, 0.0, g);
-    benchmark::DoNotOptimize(g.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 8 * n * n * n);
-}
-BENCHMARK(BM_Gram)->Arg(32)->Arg(64)->Arg(128);
-
-void BM_Trmm(benchmark::State& state) {
-  const i64 n = state.range(0);
-  Rng rng(3);
-  lin::Matrix t = lin::spd_with_cond(rng, n, 10.0);
-  lin::potrf(t);
-  lin::Matrix b = lin::gaussian(rng, 4 * n, n);
-  for (auto _ : state) {
-    lin::Matrix work = materialize(b.view());
-    lin::trmm(lin::Side::Right, lin::Uplo::Lower, lin::Trans::T,
-              lin::Diag::NonUnit, 1.0, t, work);
-    benchmark::DoNotOptimize(work.data());
+/// Seed T/N gemm: strided dot products, C += alpha * A^T B.
+void seed_gemm_tn(double alpha, ConstMatrixView a, ConstMatrixView b,
+                  MatrixView c) {
+  const i64 m = a.cols;
+  const i64 n = b.cols;
+  const i64 k = a.rows;
+  for (i64 j = 0; j < n; ++j) {
+    const double* bc = b.data + j * b.ld;
+    double* cc = c.data + j * c.ld;
+    for (i64 i = 0; i < m; ++i) {
+      const double* ac = a.data + i * a.ld;
+      double acc = 0.0;
+      for (i64 kk = 0; kk < k; ++kk) acc += ac[kk] * bc[kk];
+      cc[i] += alpha * acc;
+    }
   }
 }
-BENCHMARK(BM_Trmm)->Arg(64)->Arg(128);
 
-void BM_Trsm(benchmark::State& state) {
-  const i64 n = state.range(0);
-  Rng rng(4);
-  lin::Matrix t = lin::spd_with_cond(rng, n, 10.0);
-  lin::potrf(t);
-  lin::Matrix b = lin::gaussian(rng, n, n);
-  for (auto _ : state) {
-    lin::Matrix work = materialize(b.view());
-    lin::trsm(lin::Side::Left, lin::Uplo::Lower, lin::Trans::N,
-              lin::Diag::NonUnit, 1.0, t, work);
-    benchmark::DoNotOptimize(work.data());
+/// Seed N/N gemm: the MB/NB/KB cache-blocked axpy loops (this was the only
+/// blocked path in the seed).
+void seed_gemm_nn(double alpha, ConstMatrixView a, ConstMatrixView b,
+                  MatrixView c) {
+  const i64 m = a.rows;
+  const i64 n = b.cols;
+  const i64 k = a.cols;
+  constexpr i64 MB = 256, NB = 128, KB = 128;
+  for (i64 jj = 0; jj < n; jj += NB) {
+    const i64 nb = std::min(NB, n - jj);
+    for (i64 kk = 0; kk < k; kk += KB) {
+      const i64 kbb = std::min(KB, k - kk);
+      for (i64 ii = 0; ii < m; ii += MB) {
+        const i64 mb = std::min(MB, m - ii);
+        for (i64 j = jj; j < jj + nb; ++j) {
+          double* cc = c.data + j * c.ld;
+          for (i64 kx = kk; kx < kk + kbb; ++kx) {
+            const double bkj = alpha * b(kx, j);
+            if (bkj == 0.0) continue;
+            const double* ac = a.data + kx * a.ld;
+            for (i64 i = ii; i < ii + mb; ++i) cc[i] += bkj * ac[i];
+          }
+        }
+      }
+    }
   }
 }
-BENCHMARK(BM_Trsm)->Arg(64)->Arg(128);
 
-void BM_Potrf(benchmark::State& state) {
-  const i64 n = state.range(0);
-  Rng rng(5);
-  lin::Matrix a = lin::spd_with_cond(rng, n, 100.0);
-  for (auto _ : state) {
-    lin::Matrix work = materialize(a.view());
-    lin::potrf(work);
-    benchmark::DoNotOptimize(work.data());
+/// Seed gram: per-entry dot products over the lower triangle, mirrored.
+void seed_gram(ConstMatrixView a, MatrixView c) {
+  const i64 n = a.cols;
+  for (i64 j = 0; j < n; ++j) {
+    const double* aj = a.data + j * a.ld;
+    for (i64 i = j; i < n; ++i) {
+      const double* ai = a.data + i * a.ld;
+      double acc = 0.0;
+      for (i64 kk = 0; kk < a.rows; ++kk) acc += ai[kk] * aj[kk];
+      c(i, j) = acc;
+    }
   }
-  state.SetItemsProcessed(state.iterations() * n * n * n / 3);
-}
-BENCHMARK(BM_Potrf)->Arg(64)->Arg(128)->Arg(256);
-
-void BM_TrtriLower(benchmark::State& state) {
-  const i64 n = state.range(0);
-  Rng rng(6);
-  lin::Matrix a = lin::spd_with_cond(rng, n, 100.0);
-  lin::potrf(a);
-  for (auto _ : state) {
-    lin::Matrix work = materialize(a.view());
-    lin::trtri_lower(work);
-    benchmark::DoNotOptimize(work.data());
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 i = j + 1; i < n; ++i) c(j, i) = c(i, j);
   }
 }
-BENCHMARK(BM_TrtriLower)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_Geqrf(benchmark::State& state) {
-  const i64 n = state.range(0);
-  Rng rng(7);
-  lin::Matrix a = lin::gaussian(rng, 8 * n, n);
-  for (auto _ : state) {
-    lin::Matrix work = materialize(a.view());
-    auto tau = lin::geqrf(work);
-    benchmark::DoNotOptimize(tau.data());
+/// Seed right-side trmm, B := B * T^T with T lower (the CholeskyQR
+/// Q = A R^{-1} call shape): column-mixing scalar loops.
+void seed_trmm_rlt(ConstMatrixView t, MatrixView b) {
+  const i64 n = t.rows;
+  for (i64 j = 0; j < n; ++j) {
+    double* cj = b.data + j * b.ld;
+    const double djj = t(j, j);
+    for (i64 i = 0; i < b.rows; ++i) cj[i] *= djj;
+    for (i64 k = j + 1; k < n; ++k) {
+      const double tkj = t(k, j);  // op(T)(k, j) = T(k, j) with T lower
+      if (tkj == 0.0) continue;
+      const double* ck = b.data + k * b.ld;
+      for (i64 i = 0; i < b.rows; ++i) cj[i] += tkj * ck[i];
+    }
   }
 }
-BENCHMARK(BM_Geqrf)->Arg(32)->Arg(64)->Arg(128);
 
-void BM_SequentialCqr2(benchmark::State& state) {
-  const i64 n = state.range(0);
-  Rng rng(8);
-  lin::Matrix a = lin::with_cond(rng, 8 * n, n, 100.0);
-  for (auto _ : state) {
-    auto f = core::cqr2(a);
-    benchmark::DoNotOptimize(f.q.data());
+/// Seed right-side trsm, solve X * T^T = B with T lower.
+void seed_trsm_rlt(ConstMatrixView t, MatrixView b) {
+  const i64 n = t.rows;
+  for (i64 j = n - 1; j >= 0; --j) {
+    double* cj = b.data + j * b.ld;
+    for (i64 k = j + 1; k < n; ++k) {
+      const double tkj = t(k, j);
+      if (tkj == 0.0) continue;
+      const double* ck = b.data + k * b.ld;
+      for (i64 i = 0; i < b.rows; ++i) cj[i] -= tkj * ck[i];
+    }
+    const double djj = t(j, j);
+    for (i64 i = 0; i < b.rows; ++i) cj[i] /= djj;
   }
 }
-BENCHMARK(BM_SequentialCqr2)->Arg(32)->Arg(64)->Arg(128);
 
-void BM_ShiftedCqr3(benchmark::State& state) {
-  const i64 n = state.range(0);
-  Rng rng(9);
-  lin::Matrix a = lin::with_cond(rng, 8 * n, n, 1e9);
-  for (auto _ : state) {
-    auto f = core::shifted_cqr3(a);
-    benchmark::DoNotOptimize(f.q.data());
-  }
+// ------------------------------------------------------- timing machinery
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
 }
-BENCHMARK(BM_ShiftedCqr3)->Arg(32)->Arg(64);
+
+/// Runs `body` repeatedly until ~`target` seconds elapse (at least once)
+/// and returns the best per-iteration time.
+template <class F>
+double time_best(F&& body, double target) {
+  double best = 1e300;
+  double total = 0.0;
+  do {
+    const double t0 = now_seconds();
+    body();
+    const double dt = now_seconds() - t0;
+    best = std::min(best, dt);
+    total += dt;
+  } while (total < target);
+  return best;
+}
+
+struct Result {
+  std::string kernel;
+  i64 m = 0;
+  i64 n = 0;
+  double seed_gflops = 0.0;
+  double new_gflops = 0.0;
+  [[nodiscard]] double speedup() const {
+    return seed_gflops > 0.0 ? new_gflops / seed_gflops : 0.0;
+  }
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json = false;
+  std::string json_path = "bench_out/bench_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(7);
+      if (json_path.empty()) {
+        std::fprintf(stderr, "error: --json= requires a path\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--json[=PATH]] [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<i64> ms =
+      quick ? std::vector<i64>{1024, 16384}
+            : std::vector<i64>{1024, 16384, 65536};
+  const std::vector<i64> ns = {16, 64, 256};
+  const double target = quick ? 0.05 : 0.25;
+
+  std::vector<Result> results;
+  std::printf("%-10s %8s %5s %12s %12s %9s\n", "kernel", "m", "n",
+              "seed GF/s", "new GF/s", "speedup");
+
+  for (const i64 m : ms) {
+    for (const i64 n : ns) {
+      Rng rng(static_cast<u64>(m * 1000 + n));
+      Matrix a = lin::gaussian(rng, m, n);
+      Matrix b = lin::gaussian(rng, m, n);
+      Matrix t = lin::spd_with_cond(rng, n, 10.0);
+      lin::potrf(t);
+
+      auto record = [&](const char* kernel, double flops, double t_seed,
+                        double t_new) {
+        Result r;
+        r.kernel = kernel;
+        r.m = m;
+        r.n = n;
+        r.seed_gflops = flops / t_seed * 1e-9;
+        r.new_gflops = flops / t_new * 1e-9;
+        results.push_back(r);
+        std::printf("%-10s %8lld %5lld %12.2f %12.2f %8.2fx\n", kernel,
+                    static_cast<long long>(m), static_cast<long long>(n),
+                    r.seed_gflops, r.new_gflops, r.speedup());
+        std::fflush(stdout);
+      };
+
+      {  // C = A^T B: the c > 1 Gram path of CA-CQR (Algorithm 8 line 2).
+        Matrix c(n, n);
+        const double flops = 2.0 * static_cast<double>(m) *
+                             static_cast<double>(n) * static_cast<double>(n);
+        const double ts = time_best(
+            [&] { seed_gemm_tn(1.0, a, b, c); }, target);
+        const double tn = time_best(
+            [&] {
+              lin::gemm(lin::Trans::T, lin::Trans::N, 1.0, a, b, 0.0, c);
+            },
+            target);
+        record("gemm_tn", flops, ts, tn);
+      }
+      {  // G = A^T A: the c == 1 Gram path (Algorithms 4/6).
+        Matrix g(n, n);
+        const double flops = static_cast<double>(m) * static_cast<double>(n) *
+                             static_cast<double>(n + 1);
+        const double ts = time_best([&] { seed_gram(a, g); }, target);
+        const double tn =
+            time_best([&] { lin::gram(1.0, a, 0.0, g); }, target);
+        record("gram", flops, ts, tn);
+      }
+      {  // C = A X: panel times a square n x n factor.
+        Matrix xs = lin::gaussian(rng, n, n);
+        Matrix c(m, n);
+        const double flops = 2.0 * static_cast<double>(m) *
+                             static_cast<double>(n) * static_cast<double>(n);
+        const double ts = time_best(
+            [&] { seed_gemm_nn(1.0, a, xs, c); }, target);
+        const double tn = time_best([&] { lin::matmul(a, xs, c); }, target);
+        record("gemm_nn", flops, ts, tn);
+      }
+      {  // B = B L^T (right trmm): Q = A R^{-1} with R^{-1} = L^{-T}.
+        Matrix work(m, n);
+        const double flops = static_cast<double>(m) * static_cast<double>(n) *
+                             static_cast<double>(n + 1);
+        const double ts = time_best(
+            [&] {
+              lin::copy(b, work);
+              seed_trmm_rlt(t, work);
+            },
+            target);
+        const double tn = time_best(
+            [&] {
+              lin::copy(b, work);
+              lin::trmm(lin::Side::Right, lin::Uplo::Lower, lin::Trans::T,
+                        lin::Diag::NonUnit, 1.0, t, work);
+            },
+            target);
+        record("trmm_r", flops, ts, tn);
+      }
+      {  // Solve X L^T = B (right trsm): the least-squares backsolve shape.
+        Matrix work(m, n);
+        const double flops = static_cast<double>(m) * static_cast<double>(n) *
+                             static_cast<double>(n + 1);
+        const double ts = time_best(
+            [&] {
+              lin::copy(b, work);
+              seed_trsm_rlt(t, work);
+            },
+            target);
+        const double tn = time_best(
+            [&] {
+              lin::copy(b, work);
+              lin::trsm(lin::Side::Right, lin::Uplo::Lower, lin::Trans::T,
+                        lin::Diag::NonUnit, 1.0, t, work);
+            },
+            target);
+        record("trsm_r", flops, ts, tn);
+      }
+    }
+  }
+
+  if (json) {
+    std::filesystem::path p(json_path);
+    std::error_code ec;
+    if (p.has_parent_path()) {
+      std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    std::ofstream out(p);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   p.string().c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"bench_kernels\",\n  \"unit\": \"gflops\",\n"
+        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Result& r = results[i];
+      out << "    {\"kernel\": \"" << r.kernel << "\", \"m\": " << r.m
+          << ", \"n\": " << r.n << ", \"seed_gflops\": " << r.seed_gflops
+          << ", \"new_gflops\": " << r.new_gflops
+          << ", \"speedup\": " << r.speedup() << "}"
+          << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "error: write to %s failed\n", p.string().c_str());
+      return 1;
+    }
+    std::printf("json written to %s\n", p.string().c_str());
+  }
+  return 0;
+}

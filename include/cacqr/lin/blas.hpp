@@ -4,8 +4,12 @@
 ///
 /// These kernels substitute for a vendor BLAS (none is available in the
 /// build environment): same mathematical contracts, same flop counts,
-/// column-major layout.  They are deliberately simple, cache-blocked
-/// implementations -- absolute kernel speed only rescales the machine
+/// column-major layout.  All level-3 kernels route through the packed,
+/// register-tiled micro-kernel core in kernel.hpp (gemm in all four
+/// transpose cases; gram/syrk_nt as triangle-filtered tile sweeps;
+/// trmm/trsm as blocked recursions whose off-diagonal updates are gemms).
+/// Flop counts are charged as closed-form formulas independent of the
+/// blocking strategy -- absolute kernel speed only rescales the machine
 /// model's gamma parameter (see DESIGN.md section 1).
 
 #include "cacqr/lin/matrix.hpp"

@@ -1,0 +1,55 @@
+#pragma once
+/// \file kernel.hpp
+/// \brief Packed, register-tiled GEMM micro-kernel core (BLIS-style).
+///
+/// Every level-3 kernel in cacqr::lin (gemm in all four transpose cases,
+/// gram, syrk_nt, and the off-diagonal updates of the blocked trmm/trsm
+/// recursions) funnels into the single accumulating driver declared here.
+/// The driver packs operand panels into contiguous, zero-padded buffers and
+/// updates a fixed MR x NR register block over the K dimension, with
+/// three-level MC/NC/KC cache blocking around it.  See DESIGN.md section 2
+/// for the architecture and section 3 for how to re-tune the block sizes.
+///
+/// Functions in this header perform NO flop accounting: the public BLAS
+/// wrappers in blas.hpp charge closed-form flop counts (DESIGN.md section 1)
+/// so the machine model's gamma tally is independent of blocking strategy.
+
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/matrix.hpp"
+
+namespace cacqr::lin::kernel {
+
+// ------------------------------------------------------------ block sizes
+//
+// Register micro-tile: MR x NR accumulators live in registers across the
+// whole K loop.  8 x 6 doubles = 12 AVX2 ymm accumulators (or 6 AVX-512
+// zmm), leaving registers for the A column load and B broadcasts.
+inline constexpr i64 MR = 8;
+inline constexpr i64 NR = 6;
+
+// Cache blocking: a KC x NR sliver of packed B stays in L1 across the ir
+// loop, the MC x KC packed A block stays in L2, and the KC x NC packed B
+// panel stays in L3.  Defaults target ~32K L1 / ~1M L2 per core.
+inline constexpr i64 MC = 144;  // multiple of MR
+inline constexpr i64 KC = 256;
+inline constexpr i64 NC = 3072;  // multiple of NR
+
+/// Which MR x NR micro-tiles of C the driver computes.  `Lower` computes
+/// every tile that intersects the lower triangle (i >= j), `Upper` every
+/// tile that intersects the upper triangle (i <= j); tiles strictly on the
+/// other side of the diagonal are skipped.  Entries of a diagonal-crossing
+/// tile that lie outside the requested triangle receive well-defined but
+/// meaningless accumulated values -- callers (gram/syrk_nt) overwrite them
+/// by mirroring.  Used to compute only the touched triangle of a symmetric
+/// product at micro-tile granularity.
+enum class TileFilter { Full, Lower, Upper };
+
+/// C += alpha * op(A) * op(B), all four transpose combinations, through the
+/// packed micro-kernel.  C is NOT scaled by beta (callers pre-scale) and no
+/// flops are charged.  Shapes must already be validated by the caller:
+/// op(A) is c.rows x k, op(B) is k x c.cols.
+void gemm_accumulate(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                     ConstMatrixView b, MatrixView c,
+                     TileFilter filter = TileFilter::Full);
+
+}  // namespace cacqr::lin::kernel

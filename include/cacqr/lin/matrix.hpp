@@ -8,6 +8,7 @@
 /// addressed without copying.
 
 #include <cstddef>
+#include <cstring>
 #include <vector>
 
 #include "cacqr/support/error.hpp"
@@ -71,7 +72,7 @@ class Matrix {
 
   [[nodiscard]] i64 rows() const noexcept { return rows_; }
   [[nodiscard]] i64 cols() const noexcept { return cols_; }
-  [[nodiscard]] i64 size() const noexcept { return rows_ * cols_; }
+  [[nodiscard]] i64 size() const { return checked_mul(rows_, cols_); }
   [[nodiscard]] double* data() noexcept { return store_.data(); }
   [[nodiscard]] const double* data() const noexcept { return store_.data(); }
 
@@ -117,11 +118,21 @@ class Matrix {
   std::vector<double> store_;
 };
 
-/// Copies a view into a freshly-allocated owning matrix.
+/// Copies a view into a freshly-allocated owning matrix.  Contiguous views
+/// (ld == rows) copy with one memcpy, strided views one memcpy per column;
+/// this sits on the ca_gram hot path.
 [[nodiscard]] inline Matrix materialize(ConstMatrixView a) {
   Matrix out(a.rows, a.cols);
-  for (i64 j = 0; j < a.cols; ++j) {
-    for (i64 i = 0; i < a.rows; ++i) out(i, j) = a(i, j);
+  if (a.rows == 0 || a.cols == 0) return out;
+  if (a.ld == a.rows) {
+    std::memcpy(out.data(), a.data,
+                static_cast<std::size_t>(checked_mul(a.rows, a.cols)) *
+                    sizeof(double));
+  } else {
+    for (i64 j = 0; j < a.cols; ++j) {
+      std::memcpy(out.data() + j * a.rows, a.data + j * a.ld,
+                  static_cast<std::size_t>(a.rows) * sizeof(double));
+    }
   }
   return out;
 }

@@ -2,25 +2,52 @@
 
 #include "cacqr/lin/blas.hpp"
 #include "cacqr/lin/flops.hpp"
+#include "cacqr/lin/kernel.hpp"
 
 namespace cacqr::lin {
 
 namespace {
 
-/// Register-blocked inner kernel for the no-transpose case:
-/// C(i0:i0+mb, j0:j0+nb) += A(i0:i0+mb, k0:k0+kb) * B(k0:k0+kb, j0:j0+nb).
-/// Column-major friendly loop order j-k-i with the i loop innermost so the
-/// compiler vectorizes the axpy over contiguous columns of A and C.
-void gemm_nn_block(double alpha, ConstMatrixView a, ConstMatrixView b,
-                   MatrixView c, i64 i0, i64 j0, i64 k0, i64 mb, i64 nb,
-                   i64 kb) {
-  for (i64 j = j0; j < j0 + nb; ++j) {
+/// Scales C by beta with BLAS semantics: beta == 0 overwrites (even NaN),
+/// beta == 1 leaves C untouched.
+void scale_full(double beta, MatrixView c) {
+  if (beta == 1.0) return;
+  for (i64 j = 0; j < c.cols; ++j) {
     double* cc = c.data + j * c.ld;
-    for (i64 k = k0; k < k0 + kb; ++k) {
-      const double bkj = alpha * b(k, j);
-      if (bkj == 0.0) continue;
-      const double* ac = a.data + k * a.ld;
-      for (i64 i = i0; i < i0 + mb; ++i) cc[i] += bkj * ac[i];
+    if (beta == 0.0) {
+      for (i64 i = 0; i < c.rows; ++i) cc[i] = 0.0;
+    } else {
+      for (i64 i = 0; i < c.rows; ++i) cc[i] *= beta;
+    }
+  }
+}
+
+/// Scales one triangle (diagonal included) of C by beta, same semantics.
+void scale_triangle(double beta, MatrixView c, Uplo uplo) {
+  if (beta == 1.0) return;
+  for (i64 j = 0; j < c.cols; ++j) {
+    const i64 ibegin = uplo == Uplo::Lower ? j : 0;
+    const i64 iend = uplo == Uplo::Lower ? c.rows : j + 1;
+    double* cc = c.data + j * c.ld;
+    if (beta == 0.0) {
+      for (i64 i = ibegin; i < iend; ++i) cc[i] = 0.0;
+    } else {
+      for (i64 i = ibegin; i < iend; ++i) cc[i] *= beta;
+    }
+  }
+}
+
+/// Copies the uplo triangle of C onto the opposite one, making C exactly
+/// symmetric.  The distributed algorithms reduce and broadcast the full
+/// n^2 block, as the paper's word counts assume.
+void mirror_triangle(MatrixView c, Uplo from) {
+  for (i64 j = 0; j < c.cols; ++j) {
+    for (i64 i = j + 1; i < c.rows; ++i) {
+      if (from == Uplo::Lower) {
+        c(j, i) = c(i, j);
+      } else {
+        c(i, j) = c(j, i);
+      }
     }
   }
 }
@@ -38,66 +65,12 @@ void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView a,
   ensure_dim(c.rows == m && c.cols == n, "gemm: output shape mismatch");
   const i64 k = ka;
 
-  for (i64 j = 0; j < n; ++j) {
-    double* cc = c.data + j * c.ld;
-    if (beta == 0.0) {
-      for (i64 i = 0; i < m; ++i) cc[i] = 0.0;
-    } else if (beta != 1.0) {
-      for (i64 i = 0; i < m; ++i) cc[i] *= beta;
-    }
-  }
-  if (k == 0 || m == 0 || n == 0 || alpha == 0.0) {
-    flops::add(2 * m * n * k);
-    return;
-  }
+  scale_full(beta, c);
+  // Fast path does no multiplies, so it charges no flops (the beta scaling
+  // is not charged on the full path either).
+  if (k == 0 || m == 0 || n == 0 || alpha == 0.0) return;
 
-  if (ta == Trans::N && tb == Trans::N) {
-    // Cache-blocked hot path.
-    constexpr i64 MB = 256, NB = 128, KB = 128;
-    for (i64 jj = 0; jj < n; jj += NB) {
-      const i64 nb = std::min(NB, n - jj);
-      for (i64 kk = 0; kk < k; kk += KB) {
-        const i64 kbb = std::min(KB, k - kk);
-        for (i64 ii = 0; ii < m; ii += MB) {
-          const i64 mb = std::min(MB, m - ii);
-          gemm_nn_block(alpha, a, b, c, ii, jj, kk, mb, nb, kbb);
-        }
-      }
-    }
-  } else if (ta == Trans::T && tb == Trans::N) {
-    // C(i,j) += alpha * sum_k A(k,i) B(k,j): dot products over contiguous
-    // columns of both operands.
-    for (i64 j = 0; j < n; ++j) {
-      const double* bc = b.data + j * b.ld;
-      double* cc = c.data + j * c.ld;
-      for (i64 i = 0; i < m; ++i) {
-        const double* ac = a.data + i * a.ld;
-        double acc = 0.0;
-        for (i64 kk = 0; kk < k; ++kk) acc += ac[kk] * bc[kk];
-        cc[i] += alpha * acc;
-      }
-    }
-  } else if (ta == Trans::N && tb == Trans::T) {
-    for (i64 kk = 0; kk < k; ++kk) {
-      const double* ac = a.data + kk * a.ld;
-      for (i64 j = 0; j < n; ++j) {
-        const double bkj = alpha * b(j, kk);
-        if (bkj == 0.0) continue;
-        double* cc = c.data + j * c.ld;
-        for (i64 i = 0; i < m; ++i) cc[i] += bkj * ac[i];
-      }
-    }
-  } else {  // T, T
-    for (i64 j = 0; j < n; ++j) {
-      double* cc = c.data + j * c.ld;
-      for (i64 i = 0; i < m; ++i) {
-        const double* ac = a.data + i * a.ld;
-        double acc = 0.0;
-        for (i64 kk = 0; kk < k; ++kk) acc += ac[kk] * b(j, kk);
-        cc[i] += alpha * acc;
-      }
-    }
-  }
+  kernel::gemm_accumulate(ta, tb, alpha, a, b, c);
   flops::add(2 * m * n * k);
 }
 
@@ -107,23 +80,18 @@ void matmul(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
 
 void gram(double alpha, ConstMatrixView a, double beta, MatrixView c) {
   const i64 n = a.cols;
+  const i64 m = a.rows;
   ensure_dim(c.rows == n && c.cols == n, "gram: C must be n x n");
-  // Lower triangle: C(i,j) = alpha * <a_i, a_j> for i >= j.
-  for (i64 j = 0; j < n; ++j) {
-    const double* aj = a.data + j * a.ld;
-    for (i64 i = j; i < n; ++i) {
-      const double* ai = a.data + i * a.ld;
-      double acc = 0.0;
-      for (i64 kk = 0; kk < a.rows; ++kk) acc += ai[kk] * aj[kk];
-      c(i, j) = alpha * acc + beta * c(i, j);
-    }
+  // Lower triangle through the micro-kernel (diagonal-crossing tiles plus
+  // full below-diagonal tiles), then mirror -- the upper triangle of C is
+  // always overwritten by the mirrored lower result.
+  scale_triangle(beta, c, Uplo::Lower);
+  if (alpha != 0.0) {
+    kernel::gemm_accumulate(Trans::T, Trans::N, alpha, a, a, c,
+                            kernel::TileFilter::Lower);
   }
-  // Mirror to the upper triangle (the distributed algorithms reduce and
-  // broadcast the full n^2 block, as the paper's word counts assume).
-  for (i64 j = 0; j < n; ++j) {
-    for (i64 i = j + 1; i < n; ++i) c(j, i) = c(i, j);
-  }
-  flops::add(a.rows * n * (n + 1));  // m * n^2 multiply-adds (half of gemm)
+  mirror_triangle(c, Uplo::Lower);
+  flops::add(m * n * (n + 1));  // m * n^2 multiply-adds (half of gemm)
 }
 
 void syrk_nt(double alpha, ConstMatrixView a, double beta, MatrixView c,
@@ -131,25 +99,14 @@ void syrk_nt(double alpha, ConstMatrixView a, double beta, MatrixView c,
   const i64 n = a.rows;
   const i64 k = a.cols;
   ensure_dim(c.rows == n && c.cols == n, "syrk_nt: C must be n x n");
-  for (i64 j = 0; j < n; ++j) {
-    const i64 ibegin = uplo == Uplo::Lower ? j : 0;
-    const i64 iend = uplo == Uplo::Lower ? n : j + 1;
-    for (i64 i = ibegin; i < iend; ++i) {
-      double acc = 0.0;
-      for (i64 kk = 0; kk < k; ++kk) acc += a(i, kk) * a(j, kk);
-      c(i, j) = alpha * acc + beta * c(i, j);
-    }
+  scale_triangle(beta, c, uplo);
+  if (alpha != 0.0) {
+    kernel::gemm_accumulate(Trans::N, Trans::T, alpha, a, a, c,
+                            uplo == Uplo::Lower ? kernel::TileFilter::Lower
+                                                : kernel::TileFilter::Upper);
   }
   // Mirror so callers can treat the result as a full symmetric matrix.
-  for (i64 j = 0; j < n; ++j) {
-    for (i64 i = j + 1; i < n; ++i) {
-      if (uplo == Uplo::Lower) {
-        c(j, i) = c(i, j);
-      } else {
-        c(i, j) = c(j, i);
-      }
-    }
-  }
+  mirror_triangle(c, uplo);
   flops::add(n * (n + 1) * k);
 }
 

@@ -1,0 +1,225 @@
+#include "cacqr/lin/kernel.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "cacqr/support/math.hpp"
+
+namespace cacqr::lin::kernel {
+
+namespace {
+
+/// Packing buffers are per-thread (one SPMD rank == one thread) and grow
+/// monotonically, so steady-state kernel calls do no allocation.
+thread_local std::vector<double> a_buffer;
+thread_local std::vector<double> b_buffer;
+
+/// Element of op(A) at (i, k) in the *operated* (post-transpose) index
+/// space.
+inline double op_at(ConstMatrixView a, Trans t, i64 i, i64 k) noexcept {
+  return t == Trans::N ? a(i, k) : a(k, i);
+}
+
+/// Packs the mc x kc block of op(A) starting at (i0, k0) into MR-row
+/// panels: panel p holds rows [p*MR, p*MR + MR) stored k-major, so the
+/// micro-kernel reads MR contiguous doubles per k step.  Rows beyond mc are
+/// zero-padded, which lets the micro-kernel always run full MR x NR tiles.
+void pack_a(Trans ta, ConstMatrixView a, i64 i0, i64 k0, i64 mc, i64 kc,
+            double* __restrict buf) {
+  for (i64 p = 0; p < mc; p += MR) {
+    const i64 mr = std::min(MR, mc - p);
+    double* panel = buf + p * kc;
+    if (ta == Trans::N && mr == MR) {
+      // Columns of A are contiguous: gather 8 strided rows per k.
+      const double* base = a.data + (i0 + p) + k0 * a.ld;
+      for (i64 k = 0; k < kc; ++k) {
+        const double* col = base + k * a.ld;
+        for (i64 i = 0; i < MR; ++i) panel[k * MR + i] = col[i];
+      }
+    } else if (ta == Trans::T && mr == MR) {
+      // op(A)(i, k) = A(k, i): each packed panel row i is a contiguous
+      // column i0+p+i of A.
+      for (i64 i = 0; i < MR; ++i) {
+        const double* col = a.data + k0 + (i0 + p + i) * a.ld;
+        for (i64 k = 0; k < kc; ++k) panel[k * MR + i] = col[k];
+      }
+    } else {
+      for (i64 k = 0; k < kc; ++k) {
+        for (i64 i = 0; i < MR; ++i) {
+          panel[k * MR + i] =
+              i < mr ? op_at(a, ta, i0 + p + i, k0 + k) : 0.0;
+        }
+      }
+    }
+  }
+}
+
+/// Packs the kc x nc block of op(B) starting at (k0, j0) into NR-column
+/// panels: panel q holds columns [q*NR, q*NR + NR) stored k-major, so the
+/// micro-kernel reads NR contiguous doubles (one per register broadcast)
+/// per k step.  Columns beyond nc are zero-padded.
+void pack_b(Trans tb, ConstMatrixView b, i64 k0, i64 j0, i64 kc, i64 nc,
+            double* __restrict buf) {
+  for (i64 q = 0; q < nc; q += NR) {
+    const i64 nr = std::min(NR, nc - q);
+    double* panel = buf + q * kc;
+    if (tb == Trans::N && nr == NR) {
+      // op(B)(k, j) = B(k, j): packed panel column j is a contiguous
+      // column j0+q+j of B.
+      for (i64 j = 0; j < NR; ++j) {
+        const double* col = b.data + k0 + (j0 + q + j) * b.ld;
+        for (i64 k = 0; k < kc; ++k) panel[k * NR + j] = col[k];
+      }
+    } else if (tb == Trans::T && nr == NR) {
+      const double* base = b.data + (j0 + q) + k0 * b.ld;
+      for (i64 k = 0; k < kc; ++k) {
+        const double* col = base + k * b.ld;
+        for (i64 j = 0; j < NR; ++j) panel[k * NR + j] = col[j];
+      }
+    } else {
+      // op(B)(k, j) = B(k, j) or B(j, k); columns beyond nc zero-pad.
+      for (i64 k = 0; k < kc; ++k) {
+        for (i64 j = 0; j < NR; ++j) {
+          panel[k * NR + j] =
+              j < nr ? (tb == Trans::N ? b(k0 + k, j0 + q + j)
+                                       : b(j0 + q + j, k0 + k))
+                     : 0.0;
+        }
+      }
+    }
+  }
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+
+/// Four doubles in a SIMD lane (256-bit); aligned(8) keeps loads from the
+/// packed panels unaligned-safe.
+typedef double v4df __attribute__((vector_size(32), aligned(8)));
+
+inline v4df load4(const double* p) {
+  return *reinterpret_cast<const v4df*>(p);
+}
+inline void store4(double* p, v4df v) { *reinterpret_cast<v4df*>(p) = v; }
+
+/// The register micro-kernel: acc(MR x NR) = Ap(MR x kc) * Bp(kc x NR)
+/// over zero-padded packed panels.  The 8 x 6 block is held in 12 named
+/// 256-bit accumulators so the compiler has no freedom to spill or
+/// re-vectorize across the wrong axis; each k step is one two-vector
+/// column load of A and six scalar broadcasts of B feeding 12 FMAs.
+inline void micro_kernel(i64 kc, const double* __restrict ap,
+                         const double* __restrict bp,
+                         double* __restrict acc) {
+  static_assert(MR == 8 && NR == 6, "micro_kernel is specialized for 8x6");
+  v4df c0a{}, c0b{}, c1a{}, c1b{}, c2a{}, c2b{};
+  v4df c3a{}, c3b{}, c4a{}, c4b{}, c5a{}, c5b{};
+  for (i64 k = 0; k < kc; ++k) {
+    const v4df a0 = load4(ap);
+    const v4df a1 = load4(ap + 4);
+    c0a += a0 * bp[0];
+    c0b += a1 * bp[0];
+    c1a += a0 * bp[1];
+    c1b += a1 * bp[1];
+    c2a += a0 * bp[2];
+    c2b += a1 * bp[2];
+    c3a += a0 * bp[3];
+    c3b += a1 * bp[3];
+    c4a += a0 * bp[4];
+    c4b += a1 * bp[4];
+    c5a += a0 * bp[5];
+    c5b += a1 * bp[5];
+    ap += MR;
+    bp += NR;
+  }
+  store4(acc + 0 * MR, c0a);
+  store4(acc + 0 * MR + 4, c0b);
+  store4(acc + 1 * MR, c1a);
+  store4(acc + 1 * MR + 4, c1b);
+  store4(acc + 2 * MR, c2a);
+  store4(acc + 2 * MR + 4, c2b);
+  store4(acc + 3 * MR, c3a);
+  store4(acc + 3 * MR + 4, c3b);
+  store4(acc + 4 * MR, c4a);
+  store4(acc + 4 * MR + 4, c4b);
+  store4(acc + 5 * MR, c5a);
+  store4(acc + 5 * MR + 4, c5b);
+}
+
+#else
+
+/// Portable fallback: fixed trip counts over a local accumulator array.
+inline void micro_kernel(i64 kc, const double* __restrict ap,
+                         const double* __restrict bp,
+                         double* __restrict acc) {
+  for (i64 i = 0; i < MR * NR; ++i) acc[i] = 0.0;
+  for (i64 k = 0; k < kc; ++k) {
+    const double* __restrict av = ap + k * MR;
+    const double* __restrict bv = bp + k * NR;
+    for (i64 j = 0; j < NR; ++j) {
+      const double bj = bv[j];
+      double* __restrict accj = acc + j * MR;
+      for (i64 i = 0; i < MR; ++i) accj[i] += av[i] * bj;
+    }
+  }
+}
+
+#endif
+
+/// Whether the micro-tile with C-global origin (i, j) and extent mr x nr
+/// participates under the filter.
+inline bool tile_selected(TileFilter f, i64 i, i64 j, i64 mr, i64 nr) {
+  switch (f) {
+    case TileFilter::Full:
+      return true;
+    case TileFilter::Lower:
+      // Intersects {(r, c) : r >= c} iff its bottom-left corner does.
+      return i + mr - 1 >= j;
+    case TileFilter::Upper:
+      return i <= j + nr - 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+void gemm_accumulate(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                     ConstMatrixView b, MatrixView c, TileFilter filter) {
+  const i64 m = c.rows;
+  const i64 n = c.cols;
+  const i64 k = ta == Trans::N ? a.cols : a.rows;
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+
+  alignas(64) double acc[MR * NR];
+
+  for (i64 jc = 0; jc < n; jc += NC) {
+    const i64 nc = std::min(NC, n - jc);
+    const i64 nc_pad = round_up(nc, NR);
+    for (i64 pc = 0; pc < k; pc += KC) {
+      const i64 kc = std::min(KC, k - pc);
+      b_buffer.resize(static_cast<std::size_t>(nc_pad * kc));
+      pack_b(tb, b, pc, jc, kc, nc, b_buffer.data());
+      for (i64 ic = 0; ic < m; ic += MC) {
+        const i64 mc = std::min(MC, m - ic);
+        const i64 mc_pad = round_up(mc, MR);
+        a_buffer.resize(static_cast<std::size_t>(mc_pad * kc));
+        pack_a(ta, a, ic, pc, mc, kc, a_buffer.data());
+        for (i64 jr = 0; jr < nc; jr += NR) {
+          const i64 nr = std::min(NR, nc - jr);
+          const double* bp = b_buffer.data() + jr * kc;
+          for (i64 ir = 0; ir < mc; ir += MR) {
+            const i64 mr = std::min(MR, mc - ir);
+            if (!tile_selected(filter, ic + ir, jc + jr, mr, nr)) continue;
+            micro_kernel(kc, a_buffer.data() + ir * kc, bp, acc);
+            double* ct = c.data + (ic + ir) + (jc + jr) * c.ld;
+            for (i64 j = 0; j < nr; ++j) {
+              double* __restrict cc = ct + j * c.ld;
+              const double* __restrict accj = acc + j * MR;
+              for (i64 i = 0; i < mr; ++i) cc[i] += alpha * accj[i];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace cacqr::lin::kernel

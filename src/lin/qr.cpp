@@ -9,11 +9,32 @@ namespace cacqr::lin {
 namespace {
 
 /// Applies the elementary reflector H = I - tau v v^T (v(0)=1 implicit,
-/// stored in `v` from index 1) to C(0:len, :) in place.
-void apply_reflector(const double* v, i64 len, double tau, MatrixView c) {
+/// stored in `v` from index 1) to C(0:len, :) in place.  Columns are
+/// processed in pairs so each load of v serves two dot/axpy streams.
+void apply_reflector(const double* __restrict v, i64 len, double tau,
+                     MatrixView c) {
   if (tau == 0.0) return;
-  for (i64 j = 0; j < c.cols; ++j) {
-    double* col = c.data + j * c.ld;
+  i64 j = 0;
+  for (; j + 1 < c.cols; j += 2) {
+    double* __restrict c0 = c.data + j * c.ld;
+    double* __restrict c1 = c.data + (j + 1) * c.ld;
+    double w0 = c0[0];
+    double w1 = c1[0];
+    for (i64 i = 1; i < len; ++i) {
+      w0 += v[i] * c0[i];
+      w1 += v[i] * c1[i];
+    }
+    w0 *= tau;
+    w1 *= tau;
+    c0[0] -= w0;
+    c1[0] -= w1;
+    for (i64 i = 1; i < len; ++i) {
+      c0[i] -= w0 * v[i];
+      c1[i] -= w1 * v[i];
+    }
+  }
+  for (; j < c.cols; ++j) {
+    double* __restrict col = c.data + j * c.ld;
     double w = col[0];
     for (i64 i = 1; i < len; ++i) w += v[i] * col[i];
     w *= tau;

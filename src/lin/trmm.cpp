@@ -1,20 +1,248 @@
 #include "cacqr/lin/blas.hpp"
 #include "cacqr/lin/flops.hpp"
+#include "cacqr/lin/kernel.hpp"
 
 namespace cacqr::lin {
 
 namespace {
 
-/// Whether T(i,k) participates for the given uplo/trans combination, i.e.
-/// whether entry (i,k) of op(T) is inside the stored triangle.
-inline bool in_tri(Uplo uplo, Trans trans, i64 i, i64 k) noexcept {
-  const bool lower_op =
-      (uplo == Uplo::Lower) == (trans == Trans::N);  // op(T) lower?
-  return lower_op ? i >= k : i <= k;
-}
+/// Base-case size for the blocked triangular recursions.  Diagonal blocks
+/// up to this order run the O(n^2)-per-column scalar substitution loops;
+/// everything off-diagonal is a packed-kernel gemm.
+constexpr i64 kTriBlock = 32;
 
 inline double tri_at(ConstMatrixView t, Trans trans, i64 i, i64 k) noexcept {
   return trans == Trans::N ? t(i, k) : t(k, i);
+}
+
+/// Unblocked B := op(T) * B / B := B * op(T) (alpha folded in by the
+/// blocked driver), no flop accounting.
+void trmm_base(Side side, Uplo uplo, Trans trans, Diag diag,
+               ConstMatrixView t, MatrixView b) {
+  const i64 n_tri = t.rows;
+  const bool lower_op = (uplo == Uplo::Lower) == (trans == Trans::N);
+  if (side == Side::Left) {
+    for (i64 j = 0; j < b.cols; ++j) {
+      double* col = b.data + j * b.ld;
+      if (lower_op) {
+        // Row i depends on rows <= i: traverse bottom-up to update in place.
+        for (i64 i = n_tri - 1; i >= 0; --i) {
+          double acc =
+              diag == Diag::Unit ? col[i] : tri_at(t, trans, i, i) * col[i];
+          for (i64 k = 0; k < i; ++k) acc += tri_at(t, trans, i, k) * col[k];
+          col[i] = acc;
+        }
+      } else {
+        for (i64 i = 0; i < n_tri; ++i) {
+          double acc =
+              diag == Diag::Unit ? col[i] : tri_at(t, trans, i, i) * col[i];
+          for (i64 k = i + 1; k < n_tri; ++k) {
+            acc += tri_at(t, trans, i, k) * col[k];
+          }
+          col[i] = acc;
+        }
+      }
+    }
+  } else if (lower_op) {
+    // Result column j mixes B columns k >= j: traverse left-to-right.
+    for (i64 j = 0; j < n_tri; ++j) {
+      double* cj = b.data + j * b.ld;
+      const double djj = diag == Diag::Unit ? 1.0 : tri_at(t, trans, j, j);
+      for (i64 i = 0; i < b.rows; ++i) cj[i] *= djj;
+      for (i64 k = j + 1; k < n_tri; ++k) {
+        const double tkj = tri_at(t, trans, k, j);
+        if (tkj == 0.0) continue;
+        const double* ck = b.data + k * b.ld;
+        for (i64 i = 0; i < b.rows; ++i) cj[i] += tkj * ck[i];
+      }
+    }
+  } else {
+    // Result column j mixes B columns k <= j: traverse right-to-left.
+    for (i64 j = n_tri - 1; j >= 0; --j) {
+      double* cj = b.data + j * b.ld;
+      const double djj = diag == Diag::Unit ? 1.0 : tri_at(t, trans, j, j);
+      for (i64 i = 0; i < b.rows; ++i) cj[i] *= djj;
+      for (i64 k = 0; k < j; ++k) {
+        const double tkj = tri_at(t, trans, k, j);
+        if (tkj == 0.0) continue;
+        const double* ck = b.data + k * b.ld;
+        for (i64 i = 0; i < b.rows; ++i) cj[i] += tkj * ck[i];
+      }
+    }
+  }
+}
+
+/// Unblocked forward/backward substitution, alpha pre-applied, no flop
+/// accounting.
+void trsm_base(Side side, Uplo uplo, Trans trans, Diag diag,
+               ConstMatrixView t, MatrixView b) {
+  const i64 n_tri = t.rows;
+  const bool lower_op = (uplo == Uplo::Lower) == (trans == Trans::N);
+  if (side == Side::Left) {
+    for (i64 j = 0; j < b.cols; ++j) {
+      double* col = b.data + j * b.ld;
+      if (lower_op) {
+        for (i64 i = 0; i < n_tri; ++i) {
+          double acc = col[i];
+          for (i64 k = 0; k < i; ++k) acc -= tri_at(t, trans, i, k) * col[k];
+          col[i] = diag == Diag::Unit ? acc : acc / tri_at(t, trans, i, i);
+        }
+      } else {
+        for (i64 i = n_tri - 1; i >= 0; --i) {
+          double acc = col[i];
+          for (i64 k = i + 1; k < n_tri; ++k) {
+            acc -= tri_at(t, trans, i, k) * col[k];
+          }
+          col[i] = diag == Diag::Unit ? acc : acc / tri_at(t, trans, i, i);
+        }
+      }
+    }
+  } else if (lower_op) {
+    // X(:,j) = (B(:,j) - sum_{k>j} X(:,k) T(k,j)) / T(j,j): right-to-left.
+    for (i64 j = n_tri - 1; j >= 0; --j) {
+      double* cj = b.data + j * b.ld;
+      for (i64 k = j + 1; k < n_tri; ++k) {
+        const double tkj = tri_at(t, trans, k, j);
+        if (tkj == 0.0) continue;
+        const double* ck = b.data + k * b.ld;
+        for (i64 i = 0; i < b.rows; ++i) cj[i] -= tkj * ck[i];
+      }
+      if (diag == Diag::NonUnit) {
+        const double djj = tri_at(t, trans, j, j);
+        for (i64 i = 0; i < b.rows; ++i) cj[i] /= djj;
+      }
+    }
+  } else {
+    for (i64 j = 0; j < n_tri; ++j) {
+      double* cj = b.data + j * b.ld;
+      for (i64 k = 0; k < j; ++k) {
+        const double tkj = tri_at(t, trans, k, j);
+        if (tkj == 0.0) continue;
+        const double* ck = b.data + k * b.ld;
+        for (i64 i = 0; i < b.rows; ++i) cj[i] -= tkj * ck[i];
+      }
+      if (diag == Diag::NonUnit) {
+        const double djj = tri_at(t, trans, j, j);
+        for (i64 i = 0; i < b.rows; ++i) cj[i] /= djj;
+      }
+    }
+  }
+}
+
+/// The off-diagonal block of op(T) below the diagonal (lower_op) or above
+/// it (upper op), expressed as (stored block, transpose flag) so it can be
+/// fed straight to the packing layer.  With T split at h:
+///   lower storage:  T21 = t(h:, :h);   upper storage: T12 = t(:h, h:).
+struct OffDiag {
+  ConstMatrixView block;
+  Trans trans;
+};
+
+inline OffDiag off_diag_low(ConstMatrixView t, Trans trans, i64 h) {
+  // op(T)(2,1), an (n-h) x h block.
+  return trans == Trans::N
+             ? OffDiag{t.sub(h, 0, t.rows - h, h), Trans::N}
+             : OffDiag{t.sub(0, h, h, t.rows - h), Trans::T};
+}
+
+inline OffDiag off_diag_up(ConstMatrixView t, Trans trans, i64 h) {
+  // op(T)(1,2), an h x (n-h) block.
+  return trans == Trans::N
+             ? OffDiag{t.sub(0, h, h, t.rows - h), Trans::N}
+             : OffDiag{t.sub(h, 0, t.rows - h, h), Trans::T};
+}
+
+/// Blocked B := op(T) * B / B * op(T) (no alpha, no accounting): diagonal
+/// blocks recurse, off-diagonal updates are packed-kernel gemms.
+void trmm_rec(Side side, Uplo uplo, Trans trans, Diag diag, ConstMatrixView t,
+              MatrixView b) {
+  const i64 n_tri = t.rows;
+  if (n_tri <= kTriBlock) {
+    trmm_base(side, uplo, trans, diag, t, b);
+    return;
+  }
+  const i64 h = n_tri / 2;
+  auto t11 = t.sub(0, 0, h, h);
+  auto t22 = t.sub(h, h, n_tri - h, n_tri - h);
+  const bool lower_op = (uplo == Uplo::Lower) == (trans == Trans::N);
+  if (side == Side::Left) {
+    auto b1 = b.sub(0, 0, h, b.cols);
+    auto b2 = b.sub(h, 0, b.rows - h, b.cols);
+    if (lower_op) {
+      // [B1; B2] <- [op11 B1; op21 B1 + op22 B2], B1 updated last so the
+      // op21 product reads the original B1.
+      trmm_rec(side, uplo, trans, diag, t22, b2);
+      const OffDiag od = off_diag_low(t, trans, h);
+      kernel::gemm_accumulate(od.trans, Trans::N, 1.0, od.block, b1, b2);
+      trmm_rec(side, uplo, trans, diag, t11, b1);
+    } else {
+      trmm_rec(side, uplo, trans, diag, t11, b1);
+      const OffDiag od = off_diag_up(t, trans, h);
+      kernel::gemm_accumulate(od.trans, Trans::N, 1.0, od.block, b2, b1);
+      trmm_rec(side, uplo, trans, diag, t22, b2);
+    }
+  } else {
+    auto b1 = b.sub(0, 0, b.rows, h);
+    auto b2 = b.sub(0, h, b.rows, b.cols - h);
+    if (lower_op) {
+      // [B1 B2] <- [B1 op11 + B2 op21; B2 op22].
+      trmm_rec(side, uplo, trans, diag, t11, b1);
+      const OffDiag od = off_diag_low(t, trans, h);
+      kernel::gemm_accumulate(Trans::N, od.trans, 1.0, b2, od.block, b1);
+      trmm_rec(side, uplo, trans, diag, t22, b2);
+    } else {
+      trmm_rec(side, uplo, trans, diag, t22, b2);
+      const OffDiag od = off_diag_up(t, trans, h);
+      kernel::gemm_accumulate(Trans::N, od.trans, 1.0, b1, od.block, b2);
+      trmm_rec(side, uplo, trans, diag, t11, b1);
+    }
+  }
+}
+
+/// Blocked solve (alpha pre-applied, no accounting), same split as trmm_rec
+/// with the update directions reversed.
+void trsm_rec(Side side, Uplo uplo, Trans trans, Diag diag, ConstMatrixView t,
+              MatrixView b) {
+  const i64 n_tri = t.rows;
+  if (n_tri <= kTriBlock) {
+    trsm_base(side, uplo, trans, diag, t, b);
+    return;
+  }
+  const i64 h = n_tri / 2;
+  auto t11 = t.sub(0, 0, h, h);
+  auto t22 = t.sub(h, h, n_tri - h, n_tri - h);
+  const bool lower_op = (uplo == Uplo::Lower) == (trans == Trans::N);
+  if (side == Side::Left) {
+    auto b1 = b.sub(0, 0, h, b.cols);
+    auto b2 = b.sub(h, 0, b.rows - h, b.cols);
+    if (lower_op) {
+      // Forward: X1 = op11^{-1} B1; B2 -= op21 X1; X2 = op22^{-1} B2.
+      trsm_rec(side, uplo, trans, diag, t11, b1);
+      const OffDiag od = off_diag_low(t, trans, h);
+      kernel::gemm_accumulate(od.trans, Trans::N, -1.0, od.block, b1, b2);
+      trsm_rec(side, uplo, trans, diag, t22, b2);
+    } else {
+      trsm_rec(side, uplo, trans, diag, t22, b2);
+      const OffDiag od = off_diag_up(t, trans, h);
+      kernel::gemm_accumulate(od.trans, Trans::N, -1.0, od.block, b2, b1);
+      trsm_rec(side, uplo, trans, diag, t11, b1);
+    }
+  } else {
+    auto b1 = b.sub(0, 0, b.rows, h);
+    auto b2 = b.sub(0, h, b.rows, b.cols - h);
+    if (lower_op) {
+      // X2 op22 = B2; B1 -= X2 op21; X1 op11 = B1.
+      trsm_rec(side, uplo, trans, diag, t22, b2);
+      const OffDiag od = off_diag_low(t, trans, h);
+      kernel::gemm_accumulate(Trans::N, od.trans, -1.0, b2, od.block, b1);
+      trsm_rec(side, uplo, trans, diag, t11, b1);
+    } else {
+      trsm_rec(side, uplo, trans, diag, t11, b1);
+      const OffDiag od = off_diag_up(t, trans, h);
+      kernel::gemm_accumulate(Trans::N, od.trans, -1.0, b1, od.block, b2);
+      trsm_rec(side, uplo, trans, diag, t22, b2);
+    }
+  }
 }
 
 }  // namespace
@@ -23,81 +251,28 @@ void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
           ConstMatrixView t, MatrixView b) {
   ensure_dim(t.rows == t.cols, "trmm: T must be square");
   const i64 n_tri = t.rows;
-  i64 madds = 0;
+  ensure_dim(side == Side::Left ? b.rows == n_tri : b.cols == n_tri,
+             "trmm: ", side == Side::Left ? "left" : "right",
+             " operand size mismatch");
 
-  if (side == Side::Left) {
-    // B := alpha * op(T) * B.  Each output column independently.
-    ensure_dim(b.rows == n_tri, "trmm: left operand size mismatch");
-    const bool lower_op = (uplo == Uplo::Lower) == (trans == Trans::N);
+  if (alpha == 0.0) {
     for (i64 j = 0; j < b.cols; ++j) {
-      double* col = b.data + j * b.ld;
-      if (lower_op) {
-        // Row i depends on rows <= i: traverse bottom-up to update in place.
-        for (i64 i = n_tri - 1; i >= 0; --i) {
-          double acc = diag == Diag::Unit ? col[i] : tri_at(t, trans, i, i) * col[i];
-          for (i64 k = 0; k < i; ++k) {
-            acc += tri_at(t, trans, i, k) * col[k];
-            ++madds;
-          }
-          col[i] = alpha * acc;
-        }
-      } else {
-        for (i64 i = 0; i < n_tri; ++i) {
-          double acc = diag == Diag::Unit ? col[i] : tri_at(t, trans, i, i) * col[i];
-          for (i64 k = i + 1; k < n_tri; ++k) {
-            acc += tri_at(t, trans, i, k) * col[k];
-            ++madds;
-          }
-          col[i] = alpha * acc;
-        }
-      }
-      madds += n_tri;  // diagonal multiplies
+      double* cj = b.data + j * b.ld;
+      for (i64 i = 0; i < b.rows; ++i) cj[i] = 0.0;
     }
   } else {
-    // B := alpha * B * op(T).  Column j of the result mixes columns k of B
-    // where op(T)(k,j) is non-zero.
-    ensure_dim(b.cols == n_tri, "trmm: right operand size mismatch");
-    const bool lower_op = (uplo == Uplo::Lower) == (trans == Trans::N);
-    if (lower_op) {
-      // Result column j depends on B columns k >= j: traverse left-to-right.
-      for (i64 j = 0; j < n_tri; ++j) {
+    trmm_rec(side, uplo, trans, diag, t, b);
+    if (alpha != 1.0) {
+      for (i64 j = 0; j < b.cols; ++j) {
         double* cj = b.data + j * b.ld;
-        const double djj =
-            diag == Diag::Unit ? 1.0 : tri_at(t, trans, j, j);
-        for (i64 i = 0; i < b.rows; ++i) cj[i] *= djj;
-        for (i64 k = j + 1; k < n_tri; ++k) {
-          const double tkj = tri_at(t, trans, k, j);
-          if (tkj == 0.0) continue;
-          const double* ck = b.data + k * b.ld;
-          for (i64 i = 0; i < b.rows; ++i) cj[i] += tkj * ck[i];
-          madds += b.rows;
-        }
-        if (alpha != 1.0) {
-          for (i64 i = 0; i < b.rows; ++i) cj[i] *= alpha;
-        }
-        madds += b.rows;
-      }
-    } else {
-      // Result column j depends on B columns k <= j: traverse right-to-left.
-      for (i64 j = n_tri - 1; j >= 0; --j) {
-        double* cj = b.data + j * b.ld;
-        const double djj =
-            diag == Diag::Unit ? 1.0 : tri_at(t, trans, j, j);
-        for (i64 i = 0; i < b.rows; ++i) cj[i] *= djj;
-        for (i64 k = 0; k < j; ++k) {
-          const double tkj = tri_at(t, trans, k, j);
-          if (tkj == 0.0) continue;
-          const double* ck = b.data + k * b.ld;
-          for (i64 i = 0; i < b.rows; ++i) cj[i] += tkj * ck[i];
-          madds += b.rows;
-        }
-        if (alpha != 1.0) {
-          for (i64 i = 0; i < b.rows; ++i) cj[i] *= alpha;
-        }
-        madds += b.rows;
+        for (i64 i = 0; i < b.rows; ++i) cj[i] *= alpha;
       }
     }
   }
+  // Dense triangular-multiply count: n(n-1)/2 off-diagonal madds plus n
+  // diagonal multiplies per vector, for cols (left) / rows (right) vectors.
+  const i64 vecs = side == Side::Left ? b.cols : b.rows;
+  const i64 madds = vecs * (n_tri * (n_tri - 1) / 2 + n_tri);
   flops::add(2 * madds);
 }
 
@@ -105,75 +280,22 @@ void trsm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
           ConstMatrixView t, MatrixView b) {
   ensure_dim(t.rows == t.cols, "trsm: T must be square");
   const i64 n_tri = t.rows;
-  i64 madds = 0;
+  ensure_dim(side == Side::Left ? b.rows == n_tri : b.cols == n_tri,
+             "trsm: ", side == Side::Left ? "left" : "right",
+             " operand size mismatch");
 
   if (alpha != 1.0) scal(alpha, b);
+  trsm_rec(side, uplo, trans, diag, t, b);
 
+  // Substitution count: n(n-1)/2 off-diagonal madds per vector, plus the
+  // diagonal term -- charged unconditionally on the left (the accumulator
+  // write), only for NonUnit divisions on the right.
+  i64 madds;
   if (side == Side::Left) {
-    // Solve op(T) X = B column by column (forward or backward substitution).
-    ensure_dim(b.rows == n_tri, "trsm: left operand size mismatch");
-    const bool lower_op = (uplo == Uplo::Lower) == (trans == Trans::N);
-    for (i64 j = 0; j < b.cols; ++j) {
-      double* col = b.data + j * b.ld;
-      if (lower_op) {
-        for (i64 i = 0; i < n_tri; ++i) {
-          double acc = col[i];
-          for (i64 k = 0; k < i; ++k) {
-            acc -= tri_at(t, trans, i, k) * col[k];
-            ++madds;
-          }
-          col[i] = diag == Diag::Unit ? acc : acc / tri_at(t, trans, i, i);
-        }
-      } else {
-        for (i64 i = n_tri - 1; i >= 0; --i) {
-          double acc = col[i];
-          for (i64 k = i + 1; k < n_tri; ++k) {
-            acc -= tri_at(t, trans, i, k) * col[k];
-            ++madds;
-          }
-          col[i] = diag == Diag::Unit ? acc : acc / tri_at(t, trans, i, i);
-        }
-      }
-      madds += n_tri;
-    }
+    madds = b.cols * (n_tri * (n_tri - 1) / 2 + n_tri);
   } else {
-    // Solve X op(T) = B: process result columns in dependency order.
-    ensure_dim(b.cols == n_tri, "trsm: right operand size mismatch");
-    const bool lower_op = (uplo == Uplo::Lower) == (trans == Trans::N);
-    if (lower_op) {
-      // X(:,j) = (B(:,j) - sum_{k>j} X(:,k) T(k,j)) / T(j,j): go right-to-left.
-      for (i64 j = n_tri - 1; j >= 0; --j) {
-        double* cj = b.data + j * b.ld;
-        for (i64 k = j + 1; k < n_tri; ++k) {
-          const double tkj = tri_at(t, trans, k, j);
-          if (tkj == 0.0) continue;
-          const double* ck = b.data + k * b.ld;
-          for (i64 i = 0; i < b.rows; ++i) cj[i] -= tkj * ck[i];
-          madds += b.rows;
-        }
-        if (diag == Diag::NonUnit) {
-          const double djj = tri_at(t, trans, j, j);
-          for (i64 i = 0; i < b.rows; ++i) cj[i] /= djj;
-          madds += b.rows;
-        }
-      }
-    } else {
-      for (i64 j = 0; j < n_tri; ++j) {
-        double* cj = b.data + j * b.ld;
-        for (i64 k = 0; k < j; ++k) {
-          const double tkj = tri_at(t, trans, k, j);
-          if (tkj == 0.0) continue;
-          const double* ck = b.data + k * b.ld;
-          for (i64 i = 0; i < b.rows; ++i) cj[i] -= tkj * ck[i];
-          madds += b.rows;
-        }
-        if (diag == Diag::NonUnit) {
-          const double djj = tri_at(t, trans, j, j);
-          for (i64 i = 0; i < b.rows; ++i) cj[i] /= djj;
-          madds += b.rows;
-        }
-      }
-    }
+    madds = b.rows * (n_tri * (n_tri - 1) / 2) +
+            (diag == Diag::NonUnit ? b.rows * n_tri : 0);
   }
   flops::add(2 * madds);
 }

@@ -60,7 +60,11 @@ INSTANTIATE_TEST_SUITE_P(
         GemmParam{64, 33, 129, 1, 0}, GemmParam{8, 8, 8, 0, 1},
         GemmParam{17, 31, 12, 0, 1}, GemmParam{64, 129, 33, 0, 1},
         GemmParam{8, 8, 8, 1, 1}, GemmParam{23, 19, 29, 1, 1},
-        GemmParam{5, 130, 7, 1, 1}));
+        GemmParam{5, 130, 7, 1, 1},
+        // Shapes straddling the packed kernel's MC/KC cache blocks and the
+        // MR/NR register tile in every transpose case.
+        GemmParam{149, 13, 261, 0, 0}, GemmParam{150, 11, 259, 1, 0},
+        GemmParam{145, 157, 30, 0, 1}, GemmParam{146, 9, 257, 1, 1}));
 
 TEST(GemmTest, SubViewOperands) {
   // Multiplying sub-blocks must respect leading dimensions.
@@ -97,6 +101,30 @@ TEST(GemmTest, FlopCount) {
   flops::reset();
   matmul(a, b, c);
   EXPECT_EQ(flops::take(), 2 * 8 * 6 * 4);
+}
+
+TEST(GemmTest, AlphaZeroFastPathChargesNoFlops) {
+  // Regression: the seed charged 2*m*n*k for the alpha == 0 early return,
+  // inflating the machine model's gamma tally for a scaling-only call.
+  Rng rng(99);
+  Matrix a = gaussian(rng, 8, 4);
+  Matrix b = gaussian(rng, 4, 6);
+  Matrix c = gaussian(rng, 8, 6);
+  Matrix expect = materialize(c.view());
+  scal(0.5, expect);
+  flops::reset();
+  gemm(Trans::N, Trans::N, 0.0, a, b, 0.5, c);
+  EXPECT_EQ(flops::take(), 0);
+  EXPECT_LT(max_abs_diff(c, expect), 1e-15);
+}
+
+TEST(GemmTest, ZeroInnerDimensionChargesNoFlops) {
+  Matrix a(5, 0), b(0, 3), c(5, 3);
+  c(1, 1) = 7.0;
+  flops::reset();
+  gemm(Trans::N, Trans::N, 1.0, a, b, 0.0, c);
+  EXPECT_EQ(flops::take(), 0);
+  EXPECT_EQ(c(1, 1), 0.0);  // beta == 0 still overwrites
 }
 
 TEST(GramTest, MatchesGemmTN) {
@@ -146,6 +174,110 @@ TEST(SyrkTest, AccumulatesWithBeta) {
   scal(2.0, expect);
   gemm(Trans::N, Trans::T, 1.0, a, a, 1.0, expect);
   EXPECT_LT(max_abs_diff(c, expect), 1e-12 * (1.0 + max_abs(expect)));
+}
+
+// ---------------------------------------------------------------- sweeps
+// Parameterized validation of the blocked gram/syrk_nt against the dense
+// gemm reference across shapes that are not multiples of the kernel's
+// MR/NR/MC/KC blocks (mirrors GemmSweep above).
+
+using SymParam = std::tuple<int, int>;  // m (or k), n
+
+class GramSweep : public ::testing::TestWithParam<SymParam> {};
+
+TEST_P(GramSweep, MatchesGemmAndStaysSymmetric) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<u64>(500 + 37 * m + n));
+  Matrix a = gaussian(rng, m, n);
+  Matrix g = gaussian(rng, n, n);
+  Matrix expect = materialize(g.view());
+  gemm(Trans::T, Trans::N, -1.5, a, a, 0.5, expect);
+  // Gram mirrors the lower triangle, so symmetrize the reference too.
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 i = j + 1; i < n; ++i) expect(j, i) = expect(i, j);
+  }
+  gram(-1.5, a, 0.5, g);
+  EXPECT_LT(max_abs_diff(g, expect), 1e-11 * (1.0 + max_abs(expect)))
+      << "m=" << m << " n=" << n;
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 i = 0; i < n; ++i) EXPECT_EQ(g(i, j), g(j, i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GramSweep,
+                         ::testing::Values(SymParam{1, 1}, SymParam{9, 7},
+                                           SymParam{300, 37}, SymParam{64, 64},
+                                           SymParam{257, 150},
+                                           SymParam{33, 129}));
+
+class SyrkSweep : public ::testing::TestWithParam<SymParam> {};
+
+TEST_P(SyrkSweep, MatchesGemmBothUplos) {
+  const auto [k, n] = GetParam();
+  for (const Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+    Rng rng(static_cast<u64>(800 + 41 * k + n + (uplo == Uplo::Upper)));
+    Matrix a = gaussian(rng, n, k);
+    Matrix c = gaussian(rng, n, n);
+    Matrix expect = materialize(c.view());
+    gemm(Trans::N, Trans::T, 2.0, a, a, -0.5, expect);
+    for (i64 j = 0; j < n; ++j) {  // mirrored from the computed triangle
+      for (i64 i = j + 1; i < n; ++i) {
+        if (uplo == Uplo::Lower) {
+          expect(j, i) = expect(i, j);
+        } else {
+          expect(i, j) = expect(j, i);
+        }
+      }
+    }
+    syrk_nt(2.0, a, -0.5, c, uplo);
+    EXPECT_LT(max_abs_diff(c, expect), 1e-11 * (1.0 + max_abs(expect)))
+        << "k=" << k << " n=" << n << " upper=" << (uplo == Uplo::Upper);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SyrkSweep,
+                         ::testing::Values(SymParam{1, 1}, SymParam{9, 7},
+                                           SymParam{300, 37}, SymParam{64, 64},
+                                           SymParam{257, 150},
+                                           SymParam{33, 129}));
+
+TEST(GramTest, SubViewOperandWithLeadingDimension) {
+  Rng rng(23);
+  Matrix big = gaussian(rng, 40, 20);
+  auto a = big.sub(3, 2, 25, 9);  // ld 40 > rows 25
+  Matrix g(9, 9), expect(9, 9);
+  gram(1.0, a, 0.0, g);
+  gemm(Trans::T, Trans::N, 1.0, a, a, 0.0, expect);
+  EXPECT_LT(max_abs_diff(g, expect), 1e-12 * (1.0 + max_abs(expect)));
+}
+
+TEST(GramTest, DegenerateShapes) {
+  Matrix a0(0, 5), g0(5, 5);
+  g0(2, 2) = 3.0;
+  flops::reset();
+  gram(1.0, a0, 0.0, g0);  // zero rows: G = 0
+  EXPECT_EQ(flops::take(), 0);
+  EXPECT_EQ(max_abs(g0), 0.0);
+  Matrix a1(7, 0), g1(0, 0);
+  EXPECT_NO_THROW(gram(1.0, a1, 0.0, g1));
+}
+
+TEST(SyrkTest, FlopCountFormula) {
+  Matrix a(9, 5);
+  Matrix c(9, 9);
+  flops::reset();
+  syrk_nt(1.0, a, 0.0, c, Uplo::Lower);
+  EXPECT_EQ(flops::take(), 9 * 10 * 5);  // n * (n+1) * k
+}
+
+TEST(SyrkTest, SubViewOperand) {
+  Rng rng(29);
+  Matrix big = gaussian(rng, 30, 30);
+  auto a = big.sub(2, 4, 11, 13);
+  Matrix c1(11, 11), c2(11, 11);
+  syrk_nt(1.0, a, 0.0, c1, Uplo::Upper);
+  gemm(Trans::N, Trans::T, 1.0, a, a, 0.0, c2);
+  EXPECT_LT(max_abs_diff(c1, c2), 1e-12 * (1.0 + max_abs(c2)));
 }
 
 }  // namespace

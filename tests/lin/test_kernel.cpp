@@ -1,0 +1,149 @@
+/// \file test_kernel.cpp
+/// \brief Direct tests of the packed micro-kernel driver (kernel.hpp):
+///        all four transpose cases, triangle tile filters, awkward shapes
+///        around the MR/NR/MC/KC block boundaries, and strided sub-views.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cacqr/lin/flops.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/lin/kernel.hpp"
+#include "cacqr/lin/util.hpp"
+
+namespace cacqr::lin {
+namespace {
+
+/// Reference accumulate: C += alpha * op(A) * op(B).
+Matrix naive_accumulate(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                        ConstMatrixView b, ConstMatrixView c0) {
+  const i64 m = c0.rows;
+  const i64 n = c0.cols;
+  const i64 k = ta == Trans::N ? a.cols : a.rows;
+  Matrix c = materialize(c0);
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (i64 kk = 0; kk < k; ++kk) {
+        const double av = ta == Trans::N ? a(i, kk) : a(kk, i);
+        const double bv = tb == Trans::N ? b(kk, j) : b(j, kk);
+        acc += av * bv;
+      }
+      c(i, j) += alpha * acc;
+    }
+  }
+  return c;
+}
+
+using AccumParam = std::tuple<int, int, int, int, int>;  // m, n, k, ta, tb
+
+class KernelAccumulateSweep : public ::testing::TestWithParam<AccumParam> {};
+
+TEST_P(KernelAccumulateSweep, MatchesNaive) {
+  const auto [m, n, k, tai, tbi] = GetParam();
+  const Trans ta = tai ? Trans::T : Trans::N;
+  const Trans tb = tbi ? Trans::T : Trans::N;
+  Rng rng(static_cast<u64>(7000 + 977 * m + 83 * n + 11 * k + 2 * tai + tbi));
+  Matrix a = gaussian(rng, ta == Trans::N ? m : k, ta == Trans::N ? k : m);
+  Matrix b = gaussian(rng, tb == Trans::N ? k : n, tb == Trans::N ? n : k);
+  Matrix c = gaussian(rng, m, n);
+  Matrix expect = naive_accumulate(ta, tb, 1.5, a, b, c);
+  kernel::gemm_accumulate(ta, tb, 1.5, a, b, c);
+  EXPECT_LT(max_abs_diff(c, expect), 1e-11 * (1.0 + max_abs(expect)))
+      << "m=" << m << " n=" << n << " k=" << k << " ta=" << tai
+      << " tb=" << tbi;
+}
+
+// Shapes chosen to hit every packing edge: below/at/above MR (8) and NR
+// (6), straddling MC (144) and KC (256), and one NC-scale column count.
+INSTANTIATE_TEST_SUITE_P(
+    BlockEdges, KernelAccumulateSweep,
+    ::testing::Values(
+        AccumParam{1, 1, 1, 0, 0}, AccumParam{8, 6, 16, 0, 0},
+        AccumParam{7, 5, 9, 0, 0}, AccumParam{9, 7, 300, 0, 0},
+        AccumParam{17, 13, 257, 1, 0}, AccumParam{145, 7, 13, 1, 0},
+        AccumParam{143, 149, 255, 0, 1}, AccumParam{16, 300, 16, 0, 1},
+        AccumParam{151, 11, 259, 1, 1}, AccumParam{30, 42, 70, 1, 1}));
+
+TEST(KernelAccumulateTest, DoesNotScaleCAndChargesNoFlops) {
+  Rng rng(42);
+  Matrix a = gaussian(rng, 10, 4);
+  Matrix b = gaussian(rng, 4, 3);
+  Matrix c = gaussian(rng, 10, 3);
+  Matrix expect = naive_accumulate(Trans::N, Trans::N, -2.0, a, b, c);
+  flops::reset();
+  kernel::gemm_accumulate(Trans::N, Trans::N, -2.0, a, b, c);
+  EXPECT_EQ(flops::take(), 0);  // accounting lives in the public wrappers
+  EXPECT_LT(max_abs_diff(c, expect), 1e-12 * (1.0 + max_abs(expect)));
+}
+
+TEST(KernelAccumulateTest, SubViewOperandsRespectLeadingDimensions) {
+  Rng rng(43);
+  Matrix big = gaussian(rng, 40, 40);
+  auto a = big.sub(3, 1, 17, 9);    // ld 40 > rows 17
+  auto b = big.sub(5, 11, 9, 13);
+  Matrix cbig(30, 30);
+  auto c = cbig.sub(2, 2, 17, 13);  // strided output too
+  Matrix expect = naive_accumulate(Trans::N, Trans::N, 1.0, a, b, c);
+  kernel::gemm_accumulate(Trans::N, Trans::N, 1.0, a, b, c);
+  EXPECT_LT(max_abs_diff(materialize(c), expect), 1e-12);
+  // Entries of cbig outside the view stay untouched (zero).
+  EXPECT_EQ(cbig(0, 0), 0.0);
+  EXPECT_EQ(cbig(29, 29), 0.0);
+}
+
+TEST(KernelAccumulateTest, DegenerateDimensionsAreNoOps) {
+  Matrix a(0, 5), b(5, 0), c(0, 0);
+  EXPECT_NO_THROW(kernel::gemm_accumulate(Trans::N, Trans::N, 1.0, a, b, c));
+  Matrix a2(4, 0), b2(0, 3), c2(4, 3);
+  kernel::gemm_accumulate(Trans::N, Trans::N, 1.0, a2, b2, c2);  // k == 0
+  EXPECT_EQ(max_abs(c2), 0.0);
+}
+
+/// The triangle filters must produce exact results on the requested
+/// triangle; the opposite strict triangle may hold tile spill-over.
+TEST(KernelTileFilterTest, LowerFilterCoversLowerTriangle) {
+  Rng rng(44);
+  const i64 n = 37;  // not a multiple of MR or NR
+  Matrix a = gaussian(rng, 50, n);
+  Matrix c(n, n), full(n, n);
+  kernel::gemm_accumulate(Trans::T, Trans::N, 1.0, a, a, c,
+                          kernel::TileFilter::Lower);
+  kernel::gemm_accumulate(Trans::T, Trans::N, 1.0, a, a, full);
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 i = j; i < n; ++i) {
+      EXPECT_EQ(c(i, j), full(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(KernelTileFilterTest, UpperFilterCoversUpperTriangle) {
+  Rng rng(45);
+  const i64 n = 41;
+  Matrix a = gaussian(rng, n, 23);
+  Matrix c(n, n), full(n, n);
+  kernel::gemm_accumulate(Trans::N, Trans::T, 1.0, a, a, c,
+                          kernel::TileFilter::Upper);
+  kernel::gemm_accumulate(Trans::N, Trans::T, 1.0, a, a, full);
+  for (i64 j = 0; j < n; ++j) {
+    for (i64 i = 0; i <= j; ++i) {
+      EXPECT_EQ(c(i, j), full(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(KernelTileFilterTest, LowerFilterSkipsFarUpperTiles) {
+  // Tiles strictly above the diagonal must not be touched at all: with a
+  // large enough matrix the (0, n-1) corner sits in a skipped tile.
+  Rng rng(46);
+  const i64 n = 64;  // corner tile (0, 60..63) is strictly upper
+  Matrix a = gaussian(rng, 16, n);
+  Matrix c(n, n);
+  kernel::gemm_accumulate(Trans::T, Trans::N, 1.0, a, a, c,
+                          kernel::TileFilter::Lower);
+  EXPECT_EQ(c(0, n - 1), 0.0);
+}
+
+}  // namespace
+}  // namespace cacqr::lin

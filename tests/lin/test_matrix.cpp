@@ -79,5 +79,43 @@ TEST(MatrixTest, Equality) {
   EXPECT_FALSE(a == b);
 }
 
+TEST(MatrixTest, SizeUsesCheckedMultiply) {
+  Matrix a(3, 4);
+  EXPECT_EQ(a.size(), 12);
+  Matrix empty;
+  EXPECT_EQ(empty.size(), 0);
+}
+
+TEST(MaterializeTest, ContiguousViewFastPath) {
+  // ld == rows takes the single-memcpy path; result must be identical.
+  Matrix a(7, 5);
+  for (i64 j = 0; j < 5; ++j) {
+    for (i64 i = 0; i < 7; ++i) a(i, j) = static_cast<double>(i * 100 + j);
+  }
+  Matrix b = materialize(a.view());
+  EXPECT_TRUE(a == b);
+}
+
+TEST(MaterializeTest, StridedViewPerColumnCopy) {
+  Matrix a(8, 8);
+  for (i64 j = 0; j < 8; ++j) {
+    for (i64 i = 0; i < 8; ++i) a(i, j) = static_cast<double>(i * 100 + j);
+  }
+  auto v = a.sub(2, 3, 4, 3);  // ld 8 > rows 4
+  Matrix b = materialize(v);
+  for (i64 j = 0; j < 3; ++j) {
+    for (i64 i = 0; i < 4; ++i) EXPECT_EQ(b(i, j), v(i, j));
+  }
+}
+
+TEST(MaterializeTest, DegenerateViews) {
+  Matrix a(0, 4);
+  Matrix b = materialize(a.view());
+  EXPECT_EQ(b.rows(), 0);
+  EXPECT_EQ(b.cols(), 4);
+  Matrix c(4, 0);
+  EXPECT_EQ(materialize(c.view()).cols(), 0);
+}
+
 }  // namespace
 }  // namespace cacqr::lin

@@ -3,6 +3,7 @@
 #include <tuple>
 
 #include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/flops.hpp"
 #include "cacqr/lin/generate.hpp"
 #include "cacqr/lin/util.hpp"
 
@@ -92,17 +93,19 @@ TEST_P(TrsmSweep, SolveThenMultiplyRoundTrips) {
   EXPECT_LT(max_abs_diff(back, b), 1e-10 * (1.0 + max_abs(b)));
 }
 
+// Sizes above 32 exercise the blocked recursion (gemm off-diagonal
+// updates); 97 and 130 are deliberately not multiples of the base block.
 INSTANTIATE_TEST_SUITE_P(
     AllVariants, TrmmSweep,
     ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1),
                        ::testing::Values(0, 1), ::testing::Values(0, 1),
-                       ::testing::Values(1, 5, 23, 64)));
+                       ::testing::Values(1, 5, 23, 64, 97, 130)));
 
 INSTANTIATE_TEST_SUITE_P(
     AllVariants, TrsmSweep,
     ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1),
                        ::testing::Values(0, 1), ::testing::Values(0, 1),
-                       ::testing::Values(1, 5, 23, 64)));
+                       ::testing::Values(1, 5, 23, 64, 97, 130)));
 
 TEST(TrsmTest, AlphaScaling) {
   Rng rng(3);
@@ -125,6 +128,106 @@ TEST(TrmmTest, InverseComposesToIdentity) {
   trmm(Side::Right, Uplo::Upper, Trans::N, Diag::NonUnit, 1.0, u, b);
   trsm(Side::Right, Uplo::Upper, Trans::N, Diag::NonUnit, 1.0, u, b);
   EXPECT_LT(max_abs_diff(b, orig), 1e-10 * (1.0 + max_abs(orig)));
+}
+
+TEST(TrmmTest, FlopCountFormula) {
+  // The documented dense count, independent of blocking and data:
+  // vectors * n * (n + 1) with vectors = cols (left) / rows (right).
+  Rng rng(41);
+  Matrix t = random_tri(rng, 17, Uplo::Lower, Diag::NonUnit);
+  Matrix bl = gaussian(rng, 17, 5);
+  flops::reset();
+  trmm(Side::Left, Uplo::Lower, Trans::N, Diag::NonUnit, 1.0, t, bl);
+  EXPECT_EQ(flops::take(), 5 * 17 * 18);
+  Matrix br = gaussian(rng, 7, 17);
+  flops::reset();
+  trmm(Side::Right, Uplo::Lower, Trans::T, Diag::Unit, -2.0, t, br);
+  EXPECT_EQ(flops::take(), 7 * 17 * 18);
+}
+
+TEST(TrsmTest, FlopCountFormula) {
+  Rng rng(43);
+  Matrix t = random_tri(rng, 17, Uplo::Upper, Diag::NonUnit);
+  Matrix bl = gaussian(rng, 17, 5);
+  flops::reset();
+  trsm(Side::Left, Uplo::Upper, Trans::N, Diag::NonUnit, 1.0, t, bl);
+  EXPECT_EQ(flops::take(), 5 * 17 * 18);
+  // Right side: the diagonal divisions are charged only for NonUnit.
+  Matrix br = gaussian(rng, 7, 17);
+  flops::reset();
+  trsm(Side::Right, Uplo::Upper, Trans::N, Diag::NonUnit, 1.0, t, br);
+  EXPECT_EQ(flops::take(), 7 * 17 * 18);
+  Matrix bu = gaussian(rng, 7, 17);
+  Matrix tu = random_tri(rng, 17, Uplo::Upper, Diag::Unit);
+  flops::reset();
+  trsm(Side::Right, Uplo::Upper, Trans::N, Diag::Unit, 1.0, tu, bu);
+  EXPECT_EQ(flops::take(), 7 * 17 * 16);
+  // alpha != 1 additionally charges the scal pass (rows * cols).
+  flops::reset();
+  trsm(Side::Right, Uplo::Upper, Trans::N, Diag::Unit, 2.0, tu, bu);
+  EXPECT_EQ(flops::take(), 7 * 17 * 16 + 7 * 17);
+}
+
+TEST(TrmmTest, BlockedFlopCountMatchesFormulaAboveBaseCase) {
+  // n = 130 goes through two recursion levels; the charge must still be
+  // the closed-form count, bit-identical to the seed's loops.
+  Rng rng(47);
+  Matrix t = random_tri(rng, 130, Uplo::Lower, Diag::NonUnit);
+  Matrix b = gaussian(rng, 9, 130);
+  flops::reset();
+  trmm(Side::Right, Uplo::Lower, Trans::T, Diag::NonUnit, 1.0, t, b);
+  EXPECT_EQ(flops::take(), 9 * 130 * 131);
+  Matrix b2 = gaussian(rng, 130, 9);
+  flops::reset();
+  trsm(Side::Left, Uplo::Lower, Trans::N, Diag::NonUnit, 1.0, t, b2);
+  EXPECT_EQ(flops::take(), 9 * 130 * 131);
+}
+
+TEST(TrmmTest, SubViewOperandsRespectLeadingDimensions) {
+  Rng rng(53);
+  Matrix tbig = random_tri(rng, 40, Uplo::Lower, Diag::NonUnit);
+  auto t = lin::ConstMatrixView{tbig.data(), 33, 33, 40};  // ld > rows
+  Matrix bbig = gaussian(rng, 50, 40);
+  auto b = bbig.sub(4, 3, 33, 9);
+  Matrix dense = densify(materialize(t), Uplo::Lower, Trans::N,
+                         Diag::NonUnit);
+  Matrix expect(33, 9);
+  gemm(Trans::N, Trans::N, 1.0, dense, b, 0.0, expect);
+  trmm(Side::Left, Uplo::Lower, Trans::N, Diag::NonUnit, 1.0, t, b);
+  EXPECT_LT(max_abs_diff(materialize(b), expect),
+            1e-11 * (1.0 + max_abs(expect)));
+}
+
+TEST(TrsmTest, SubViewOperandsRespectLeadingDimensions) {
+  Rng rng(59);
+  Matrix tbig = random_tri(rng, 40, Uplo::Upper, Diag::NonUnit);
+  auto t = lin::ConstMatrixView{tbig.data(), 37, 37, 40};
+  Matrix bbig = gaussian(rng, 50, 45);
+  auto b = bbig.sub(2, 5, 11, 37);
+  Matrix orig = materialize(b);
+  trsm(Side::Right, Uplo::Upper, Trans::T, Diag::NonUnit, 1.0, t, b);
+  Matrix dense = densify(materialize(t), Uplo::Upper, Trans::T,
+                         Diag::NonUnit);
+  Matrix back(11, 37);
+  gemm(Trans::N, Trans::N, 1.0, materialize(b), dense, 0.0, back);
+  EXPECT_LT(max_abs_diff(back, orig), 1e-9 * (1.0 + max_abs(orig)));
+}
+
+TEST(TriangularTest, DegenerateShapesAreNoOps) {
+  Matrix t0(0, 0);
+  Matrix b0(0, 4), b1(4, 0);
+  flops::reset();
+  EXPECT_NO_THROW(
+      trmm(Side::Left, Uplo::Lower, Trans::N, Diag::NonUnit, 1.0, t0, b0));
+  EXPECT_NO_THROW(
+      trsm(Side::Right, Uplo::Upper, Trans::T, Diag::Unit, 1.0, t0, b1));
+  EXPECT_EQ(flops::take(), 0);
+  // Zero right-hand-side columns against a real triangle.
+  Rng rng(61);
+  Matrix t = random_tri(rng, 6, Uplo::Lower, Diag::NonUnit);
+  Matrix bempty(6, 0);
+  EXPECT_NO_THROW(
+      trsm(Side::Left, Uplo::Lower, Trans::N, Diag::NonUnit, 1.0, t, bempty));
 }
 
 }  // namespace
