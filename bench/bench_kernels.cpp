@@ -9,11 +9,15 @@
 /// rebuild (see DESIGN.md section 2), kept here so every future PR can
 /// re-measure the speedup against the same baseline.
 ///
-/// Usage: bench_kernels [--json[=PATH]] [--quick]
-///   --json   additionally write machine-readable results (default PATH:
-///            bench_out/bench_kernels.json) -- the perf-trajectory artifact
-///            CI uploads and PRs commit.
-///   --quick  smaller shapes / shorter repetitions (CI smoke mode).
+/// Usage: bench_kernels [--json[=PATH]] [--quick] [--threads N]
+///   --json     additionally write machine-readable results (default PATH:
+///              bench_out/bench_kernels.json) -- the perf-trajectory
+///              artifact CI uploads and PRs commit.  Includes a
+///              thread-scaling sweep (1/2/4/8 workers) of the gemm paths.
+///   --quick    smaller shapes / shorter repetitions (CI smoke mode).
+///   --threads  worker budget for the "new" kernel measurements (default:
+///              CACQR_THREADS, i.e. 1); the seed reference loops are
+///              always single-threaded -- they predate the pool.
 
 #include <chrono>
 #include <cstdio>
@@ -26,6 +30,8 @@
 #include "cacqr/lin/blas.hpp"
 #include "cacqr/lin/factor.hpp"
 #include "cacqr/lin/generate.hpp"
+#include "cacqr/lin/kernel.hpp"
+#include "cacqr/lin/parallel.hpp"
 #include "cacqr/lin/util.hpp"
 #include "cacqr/support/rng.hpp"
 
@@ -169,12 +175,23 @@ struct Result {
   }
 };
 
+/// One point of the thread-scaling sweep: the packed kernel's GFLOP/s for
+/// `kernel` at the given worker budget.
+struct ScalePoint {
+  std::string kernel;
+  i64 m = 0;
+  i64 n = 0;
+  int threads = 0;
+  double gflops = 0.0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   bool json = false;
   std::string json_path = "bench_out/bench_kernels.json";
+  int threads = lin::parallel::thread_budget();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -188,11 +205,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --json= requires a path\n");
         return 2;
       }
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) {
+        std::fprintf(stderr, "error: --threads requires a positive count\n");
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--json[=PATH]] [--quick]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--json[=PATH]] [--quick] [--threads N]\n",
+                   argv[0]);
       return 2;
     }
   }
+  lin::parallel::set_thread_budget(threads);
 
   const std::vector<i64> ms =
       quick ? std::vector<i64>{1024, 16384}
@@ -201,6 +226,8 @@ int main(int argc, char** argv) {
   const double target = quick ? 0.05 : 0.25;
 
   std::vector<Result> results;
+  std::printf("threads=%d (host hardware threads: %d)\n", threads,
+              lin::parallel::hardware_threads());
   std::printf("%-10s %8s %5s %12s %12s %9s\n", "kernel", "m", "n",
               "seed GF/s", "new GF/s", "speedup");
 
@@ -300,6 +327,43 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Thread-scaling sweep of the packed gemm paths at the tall-skinny
+  // trajectory shape (m=16384, n=256): same kernels the acceptance gate
+  // tracks.  Run for the JSON artifact so the perf trajectory records how
+  // the kernel scales on the measuring host; budgets beyond the host's
+  // core count are still measured (they show the oversubscription cliff).
+  std::vector<ScalePoint> scaling;
+  if (json) {
+    const i64 sm = 16384;
+    const i64 sn = 256;
+    Rng rng(static_cast<u64>(sm * 1000 + sn));
+    Matrix a = lin::gaussian(rng, sm, sn);
+    Matrix b = lin::gaussian(rng, sm, sn);
+    Matrix xs = lin::gaussian(rng, sn, sn);
+    Matrix small(sn, sn);
+    Matrix big(sm, sn);
+    const double flops = 2.0 * static_cast<double>(sm) *
+                         static_cast<double>(sn) * static_cast<double>(sn);
+    std::printf("\nthread scaling (m=%lld, n=%lld)\n%-10s %8s %12s\n",
+                static_cast<long long>(sm), static_cast<long long>(sn),
+                "kernel", "threads", "GF/s");
+    for (const int t : {1, 2, 4, 8}) {
+      lin::parallel::set_thread_budget(t);
+      const double t_nn = time_best([&] { lin::matmul(a, xs, big); }, target);
+      const double t_tn = time_best(
+          [&] {
+            lin::gemm(lin::Trans::T, lin::Trans::N, 1.0, a, b, 0.0, small);
+          },
+          target);
+      scaling.push_back({"gemm_nn", sm, sn, t, flops / t_nn * 1e-9});
+      scaling.push_back({"gemm_tn", sm, sn, t, flops / t_tn * 1e-9});
+      std::printf("%-10s %8d %12.2f\n%-10s %8d %12.2f\n", "gemm_nn", t,
+                  flops / t_nn * 1e-9, "gemm_tn", t, flops / t_tn * 1e-9);
+      std::fflush(stdout);
+    }
+    lin::parallel::set_thread_budget(threads);
+  }
+
   if (json) {
     std::filesystem::path p(json_path);
     std::error_code ec;
@@ -312,8 +376,13 @@ int main(int argc, char** argv) {
                    p.string().c_str());
       return 1;
     }
+    const auto arena = lin::kernel::arena_stats();
     out << "{\n  \"bench\": \"bench_kernels\",\n  \"unit\": \"gflops\",\n"
         << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+        << "  \"threads\": " << threads << ",\n"
+        << "  \"hw_threads\": " << lin::parallel::hardware_threads() << ",\n"
+        << "  \"arena_high_water_bytes\": " << arena.high_water_bytes
+        << ",\n"
         << "  \"results\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
       const Result& r = results[i];
@@ -322,6 +391,14 @@ int main(int argc, char** argv) {
           << ", \"new_gflops\": " << r.new_gflops
           << ", \"speedup\": " << r.speedup() << "}"
           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"thread_scaling\": [\n";
+    for (std::size_t i = 0; i < scaling.size(); ++i) {
+      const ScalePoint& s = scaling[i];
+      out << "    {\"kernel\": \"" << s.kernel << "\", \"m\": " << s.m
+          << ", \"n\": " << s.n << ", \"threads\": " << s.threads
+          << ", \"gflops\": " << s.gflops << "}"
+          << (i + 1 < scaling.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     out.close();

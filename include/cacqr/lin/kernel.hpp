@@ -8,11 +8,25 @@
 /// The driver packs operand panels into contiguous, zero-padded buffers and
 /// updates a fixed MR x NR register block over the K dimension, with
 /// three-level MC/NC/KC cache blocking around it.  See DESIGN.md section 2
-/// for the architecture and section 3 for how to re-tune the block sizes.
+/// for the architecture, section 3 for the thread-parallel decomposition,
+/// and section 4 for how to re-tune the block sizes.
+///
+/// The driver is thread-parallel: when the calling thread's worker budget
+/// (lin/parallel.hpp, CACQR_THREADS) exceeds one and the product is large
+/// enough, each (jc, pc) step packs the shared op(B) panel cooperatively
+/// and splits the ic/jr tile space across the team.  Every C micro-tile has
+/// exactly one owner and the pc reduction loop is never split, so results
+/// are bitwise identical across thread counts.
+///
+/// Packing buffers are persistent per-thread arenas (grow-only, reused
+/// across calls): steady-state kernel invocations of a given shape perform
+/// no allocation.  `arena_stats()` exposes process-wide counters so tests
+/// and benches can assert that.
 ///
 /// Functions in this header perform NO flop accounting: the public BLAS
 /// wrappers in blas.hpp charge closed-form flop counts (DESIGN.md section 1)
-/// so the machine model's gamma tally is independent of blocking strategy.
+/// so the machine model's gamma tally is independent of blocking strategy
+/// and of the thread count.
 
 #include "cacqr/lin/blas.hpp"
 #include "cacqr/lin/matrix.hpp"
@@ -51,5 +65,16 @@ enum class TileFilter { Full, Lower, Upper };
 void gemm_accumulate(Trans ta, Trans tb, double alpha, ConstMatrixView a,
                      ConstMatrixView b, MatrixView c,
                      TileFilter filter = TileFilter::Full);
+
+/// Process-wide statistics over every thread's packing arenas.  Arenas are
+/// thread-local and grow-only, so `allocations` advancing between two
+/// same-shape kernel calls means the arena reuse contract broke.
+struct ArenaStats {
+  i64 allocations = 0;  ///< arena grow events since process start
+  i64 bytes_in_use = 0;  ///< bytes currently held across all live arenas
+  i64 high_water_bytes = 0;  ///< maximum of bytes_in_use ever observed
+};
+
+[[nodiscard]] ArenaStats arena_stats() noexcept;
 
 }  // namespace cacqr::lin::kernel

@@ -148,9 +148,19 @@ class Runtime {
   /// Runs `body` on `nranks` rank-threads and returns the per-rank final
   /// cost tallies (modeled clock included).  Exceptions thrown by any rank
   /// abort the whole team and are rethrown here (first thrower wins).
+  ///
+  /// `threads_per_rank` is each rank's kernel worker budget
+  /// (lin/parallel.hpp): every rank thread gets
+  /// `set_thread_budget(threads_per_rank)` before `body` runs, so P ranks
+  /// use at most P * threads_per_rank threads total.  0 (the default)
+  /// divides the *caller's* budget evenly: max(1, thread_budget() /
+  /// nranks) -- with the default CACQR_THREADS=1 every rank stays
+  /// single-threaded, exactly the pre-threading behavior.  Threading never
+  /// changes the per-rank flop/msg/word tallies or the modeled clock; it
+  /// only changes wall-clock speed (DESIGN.md section 3).
   static std::vector<CostCounters> run(
       int nranks, const std::function<void(Comm&)>& body,
-      Machine machine = Machine::counting());
+      Machine machine = Machine::counting(), int threads_per_rank = 0);
 };
 
 /// Convenience: modeled parallel execution time = max of per-rank clocks.

@@ -4,6 +4,7 @@
 #include "cacqr/lin/blas.hpp"
 #include "cacqr/lin/factor.hpp"
 #include "cacqr/lin/flops.hpp"
+#include "cacqr/lin/parallel.hpp"
 
 namespace cacqr::lin {
 
@@ -80,16 +81,21 @@ void potrf(MatrixView a) {
       auto a21 = a.sub(k + nb, k, rest, nb);
       // A21 <- A21 * L11^{-T}
       trsm(Side::Right, Uplo::Lower, Trans::T, Diag::NonUnit, 1.0, akk, a21);
-      // A22 <- A22 - A21 A21^T (full update; syrk mirrors for simplicity,
-      // the mirrored half is overwritten below anyway).
+      // A22 <- A22 - A21 A21^T: the O(n^3) trailing update, threaded
+      // through the packed kernel inside syrk_nt (full update; syrk
+      // mirrors for simplicity, the mirrored half is overwritten below
+      // anyway).
       auto a22 = a.sub(k + nb, k + nb, rest, rest);
       syrk_nt(-1.0, a21, 1.0, a22, Uplo::Lower);
     }
   }
-  // Zero the strict upper triangle so the result is exactly L.
-  for (i64 j = 1; j < n; ++j) {
-    for (i64 i = 0; i < j; ++i) a(i, j) = 0.0;
-  }
+  // Zero the strict upper triangle so the result is exactly L (disjoint
+  // columns, so the split is race-free and deterministic).
+  parallel::parallel_for(n, 64, [&](i64 j0, i64 j1) {
+    for (i64 j = std::max<i64>(j0, 1); j < j1; ++j) {
+      for (i64 i = 0; i < j; ++i) a(i, j) = 0.0;
+    }
+  });
 }
 
 void trtri_lower(MatrixView l) {

@@ -3,53 +3,70 @@
 #include "cacqr/lin/blas.hpp"
 #include "cacqr/lin/flops.hpp"
 #include "cacqr/lin/kernel.hpp"
+#include "cacqr/lin/parallel.hpp"
 
 namespace cacqr::lin {
 
 namespace {
 
+/// Column chunk size that gives each parallel_for chunk ~32K element
+/// touches; columns are the unit so every column has exactly one owner
+/// (writes stay disjoint and column-contiguous -- no false sharing and
+/// bitwise-deterministic results at any thread count).
+inline i64 col_grain(i64 rows) noexcept {
+  return std::max<i64>(1, (i64{1} << 15) / std::max<i64>(1, rows));
+}
+
 /// Scales C by beta with BLAS semantics: beta == 0 overwrites (even NaN),
 /// beta == 1 leaves C untouched.
 void scale_full(double beta, MatrixView c) {
   if (beta == 1.0) return;
-  for (i64 j = 0; j < c.cols; ++j) {
-    double* cc = c.data + j * c.ld;
-    if (beta == 0.0) {
-      for (i64 i = 0; i < c.rows; ++i) cc[i] = 0.0;
-    } else {
-      for (i64 i = 0; i < c.rows; ++i) cc[i] *= beta;
+  parallel::parallel_for(c.cols, col_grain(c.rows), [&](i64 j0, i64 j1) {
+    for (i64 j = j0; j < j1; ++j) {
+      double* cc = c.data + j * c.ld;
+      if (beta == 0.0) {
+        for (i64 i = 0; i < c.rows; ++i) cc[i] = 0.0;
+      } else {
+        for (i64 i = 0; i < c.rows; ++i) cc[i] *= beta;
+      }
     }
-  }
+  });
 }
 
 /// Scales one triangle (diagonal included) of C by beta, same semantics.
 void scale_triangle(double beta, MatrixView c, Uplo uplo) {
   if (beta == 1.0) return;
-  for (i64 j = 0; j < c.cols; ++j) {
-    const i64 ibegin = uplo == Uplo::Lower ? j : 0;
-    const i64 iend = uplo == Uplo::Lower ? c.rows : j + 1;
-    double* cc = c.data + j * c.ld;
-    if (beta == 0.0) {
-      for (i64 i = ibegin; i < iend; ++i) cc[i] = 0.0;
-    } else {
-      for (i64 i = ibegin; i < iend; ++i) cc[i] *= beta;
+  parallel::parallel_for(c.cols, col_grain(c.rows), [&](i64 j0, i64 j1) {
+    for (i64 j = j0; j < j1; ++j) {
+      const i64 ibegin = uplo == Uplo::Lower ? j : 0;
+      const i64 iend = uplo == Uplo::Lower ? c.rows : j + 1;
+      double* cc = c.data + j * c.ld;
+      if (beta == 0.0) {
+        for (i64 i = ibegin; i < iend; ++i) cc[i] = 0.0;
+      } else {
+        for (i64 i = ibegin; i < iend; ++i) cc[i] *= beta;
+      }
     }
-  }
+  });
 }
 
 /// Copies the uplo triangle of C onto the opposite one, making C exactly
 /// symmetric.  The distributed algorithms reduce and broadcast the full
-/// n^2 block, as the paper's word counts assume.
+/// n^2 block, as the paper's word counts assume.  Iterates destination
+/// columns (contiguous writes, strided reads) so the column split above
+/// applies here too.
 void mirror_triangle(MatrixView c, Uplo from) {
-  for (i64 j = 0; j < c.cols; ++j) {
-    for (i64 i = j + 1; i < c.rows; ++i) {
+  parallel::parallel_for(c.cols, col_grain(c.rows), [&](i64 j0, i64 j1) {
+    for (i64 j = j0; j < j1; ++j) {
+      double* cj = c.data + j * c.ld;
       if (from == Uplo::Lower) {
-        c(j, i) = c(i, j);
+        // Destination column j above the diagonal: c(i, j) = c(j, i), i < j.
+        for (i64 i = 0; i < j; ++i) cj[i] = c(j, i);
       } else {
-        c(i, j) = c(j, i);
+        for (i64 i = j + 1; i < c.rows; ++i) cj[i] = c(j, i);
       }
     }
-  }
+  });
 }
 
 }  // namespace

@@ -1,18 +1,85 @@
 #include "cacqr/lin/kernel.hpp"
 
 #include <algorithm>
-#include <vector>
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
+#include "cacqr/lin/parallel.hpp"
 #include "cacqr/support/math.hpp"
 
 namespace cacqr::lin::kernel {
 
 namespace {
 
-/// Packing buffers are per-thread (one SPMD rank == one thread) and grow
-/// monotonically, so steady-state kernel calls do no allocation.
-thread_local std::vector<double> a_buffer;
-thread_local std::vector<double> b_buffer;
+// ------------------------------------------------------- packing arenas
+
+std::atomic<i64> g_arena_allocations{0};
+std::atomic<i64> g_arena_bytes{0};
+std::atomic<i64> g_arena_high_water{0};
+
+/// Grow-only aligned buffer, one per thread per operand.  Growth is the
+/// only allocation the kernel layer ever performs; steady-state calls of a
+/// given shape reuse the high-water buffer.  Stats are process-wide
+/// atomics so tests can assert the no-allocation contract and benches can
+/// report the high-water footprint across worker threads.
+class PackArena {
+ public:
+  PackArena() = default;
+  PackArena(const PackArena&) = delete;
+  PackArena& operator=(const PackArena&) = delete;
+
+  ~PackArena() {
+    if (buf_ != nullptr) {
+      std::free(buf_);
+      g_arena_bytes.fetch_sub(static_cast<i64>(cap_ * sizeof(double)),
+                              std::memory_order_relaxed);
+    }
+  }
+
+  double* get(std::size_t doubles) {
+    if (doubles > cap_) grow(doubles);
+    return buf_;
+  }
+
+ private:
+  void grow(std::size_t doubles) {
+    // Geometric growth bounds the number of grow events for ramping shapes;
+    // 64-byte alignment keeps packed panels cache-line aligned.
+    const std::size_t want = std::max(doubles, cap_ + cap_ / 2);
+    const std::size_t bytes = static_cast<std::size_t>(
+        round_up(static_cast<i64>(want * sizeof(double)), 64));
+    double* fresh = static_cast<double*>(std::aligned_alloc(64, bytes));
+    if (fresh == nullptr) throw std::bad_alloc();
+    std::free(buf_);
+    buf_ = fresh;
+    const i64 delta =
+        static_cast<i64>(bytes) - static_cast<i64>(cap_ * sizeof(double));
+    cap_ = bytes / sizeof(double);
+    g_arena_allocations.fetch_add(1, std::memory_order_relaxed);
+    const i64 now =
+        g_arena_bytes.fetch_add(delta, std::memory_order_relaxed) + delta;
+    i64 hw = g_arena_high_water.load(std::memory_order_relaxed);
+    while (now > hw && !g_arena_high_water.compare_exchange_weak(
+                           hw, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  double* buf_ = nullptr;
+  std::size_t cap_ = 0;  // in doubles
+};
+
+PackArena& arena_a() {
+  thread_local PackArena arena;
+  return arena;
+}
+
+PackArena& arena_b() {
+  thread_local PackArena arena;
+  return arena;
+}
+
+// ------------------------------------------------------------- packing
 
 /// Element of op(A) at (i, k) in the *operated* (post-transpose) index
 /// space.
@@ -20,13 +87,16 @@ inline double op_at(ConstMatrixView a, Trans t, i64 i, i64 k) noexcept {
   return t == Trans::N ? a(i, k) : a(k, i);
 }
 
-/// Packs the mc x kc block of op(A) starting at (i0, k0) into MR-row
-/// panels: panel p holds rows [p*MR, p*MR + MR) stored k-major, so the
-/// micro-kernel reads MR contiguous doubles per k step.  Rows beyond mc are
-/// zero-padded, which lets the micro-kernel always run full MR x NR tiles.
+/// Packs MR-row panels [p_begin, p_end) of the mc x kc block of op(A)
+/// starting at (i0, k0): panel p holds rows [p*MR, p*MR + MR) stored
+/// k-major, so the micro-kernel reads MR contiguous doubles per k step.
+/// Rows beyond mc are zero-padded, which lets the micro-kernel always run
+/// full MR x NR tiles.  The panel range lets a team pack one block
+/// cooperatively (each panel has exactly one packer).
 void pack_a(Trans ta, ConstMatrixView a, i64 i0, i64 k0, i64 mc, i64 kc,
-            double* __restrict buf) {
-  for (i64 p = 0; p < mc; p += MR) {
+            double* __restrict buf, i64 p_begin, i64 p_end) {
+  for (i64 pi = p_begin; pi < p_end; ++pi) {
+    const i64 p = pi * MR;
     const i64 mr = std::min(MR, mc - p);
     double* panel = buf + p * kc;
     if (ta == Trans::N && mr == MR) {
@@ -54,13 +124,14 @@ void pack_a(Trans ta, ConstMatrixView a, i64 i0, i64 k0, i64 mc, i64 kc,
   }
 }
 
-/// Packs the kc x nc block of op(B) starting at (k0, j0) into NR-column
-/// panels: panel q holds columns [q*NR, q*NR + NR) stored k-major, so the
-/// micro-kernel reads NR contiguous doubles (one per register broadcast)
-/// per k step.  Columns beyond nc are zero-padded.
+/// Packs NR-column panels [q_begin, q_end) of the kc x nc block of op(B)
+/// starting at (k0, j0): panel q holds columns [q*NR, q*NR + NR) stored
+/// k-major, so the micro-kernel reads NR contiguous doubles (one per
+/// register broadcast) per k step.  Columns beyond nc are zero-padded.
 void pack_b(Trans tb, ConstMatrixView b, i64 k0, i64 j0, i64 kc, i64 nc,
-            double* __restrict buf) {
-  for (i64 q = 0; q < nc; q += NR) {
+            double* __restrict buf, i64 q_begin, i64 q_end) {
+  for (i64 qi = q_begin; qi < q_end; ++qi) {
+    const i64 q = qi * NR;
     const i64 nr = std::min(NR, nc - q);
     double* panel = buf + q * kc;
     if (tb == Trans::N && nr == NR) {
@@ -179,6 +250,38 @@ inline bool tile_selected(TileFilter f, i64 i, i64 j, i64 mr, i64 nr) {
   return true;
 }
 
+/// The jr/ir micro-tile sweep over one packed (A block, B panel) pair,
+/// restricted to NR-panels [q_begin, q_end) of the jc step.  Each selected
+/// micro-tile runs the micro-kernel and clip-writes `alpha * acc` into its
+/// mr x nr rectangle of C.  Every tile is written by exactly one caller, so
+/// parallel sweeps over disjoint panel (or ic block) ranges stay race-free
+/// and bitwise deterministic.
+void sweep_tiles(double alpha, const double* __restrict abuf,
+                 const double* __restrict bbuf, MatrixView c,
+                 TileFilter filter, i64 ic, i64 mc, i64 jc, i64 nc, i64 kc,
+                 i64 q_begin, i64 q_end, double* __restrict acc) {
+  for (i64 qi = q_begin; qi < q_end; ++qi) {
+    const i64 jr = qi * NR;
+    const i64 nr = std::min(NR, nc - jr);
+    const double* bp = bbuf + jr * kc;
+    for (i64 ir = 0; ir < mc; ir += MR) {
+      const i64 mr = std::min(MR, mc - ir);
+      if (!tile_selected(filter, ic + ir, jc + jr, mr, nr)) continue;
+      micro_kernel(kc, abuf + ir * kc, bp, acc);
+      double* ct = c.data + (ic + ir) + (jc + jr) * c.ld;
+      for (i64 j = 0; j < nr; ++j) {
+        double* __restrict cc = ct + j * c.ld;
+        const double* __restrict accj = acc + j * MR;
+        for (i64 i = 0; i < mr; ++i) cc[i] += alpha * accj[i];
+      }
+    }
+  }
+}
+
+/// Minimum madd count before a product is worth a parallel region (~100us
+/// of single-thread work); below it, dispatch overhead dominates.
+constexpr double kParallelMaddThreshold = 1 << 20;
+
 }  // namespace
 
 void gemm_accumulate(Trans ta, Trans tb, double alpha, ConstMatrixView a,
@@ -188,38 +291,105 @@ void gemm_accumulate(Trans ta, Trans tb, double alpha, ConstMatrixView a,
   const i64 k = ta == Trans::N ? a.cols : a.rows;
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
 
-  alignas(64) double acc[MR * NR];
+  const int budget = parallel::thread_budget();
+  const bool threaded =
+      budget > 1 && static_cast<double>(m) * static_cast<double>(n) *
+                            static_cast<double>(k) >=
+                        kParallelMaddThreshold;
 
-  for (i64 jc = 0; jc < n; jc += NC) {
-    const i64 nc = std::min(NC, n - jc);
-    const i64 nc_pad = round_up(nc, NR);
-    for (i64 pc = 0; pc < k; pc += KC) {
-      const i64 kc = std::min(KC, k - pc);
-      b_buffer.resize(static_cast<std::size_t>(nc_pad * kc));
-      pack_b(tb, b, pc, jc, kc, nc, b_buffer.data());
-      for (i64 ic = 0; ic < m; ic += MC) {
-        const i64 mc = std::min(MC, m - ic);
-        const i64 mc_pad = round_up(mc, MR);
-        a_buffer.resize(static_cast<std::size_t>(mc_pad * kc));
-        pack_a(ta, a, ic, pc, mc, kc, a_buffer.data());
-        for (i64 jr = 0; jr < nc; jr += NR) {
-          const i64 nr = std::min(NR, nc - jr);
-          const double* bp = b_buffer.data() + jr * kc;
-          for (i64 ir = 0; ir < mc; ir += MR) {
-            const i64 mr = std::min(MR, mc - ir);
-            if (!tile_selected(filter, ic + ir, jc + jr, mr, nr)) continue;
-            micro_kernel(kc, a_buffer.data() + ir * kc, bp, acc);
-            double* ct = c.data + (ic + ir) + (jc + jr) * c.ld;
-            for (i64 j = 0; j < nr; ++j) {
-              double* __restrict cc = ct + j * c.ld;
-              const double* __restrict accj = acc + j * MR;
-              for (i64 i = 0; i < mr; ++i) cc[i] += alpha * accj[i];
-            }
-          }
+  if (!threaded) {
+    alignas(64) double acc[MR * NR];
+    for (i64 jc = 0; jc < n; jc += NC) {
+      const i64 nc = std::min(NC, n - jc);
+      const i64 nc_pad = round_up(nc, NR);
+      for (i64 pc = 0; pc < k; pc += KC) {
+        const i64 kc = std::min(KC, k - pc);
+        double* bbuf =
+            arena_b().get(static_cast<std::size_t>(nc_pad * kc));
+        pack_b(tb, b, pc, jc, kc, nc, bbuf, 0, ceil_div(nc, NR));
+        for (i64 ic = 0; ic < m; ic += MC) {
+          const i64 mc = std::min(MC, m - ic);
+          const i64 mc_pad = round_up(mc, MR);
+          double* abuf =
+              arena_a().get(static_cast<std::size_t>(mc_pad * kc));
+          pack_a(ta, a, ic, pc, mc, kc, abuf, 0, ceil_div(mc, MR));
+          sweep_tiles(alpha, abuf, bbuf, c, filter, ic, mc, jc, nc, kc, 0,
+                      ceil_div(nc, NR), acc);
         }
       }
     }
+    return;
   }
+
+  // Thread-parallel driver.  The jc/pc loops stay sequential (they define
+  // each C tile's accumulation order); within a (jc, pc) step the team
+  //   1. packs the shared op(B) panel cooperatively (one packer per
+  //      NR-panel), barrier;
+  //   2. splits the ic/jr tile space:
+  //      - enough MC blocks: each thread owns whole ic blocks round-robin
+  //        and packs its own op(A) into its thread-local arena;
+  //      - few MC blocks (small m, e.g. Gram products): per block, the
+  //        team packs a shared op(A) cooperatively, barriers, then splits
+  //        the jr panels; a trailing barrier protects the shared pack
+  //        buffer from the next block's repack.
+  // Ownership of every C micro-tile is unique and the pc reduction is
+  // never split, so the result is bitwise identical to the sequential
+  // driver for every thread count.
+  for (i64 jc = 0; jc < n; jc += NC) {
+    const i64 nc = std::min(NC, n - jc);
+    const i64 nc_pad = round_up(nc, NR);
+    const i64 q_total = ceil_div(nc, NR);
+    for (i64 pc = 0; pc < k; pc += KC) {
+      const i64 kc = std::min(KC, k - pc);
+      double* bbuf = arena_b().get(static_cast<std::size_t>(nc_pad * kc));
+      const i64 ic_total = ceil_div(m, MC);
+      const int nt = static_cast<int>(
+          std::min<i64>(budget, std::max(ic_total, q_total)));
+      const bool split_ic = ic_total >= nt;
+      double* shared_abuf = nullptr;
+      if (!split_ic) {
+        const i64 mc_max = std::min(MC, m);
+        shared_abuf = arena_a().get(
+            static_cast<std::size_t>(round_up(mc_max, MR) * kc));
+      }
+      parallel::run(nt, [&](parallel::Team& team) {
+        const parallel::Range bq = team.chunk(q_total, 1);
+        pack_b(tb, b, pc, jc, kc, nc, bbuf, bq.begin, bq.end);
+        team.barrier();
+        alignas(64) double acc[MR * NR];
+        if (split_ic) {
+          for (i64 blk = team.tid(); blk < ic_total; blk += team.size()) {
+            const i64 ic = blk * MC;
+            const i64 mc = std::min(MC, m - ic);
+            const i64 mc_pad = round_up(mc, MR);
+            double* abuf =
+                arena_a().get(static_cast<std::size_t>(mc_pad * kc));
+            pack_a(ta, a, ic, pc, mc, kc, abuf, 0, ceil_div(mc, MR));
+            sweep_tiles(alpha, abuf, bbuf, c, filter, ic, mc, jc, nc, kc,
+                        0, q_total, acc);
+          }
+        } else {
+          for (i64 blk = 0; blk < ic_total; ++blk) {
+            const i64 ic = blk * MC;
+            const i64 mc = std::min(MC, m - ic);
+            const parallel::Range ap = team.chunk(ceil_div(mc, MR), 1);
+            pack_a(ta, a, ic, pc, mc, kc, shared_abuf, ap.begin, ap.end);
+            team.barrier();
+            const parallel::Range qs = team.chunk(q_total, 1);
+            sweep_tiles(alpha, shared_abuf, bbuf, c, filter, ic, mc, jc,
+                        nc, kc, qs.begin, qs.end, acc);
+            team.barrier();
+          }
+        }
+      });
+    }
+  }
+}
+
+ArenaStats arena_stats() noexcept {
+  return {g_arena_allocations.load(std::memory_order_relaxed),
+          g_arena_bytes.load(std::memory_order_relaxed),
+          g_arena_high_water.load(std::memory_order_relaxed)};
 }
 
 }  // namespace cacqr::lin::kernel

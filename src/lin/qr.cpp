@@ -1,19 +1,21 @@
+#include <algorithm>
 #include <cmath>
 
 #include "cacqr/lin/blas.hpp"
 #include "cacqr/lin/flops.hpp"
+#include "cacqr/lin/parallel.hpp"
 #include "cacqr/lin/qr.hpp"
 
 namespace cacqr::lin {
 
 namespace {
 
-/// Applies the elementary reflector H = I - tau v v^T (v(0)=1 implicit,
-/// stored in `v` from index 1) to C(0:len, :) in place.  Columns are
-/// processed in pairs so each load of v serves two dot/axpy streams.
-void apply_reflector(const double* __restrict v, i64 len, double tau,
-                     MatrixView c) {
-  if (tau == 0.0) return;
+/// Column-range worker for apply_reflector: every column of C is updated
+/// independently (two dot/axpy streams per pass), so the caller can split
+/// columns across threads without changing any element's operation order.
+/// Columns are processed in pairs so each load of v serves two streams.
+void apply_reflector_cols(const double* __restrict v, i64 len, double tau,
+                          MatrixView c) {
   i64 j = 0;
   for (; j + 1 < c.cols; j += 2) {
     double* __restrict c0 = c.data + j * c.ld;
@@ -41,6 +43,21 @@ void apply_reflector(const double* __restrict v, i64 len, double tau,
     col[0] -= w;
     for (i64 i = 1; i < len; ++i) col[i] -= w * v[i];
   }
+}
+
+/// Applies the elementary reflector H = I - tau v v^T (v(0)=1 implicit,
+/// stored in `v` from index 1) to C(0:len, :) in place, splitting the
+/// independent columns across the calling thread's worker team.  Flops are
+/// charged once, on the calling thread, as always.
+void apply_reflector(const double* __restrict v, i64 len, double tau,
+                     MatrixView c) {
+  if (tau == 0.0) return;
+  // ~32K madds per chunk; each column costs 4*len.
+  const i64 grain =
+      std::max<i64>(2, (i64{1} << 15) / std::max<i64>(1, 4 * len));
+  parallel::parallel_for(c.cols, grain, [&](i64 j0, i64 j1) {
+    apply_reflector_cols(v, len, tau, c.sub(0, j0, c.rows, j1 - j0));
+  });
   flops::add(4 * len * c.cols);
 }
 

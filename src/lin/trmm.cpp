@@ -1,6 +1,7 @@
 #include "cacqr/lin/blas.hpp"
 #include "cacqr/lin/flops.hpp"
 #include "cacqr/lin/kernel.hpp"
+#include "cacqr/lin/parallel.hpp"
 
 namespace cacqr::lin {
 
@@ -8,17 +9,31 @@ namespace {
 
 /// Base-case size for the blocked triangular recursions.  Diagonal blocks
 /// up to this order run the O(n^2)-per-column scalar substitution loops;
-/// everything off-diagonal is a packed-kernel gemm.
+/// everything off-diagonal is a packed-kernel gemm (which threads itself).
 constexpr i64 kTriBlock = 32;
 
 inline double tri_at(ConstMatrixView t, Trans trans, i64 i, i64 k) noexcept {
   return trans == Trans::N ? t(i, k) : t(k, i);
 }
 
+/// Chunk size giving each base-case parallel_for chunk ~32K scalar madds;
+/// rounded to a multiple of 8 (one cache line of doubles) for row splits so
+/// adjacent chunks never share a line.
+inline i64 tri_grain(i64 n_tri) noexcept {
+  const i64 work = std::max<i64>(1, n_tri * n_tri / 2);
+  return round_up(std::max<i64>(8, (i64{1} << 15) / work), 8);
+}
+
 /// Unblocked B := op(T) * B / B := B * op(T) (alpha folded in by the
 /// blocked driver), no flop accounting.
-void trmm_base(Side side, Uplo uplo, Trans trans, Diag diag,
-               ConstMatrixView t, MatrixView b) {
+///
+/// Left side: each B column is independent, so the base case splits
+/// columns across the team.  Right side: columns mix, but every B *row*
+/// runs the identical update sequence independently, so rows split
+/// instead.  Either way each output element keeps one owner and its exact
+/// operation order, preserving bitwise identity across thread counts.
+void trmm_base_seq(Side side, Uplo uplo, Trans trans, Diag diag,
+                   ConstMatrixView t, MatrixView b) {
   const i64 n_tri = t.rows;
   const bool lower_op = (uplo == Uplo::Lower) == (trans == Trans::N);
   if (side == Side::Left) {
@@ -72,10 +87,30 @@ void trmm_base(Side side, Uplo uplo, Trans trans, Diag diag,
   }
 }
 
-/// Unblocked forward/backward substitution, alpha pre-applied, no flop
-/// accounting.
-void trsm_base(Side side, Uplo uplo, Trans trans, Diag diag,
+/// Thread-parallel base-case dispatch: splits the independent dimension
+/// (columns on the left, rows on the right) and runs the sequential loops
+/// on each sub-view.
+void trmm_base(Side side, Uplo uplo, Trans trans, Diag diag,
                ConstMatrixView t, MatrixView b) {
+  const i64 grain = tri_grain(t.rows);
+  if (side == Side::Left) {
+    parallel::parallel_for(b.cols, grain, [&](i64 j0, i64 j1) {
+      trmm_base_seq(side, uplo, trans, diag, t,
+                    b.sub(0, j0, b.rows, j1 - j0));
+    });
+  } else {
+    parallel::parallel_for(b.rows, grain, [&](i64 r0, i64 r1) {
+      trmm_base_seq(side, uplo, trans, diag, t,
+                    b.sub(r0, 0, r1 - r0, b.cols));
+    });
+  }
+}
+
+/// Unblocked forward/backward substitution, alpha pre-applied, no flop
+/// accounting.  Same independence structure as trmm_base_seq: left side is
+/// per-column, right side per-row.
+void trsm_base_seq(Side side, Uplo uplo, Trans trans, Diag diag,
+                   ConstMatrixView t, MatrixView b) {
   const i64 n_tri = t.rows;
   const bool lower_op = (uplo == Uplo::Lower) == (trans == Trans::N);
   if (side == Side::Left) {
@@ -126,6 +161,23 @@ void trsm_base(Side side, Uplo uplo, Trans trans, Diag diag,
         for (i64 i = 0; i < b.rows; ++i) cj[i] /= djj;
       }
     }
+  }
+}
+
+/// Thread-parallel base-case dispatch, mirroring trmm_base.
+void trsm_base(Side side, Uplo uplo, Trans trans, Diag diag,
+               ConstMatrixView t, MatrixView b) {
+  const i64 grain = tri_grain(t.rows);
+  if (side == Side::Left) {
+    parallel::parallel_for(b.cols, grain, [&](i64 j0, i64 j1) {
+      trsm_base_seq(side, uplo, trans, diag, t,
+                    b.sub(0, j0, b.rows, j1 - j0));
+    });
+  } else {
+    parallel::parallel_for(b.rows, grain, [&](i64 r0, i64 r1) {
+      trsm_base_seq(side, uplo, trans, diag, t,
+                    b.sub(r0, 0, r1 - r0, b.cols));
+    });
   }
 }
 
@@ -255,18 +307,27 @@ void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
              "trmm: ", side == Side::Left ? "left" : "right",
              " operand size mismatch");
 
+  // Column grain sized like gemm.cpp's scaling passes: ~32K element
+  // touches per chunk, and never adjacent columns of a tiny B to separate
+  // threads.
+  const i64 scale_grain =
+      std::max<i64>(1, (i64{1} << 15) / std::max<i64>(1, b.rows));
   if (alpha == 0.0) {
-    for (i64 j = 0; j < b.cols; ++j) {
-      double* cj = b.data + j * b.ld;
-      for (i64 i = 0; i < b.rows; ++i) cj[i] = 0.0;
-    }
+    parallel::parallel_for(b.cols, scale_grain, [&](i64 j0, i64 j1) {
+      for (i64 j = j0; j < j1; ++j) {
+        double* cj = b.data + j * b.ld;
+        for (i64 i = 0; i < b.rows; ++i) cj[i] = 0.0;
+      }
+    });
   } else {
     trmm_rec(side, uplo, trans, diag, t, b);
     if (alpha != 1.0) {
-      for (i64 j = 0; j < b.cols; ++j) {
-        double* cj = b.data + j * b.ld;
-        for (i64 i = 0; i < b.rows; ++i) cj[i] *= alpha;
-      }
+      parallel::parallel_for(b.cols, scale_grain, [&](i64 j0, i64 j1) {
+        for (i64 j = j0; j < j1; ++j) {
+          double* cj = b.data + j * b.ld;
+          for (i64 i = 0; i < b.rows; ++i) cj[i] *= alpha;
+        }
+      });
     }
   }
   // Dense triangular-multiply count: n(n-1)/2 off-diagonal madds plus n

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "cacqr/lin/flops.hpp"
+#include "cacqr/lin/parallel.hpp"
 #include "internal.hpp"
 
 namespace cacqr::rt {
@@ -169,8 +170,15 @@ Comm Comm::split(int color, int key) const {
 }
 
 std::vector<CostCounters> Runtime::run(
-    int nranks, const std::function<void(Comm&)>& body, Machine machine) {
+    int nranks, const std::function<void(Comm&)>& body, Machine machine,
+    int threads_per_rank) {
   ensure<CommError>(nranks >= 1, "Runtime::run: need at least one rank");
+  // Per-rank kernel worker budget: explicit, or the caller's budget spread
+  // evenly so P ranks x T workers never oversubscribe what the caller had.
+  const int rank_budget =
+      threads_per_rank > 0
+          ? threads_per_rank
+          : std::max(1, lin::parallel::thread_budget() / nranks);
   World world;
   world.nranks = nranks;
   world.machine = machine;
@@ -185,6 +193,7 @@ std::vector<CostCounters> Runtime::run(
 
   auto rank_main = [&](int r) {
     lin::flops::reset();
+    lin::parallel::set_thread_budget(rank_budget);
     auto state = std::make_shared<CommState>();
     state->world = &world;
     state->ctx = 1;
@@ -207,7 +216,11 @@ std::vector<CostCounters> Runtime::run(
   };
 
   if (nranks == 1) {
-    rank_main(0);  // run inline: keeps single-rank uses debuggable
+    // Run inline: keeps single-rank uses debuggable.  The budget override
+    // lands on the caller's thread, so restore it afterwards.
+    const int caller_budget = lin::parallel::thread_budget();
+    rank_main(0);
+    lin::parallel::set_thread_budget(caller_budget);
   } else {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(nranks));
