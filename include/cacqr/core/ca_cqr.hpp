@@ -55,18 +55,29 @@ struct CaCqrResult {
 
 /// Lines 1-5 of Algorithm 8: the Gram matrix Z = A^T A, landed on every
 /// subcube slice.  Exposed separately so the per-line cost benches can
-/// measure this phase against the paper's Table V rows.
+/// measure this phase against the paper's Table V rows.  Collective over
+/// the whole grid.  Charge: Bcast(mn/(dc), c) + Reduce(n^2/c^2, c) +
+/// Allreduce(n^2/c^2, d/c) + Bcast(n^2/c^2, c) (the corrected line-5
+/// operand; DESIGN.md section 6) plus the local Gram/gemm gamma.
 [[nodiscard]] dist::DistMatrix ca_gram(const dist::DistMatrix& a,
                                        const grid::TunableGrid& g);
 
 /// Algorithm 8: one CA-CholeskyQR pass.  Throws NotSpdError when the
 /// (shifted) Gram matrix is not numerically SPD; every rank throws
 /// consistently because the factorization inputs are replicated.
+/// Preconditions: `a` distributed over `g` (rows over d, columns over c),
+/// m >= n, d | m, c | n, and n >= c^2 for the CFR3D base case.  Charge:
+/// ca_gram + CFR3D on the subcube + 2 Transpose(n^2/c^2) + the Q = A
+/// R^{-1} multiply (one MM3D of the (m c/d) x n panel when inverse_depth
+/// == 0, the block_backsolve sweep otherwise); Table I totals
+/// alpha ~ c^2 log P, beta ~ mn/(dc) + n^2/c^2, gamma ~ mn^2/(dc^2) +
+/// n^3/c^3.
 [[nodiscard]] CaCqrResult ca_cqr(const dist::DistMatrix& a,
                                  const grid::TunableGrid& g,
                                  CaCqrOptions opts = {});
 
-/// Algorithm 9: CA-CholeskyQR2 (two passes, R = R2 * R1 via MM3D).
+/// Algorithm 9: CA-CholeskyQR2 (two passes, R = R2 * R1 via MM3D): twice
+/// the ca_cqr charge plus one compose_r.  Same preconditions.
 [[nodiscard]] CaCqrResult ca_cqr2(const dist::DistMatrix& a,
                                   const grid::TunableGrid& g,
                                   CaCqrOptions opts = {});

@@ -20,10 +20,14 @@ struct QrFactors {
 };
 
 /// Algorithm 4: one CholeskyQR pass.  Throws NotSpdError when the Gram
-/// matrix is not numerically SPD (kappa(A)^2 >~ 1/eps).
+/// matrix is not numerically SPD (kappa(A)^2 >~ 1/eps).  Requires m >= n.
+/// Gamma charge (the tally the 1-rank modeled clock sees): m n (n+1) for
+/// the Gram product + n^3/3 + O(n^2) for chol/inverse + m n (n+1) for the
+/// triangular multiply -- ~2 m n^2 + n^3/3 total.
 [[nodiscard]] QrFactors cqr(lin::ConstMatrixView a);
 
-/// Algorithm 5: CholeskyQR2 (two passes, R = R2 * R1).
+/// Algorithm 5: CholeskyQR2 (two passes, R = R2 * R1).  Twice the cqr
+/// charge plus the n^2 (n+1) triangular compose.
 [[nodiscard]] QrFactors cqr2(lin::ConstMatrixView a);
 
 }  // namespace cacqr::core

@@ -21,11 +21,17 @@ struct Cqr1dResult {
 };
 
 /// Algorithm 6: one 1D-CholeskyQR pass.  `a` must have col_procs == 1 and
-/// row_procs == comm.size() with my_row == comm.rank().
+/// row_procs == comm.size() with my_row == comm.rank(), and m >= n.
+/// Collective.  Per-rank charge: one Allreduce(n^2, P) -- 2 ceil(lg P)
+/// alpha + 2 n^2 beta -- plus (m/P) n (n+1) + n^3/3 + (m/P) n (n+1) gamma
+/// (local Gram, redundant CholInv, local triangular multiply).  Throws
+/// NotSpdError consistently on every rank (the factorization input is
+/// replicated by the Allreduce).
 [[nodiscard]] Cqr1dResult cqr_1d(const dist::DistMatrix& a,
                                  const rt::Comm& comm);
 
-/// Algorithm 7: 1D-CholeskyQR2.
+/// Algorithm 7: 1D-CholeskyQR2: twice the cqr_1d charge plus the
+/// redundant sequential compose R = R2 * R1 on every rank.
 [[nodiscard]] Cqr1dResult cqr2_1d(const dist::DistMatrix& a,
                                   const rt::Comm& comm);
 

@@ -48,7 +48,11 @@ struct FactorizeResult {
 /// Collective over `world`: every rank passes the same global matrix
 /// (e.g. regenerated from a seed) and receives the gathered factors.
 /// Convenience driver for moderate sizes -- production users hold the
-/// distributed CaCqrResult from ca_cqr2 directly.
+/// distributed CaCqrResult from ca_cqr2 directly.  Preconditions: m >= n
+/// and identical (a, opts) on every rank.  Charge: the selected variant's
+/// cost at padded dimensions (padding adds at most one d-row / c-column
+/// cycle) plus the two final gathers; on breakdown with auto_shift the
+/// shifted CholeskyQR3 retry runs on top.
 [[nodiscard]] FactorizeResult factorize(lin::ConstMatrixView a,
                                         const rt::Comm& world,
                                         FactorizeOptions opts = {});

@@ -26,7 +26,9 @@ namespace cacqr::core {
 [[nodiscard]] QrFactors shifted_cqr3(lin::ConstMatrixView a);
 
 /// Distributed shifted CholeskyQR3 over the tunable grid: one shifted
-/// CA-CQR pass followed by CA-CQR2, R composed on the subcube.
+/// CA-CQR pass followed by CA-CQR2, R composed on the subcube.  Same
+/// preconditions as ca_cqr; charge: three ca_cqr passes + two compose_r
+/// (one extra 1-word slice Allreduce for the Frobenius norm bound).
 [[nodiscard]] CaCqrResult ca_cqr3(const dist::DistMatrix& a,
                                   const grid::TunableGrid& g,
                                   CaCqrOptions opts = {});

@@ -18,6 +18,17 @@
 ///   mm3d        = Bcast(A row comm) + Bcast(B column comm) + local gemm
 ///                 + Allreduce(C depth comm);
 ///   gather      = one Allgather over the given communicator.
+///
+/// Threading: every *local* stage in this file (the from_global pack, the
+/// gather unpack, the transpose3d staging copy and permute, the mm3d
+/// staging copies, add_scaled, and the sub_block copies block_backsolve is
+/// built from) is split over the calling rank's worker team
+/// (lin/parallel.hpp) at whole-column granularity, so each output element
+/// has exactly one owner and results are bitwise identical at every
+/// per-rank thread budget (DESIGN.md section 4; asserted by tests/dist/).
+/// Collective schedules are fixed and never threaded.  Cost-model charges
+/// (alpha/beta from the collectives, gamma from lin/) are independent of
+/// the thread budget.
 
 #include "cacqr/grid/grid.hpp"
 #include "cacqr/lin/matrix.hpp"
@@ -119,11 +130,18 @@ class DistMatrix {
 /// global matrix (replicated on every caller).  comm must contain exactly
 /// the row_procs * col_procs ranks of the distribution, ordered
 /// rank == x + col_procs * y (the slice convention of grid.hpp).
+/// Collective; requires the global dimensions divisible by the processor
+/// counts.  Charge: one Allgather of the local block over P ranks,
+/// ceil(lg P) alpha + (m n / P)(P - 1) beta; the unpack is a threaded
+/// local stage.
 [[nodiscard]] lin::Matrix gather(const DistMatrix& a, const rt::Comm& comm);
 
 /// The Transpose collective on a cube-grid slice: returns A^T in the same
 /// cyclic distribution via one pairwise block exchange between ranks
 /// (x, y) and (y, x).  A must be square with dimension divisible by g.
+/// Collective over the slice.  Charge: alpha + (n^2 / g^2) beta (the
+/// paper's Transpose primitive); the staging copy and the local permute
+/// are threaded local stages.
 [[nodiscard]] DistMatrix transpose3d(const DistMatrix& a,
                                      const grid::CubeGrid& g);
 
@@ -131,11 +149,17 @@ class DistMatrix {
 /// k-classes congruent to z (Bcast of A along the row comm from x == z and
 /// of B along the column comm from y == z), then an Allreduce along depth
 /// sums the g partial products -- the paper's O(n^2 / g^2)-word multiply.
-/// All of m, k, n must be divisible by g.
+/// All of m, k, n must be divisible by g.  Collective over the cube.
+/// Charge: Bcast(m k / g^2, g) + Bcast(k n / g^2, g) +
+/// Allreduce(m n / g^2, g) plus the local gemm's 2 m n k / g^3 gamma
+/// (model/costs.hpp `cost_mm3d`); staging copies and the gemm are
+/// threaded.
 [[nodiscard]] DistMatrix mm3d(const DistMatrix& a, const DistMatrix& b,
                               const grid::CubeGrid& g, double alpha = 1.0);
 
 /// z += alpha * u, elementwise on identically distributed operands.
+/// Purely local (no communication); charges 2 * local-elements gamma via
+/// lin::axpy, whose column loop is threaded.
 void add_scaled(DistMatrix& z, double alpha, const DistMatrix& u);
 
 /// Block back-substitution solve X R = B for X = B R^{-1}, where R is
@@ -144,7 +168,9 @@ void add_scaled(DistMatrix& z, double alpha, const DistMatrix& u);
 ///   X_j = (B_j - sum_{i<j} X_i R_ij) Rinv_jj,
 /// every product an MM3D on the cube.  n must be divisible by nblocks and
 /// the block size by g.  nblocks == 1 degenerates to one MM3D with the
-/// full inverse.
+/// full inverse.  Collective; charge: nblocks (nblocks + 1) / 2 MM3D
+/// calls at block granularity -- roughly half the multiply gamma of the
+/// full-inverse path at the cost of ~nblocks x more synchronization.
 [[nodiscard]] DistMatrix block_backsolve(const DistMatrix& b,
                                          const DistMatrix& r,
                                          const DistMatrix& r_inv, i64 nblocks,

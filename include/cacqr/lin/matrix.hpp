@@ -8,7 +8,6 @@
 /// addressed without copying.
 
 #include <cstddef>
-#include <cstring>
 #include <vector>
 
 #include "cacqr/support/error.hpp"
@@ -118,23 +117,11 @@ class Matrix {
   std::vector<double> store_;
 };
 
-/// Copies a view into a freshly-allocated owning matrix.  Contiguous views
-/// (ld == rows) copy with one memcpy, strided views one memcpy per column;
-/// this sits on the ca_gram hot path.
-[[nodiscard]] inline Matrix materialize(ConstMatrixView a) {
-  Matrix out(a.rows, a.cols);
-  if (a.rows == 0 || a.cols == 0) return out;
-  if (a.ld == a.rows) {
-    std::memcpy(out.data(), a.data,
-                static_cast<std::size_t>(checked_mul(a.rows, a.cols)) *
-                    sizeof(double));
-  } else {
-    for (i64 j = 0; j < a.cols; ++j) {
-      std::memcpy(out.data() + j * a.rows, a.data + j * a.ld,
-                  static_cast<std::size_t>(a.rows) * sizeof(double));
-    }
-  }
-  return out;
-}
+/// Copies a view into a freshly-allocated owning matrix.  The column
+/// copies are split over the calling thread's worker team (via lin::copy;
+/// defined in util.cpp), so the collective staging buffers on the ca_gram
+/// / mm3d / transpose3d hot paths inherit the dist-stage threading; at a
+/// budget of 1 the copy runs inline, one std::copy per column.
+[[nodiscard]] Matrix materialize(ConstMatrixView a);
 
 }  // namespace cacqr::lin

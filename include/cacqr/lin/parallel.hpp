@@ -52,7 +52,8 @@ struct Pool;
 /// will use.  Initialized from `env_threads()` on first use in each thread.
 [[nodiscard]] int thread_budget() noexcept;
 
-/// Overrides the calling thread's budget (values < 1 clamp to 1).
+/// Overrides the calling thread's budget (clamped to [1, 256], the same
+/// ceiling env_threads() enforces).
 void set_thread_budget(int n) noexcept;
 
 /// Contiguous half-open index range.
@@ -128,6 +129,29 @@ void parallel_for(i64 count, i64 grain, Body&& body) {
     const Range r = team.chunk(count, g);
     if (r.begin < r.end) body(r.begin, r.end);
   });
+}
+
+/// Minimum elements per chunk for memory-bound 2D sweeps (64 KB of
+/// doubles): below this the fork/join handoff costs more than the copy.
+inline constexpr i64 kMemoryBoundGrain = 8192;
+
+/// Budget-aware split of a rows x cols column-major index space at whole
+/// column granularity: invokes body(j_begin, j_end) with the column grain
+/// chosen so every chunk covers at least `min_elems` elements.  This is the
+/// splitter for the dist-layer local stages (gather unpack, transpose
+/// permutes, block copies, add_scaled): columns of the output are dealt to
+/// exactly one team member, so the one-owner determinism rule holds by
+/// construction, and tiny local blocks stay on the calling thread.
+template <class Body>
+void parallel_for_cols(i64 rows, i64 cols, i64 min_elems, Body&& body) {
+  const i64 r = rows < 1 ? 1 : rows;
+  const i64 e = min_elems < 1 ? 1 : min_elems;
+  parallel_for(cols, ceil_div(e, r), static_cast<Body&&>(body));
+}
+
+template <class Body>
+void parallel_for_cols(i64 rows, i64 cols, Body&& body) {
+  parallel_for_cols(rows, cols, kMemoryBoundGrain, static_cast<Body&&>(body));
 }
 
 }  // namespace cacqr::lin::parallel

@@ -32,7 +32,9 @@ DistMatrix ca_gram(const DistMatrix& a, const grid::TunableGrid& g) {
   const auto [x, y, z] = g.coords();
   const i64 n = a.cols();
 
-  // Line 1: Bcast(A -> W, root x == z, Pi[:, y, z]).
+  // Line 1: Bcast(A -> W, root x == z, Pi[:, y, z]).  The staging copy of
+  // the m/d x n/c local panel is threaded (materialize splits columns over
+  // the rank's worker team); the collective itself is not.
   lin::Matrix w = materialize(a.local().view());
   g.row().bcast(span_of(w), z);
 

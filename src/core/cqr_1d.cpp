@@ -38,6 +38,10 @@ Cqr1dResult cqr_1d(const DistMatrix& a, const rt::Comm& comm) {
   lin::trmm(lin::Side::Right, lin::Uplo::Lower, lin::Trans::T,
             lin::Diag::NonUnit, 1.0, li.l_inv, out.q.local());
 
+  // Transpose L into the returned upper-triangular R.  Deliberately
+  // sequential: the n^2/2-element extraction is noise next to the n^3/3
+  // cholinv above, and its triangular columns defeat the elements-per-
+  // chunk grain math of parallel_for_cols.
   for (i64 j = 0; j < n; ++j) {
     for (i64 i = 0; i <= j; ++i) out.r(i, j) = li.l(j, i);
   }

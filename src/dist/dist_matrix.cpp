@@ -4,9 +4,12 @@
 #include <vector>
 
 #include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/parallel.hpp"
 #include "cacqr/lin/util.hpp"
 
 namespace cacqr::dist {
+
+namespace parallel = lin::parallel;
 
 namespace {
 
@@ -56,12 +59,17 @@ DistMatrix DistMatrix::from_global(lin::ConstMatrixView a, int row_procs,
                                    int col_procs, int my_row, int my_col) {
   DistMatrix out(a.rows, a.cols, row_procs, col_procs, my_row, my_col);
   const Layout& lay = out.layout_;
-  for (i64 lj = 0; lj < out.local_.cols(); ++lj) {
-    const i64 gj = lay.global_col(lj);
-    for (i64 li = 0; li < out.local_.rows(); ++li) {
-      out.local_(li, lj) = a(lay.global_row(li), gj);
-    }
-  }
+  // Local pack stage: each local column is written by exactly one team
+  // member, so extraction is bitwise identical at any thread budget.
+  parallel::parallel_for_cols(
+      out.local_.rows(), out.local_.cols(), [&](i64 j0, i64 j1) {
+        for (i64 lj = j0; lj < j1; ++lj) {
+          const i64 gj = lay.global_col(lj);
+          for (i64 li = 0; li < out.local_.rows(); ++li) {
+            out.local_(li, lj) = a(lay.global_row(li), gj);
+          }
+        }
+      });
   return out;
 }
 
@@ -150,19 +158,26 @@ lin::Matrix gather(const DistMatrix& a, const rt::Comm& comm) {
   std::vector<double> all(blk * static_cast<std::size_t>(p));
   comm.allgather({a.local().data(), blk}, all);
 
+  // Unpack stage: split over local column index lj.  One lj covers the
+  // col_procs global columns {x + lj*col_procs : x in ranks}, disjoint
+  // across lj, so every element of `full` has exactly one owner and the
+  // scatter is bitwise identical at any thread budget.
   lin::Matrix full(lay.rows, lay.cols);
-  for (int r = 0; r < p; ++r) {
-    // Slice convention: comm rank == x + col_procs * y.
-    const int x = r % lay.col_procs;
-    const int y = r / lay.col_procs;
-    const double* data = all.data() + static_cast<std::size_t>(r) * blk;
-    for (i64 lj = 0; lj < lc; ++lj) {
-      const i64 gj = x + lj * lay.col_procs;
-      for (i64 li = 0; li < lr; ++li) {
-        full(y + li * lay.row_procs, gj) = data[li + lj * lr];
-      }
-    }
-  }
+  parallel::parallel_for_cols(
+      lay.rows * lay.col_procs, lc, [&](i64 j0, i64 j1) {
+        for (int r = 0; r < p; ++r) {
+          // Slice convention: comm rank == x + col_procs * y.
+          const int x = r % lay.col_procs;
+          const int y = r / lay.col_procs;
+          const double* data = all.data() + static_cast<std::size_t>(r) * blk;
+          for (i64 lj = j0; lj < j1; ++lj) {
+            const i64 gj = x + lj * lay.col_procs;
+            for (i64 li = 0; li < lr; ++li) {
+              full(y + li * lay.row_procs, gj) = data[li + lj * lr];
+            }
+          }
+        }
+      });
   return full;
 }
 
@@ -179,13 +194,18 @@ DistMatrix transpose3d(const DistMatrix& a, const grid::CubeGrid& g) {
   lin::Matrix buf = materialize(a.local().view());
   g.slice().sendrecv_swap(g.slice_rank(y, x), kTransposeTag, span_of(buf));
 
+  // Local permute stage: each output column is written by exactly one
+  // team member (rows of `buf` are read shared, which is safe).
   DistMatrix out(a.rows(), a.cols(), a.layout().row_procs,
                  a.layout().col_procs, y, x);
-  for (i64 lj = 0; lj < out.local().cols(); ++lj) {
-    for (i64 li = 0; li < out.local().rows(); ++li) {
-      out.local()(li, lj) = buf(lj, li);
-    }
-  }
+  parallel::parallel_for_cols(
+      out.local().rows(), out.local().cols(), [&](i64 j0, i64 j1) {
+        for (i64 lj = j0; lj < j1; ++lj) {
+          for (i64 li = 0; li < out.local().rows(); ++li) {
+            out.local()(li, lj) = buf(lj, li);
+          }
+        }
+      });
   return out;
 }
 

@@ -2,24 +2,31 @@
 
 #include "cacqr/lin/blas.hpp"
 #include "cacqr/lin/flops.hpp"
+#include "cacqr/lin/parallel.hpp"
 
 namespace cacqr::lin {
 
 void axpy(double alpha, ConstMatrixView x, MatrixView y) {
   ensure_dim(x.rows == y.rows && x.cols == y.cols, "axpy: shape mismatch");
-  for (i64 j = 0; j < x.cols; ++j) {
-    const double* xc = x.data + j * x.ld;
-    double* yc = y.data + j * y.ld;
-    for (i64 i = 0; i < x.rows; ++i) yc[i] += alpha * xc[i];
-  }
+  // Each y column has one owner and the i loop order within a column is
+  // unchanged, so results are bitwise identical across thread budgets.
+  parallel::parallel_for_cols(x.rows, x.cols, [&](i64 j0, i64 j1) {
+    for (i64 j = j0; j < j1; ++j) {
+      const double* xc = x.data + j * x.ld;
+      double* yc = y.data + j * y.ld;
+      for (i64 i = 0; i < x.rows; ++i) yc[i] += alpha * xc[i];
+    }
+  });
   flops::add(2 * x.rows * x.cols);
 }
 
 void scal(double alpha, MatrixView x) {
-  for (i64 j = 0; j < x.cols; ++j) {
-    double* xc = x.data + j * x.ld;
-    for (i64 i = 0; i < x.rows; ++i) xc[i] *= alpha;
-  }
+  parallel::parallel_for_cols(x.rows, x.cols, [&](i64 j0, i64 j1) {
+    for (i64 j = j0; j < j1; ++j) {
+      double* xc = x.data + j * x.ld;
+      for (i64 i = 0; i < x.rows; ++i) xc[i] *= alpha;
+    }
+  });
   flops::add(x.rows * x.cols);
 }
 

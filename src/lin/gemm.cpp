@@ -9,19 +9,19 @@ namespace cacqr::lin {
 
 namespace {
 
-/// Column chunk size that gives each parallel_for chunk ~32K element
-/// touches; columns are the unit so every column has exactly one owner
-/// (writes stay disjoint and column-contiguous -- no false sharing and
-/// bitwise-deterministic results at any thread count).
-inline i64 col_grain(i64 rows) noexcept {
-  return std::max<i64>(1, (i64{1} << 15) / std::max<i64>(1, rows));
-}
+/// The scale/mirror passes below split at column granularity with ~32K
+/// element touches per chunk (parallel_for_cols); columns are the unit so
+/// every column has exactly one owner (writes stay disjoint and
+/// column-contiguous -- no false sharing and bitwise-deterministic results
+/// at any thread count).
+constexpr i64 kScaleChunkElems = i64{1} << 15;
 
 /// Scales C by beta with BLAS semantics: beta == 0 overwrites (even NaN),
 /// beta == 1 leaves C untouched.
 void scale_full(double beta, MatrixView c) {
   if (beta == 1.0) return;
-  parallel::parallel_for(c.cols, col_grain(c.rows), [&](i64 j0, i64 j1) {
+  parallel::parallel_for_cols(c.rows, c.cols, kScaleChunkElems,
+                              [&](i64 j0, i64 j1) {
     for (i64 j = j0; j < j1; ++j) {
       double* cc = c.data + j * c.ld;
       if (beta == 0.0) {
@@ -36,7 +36,8 @@ void scale_full(double beta, MatrixView c) {
 /// Scales one triangle (diagonal included) of C by beta, same semantics.
 void scale_triangle(double beta, MatrixView c, Uplo uplo) {
   if (beta == 1.0) return;
-  parallel::parallel_for(c.cols, col_grain(c.rows), [&](i64 j0, i64 j1) {
+  parallel::parallel_for_cols(c.rows, c.cols, kScaleChunkElems,
+                              [&](i64 j0, i64 j1) {
     for (i64 j = j0; j < j1; ++j) {
       const i64 ibegin = uplo == Uplo::Lower ? j : 0;
       const i64 iend = uplo == Uplo::Lower ? c.rows : j + 1;
@@ -56,7 +57,8 @@ void scale_triangle(double beta, MatrixView c, Uplo uplo) {
 /// columns (contiguous writes, strided reads) so the column split above
 /// applies here too.
 void mirror_triangle(MatrixView c, Uplo from) {
-  parallel::parallel_for(c.cols, col_grain(c.rows), [&](i64 j0, i64 j1) {
+  parallel::parallel_for_cols(c.rows, c.cols, kScaleChunkElems,
+                              [&](i64 j0, i64 j1) {
     for (i64 j = j0; j < j1; ++j) {
       double* cj = c.data + j * c.ld;
       if (from == Uplo::Lower) {

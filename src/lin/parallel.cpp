@@ -164,7 +164,10 @@ int thread_budget() noexcept {
 }
 
 void set_thread_budget(int n) noexcept {
-  detail::tls_budget = std::max(1, n);
+  // Same [1, 256] ceiling env_threads() enforces: kernel drivers size
+  // teams directly from the budget (bypassing parallel_for's clamp), so
+  // an unbounded budget could ask one pool for thousands of OS threads.
+  detail::tls_budget = std::clamp(n, 1, 256);
 }
 
 Range split_range(i64 count, i64 grain, int part, int nparts) noexcept {

@@ -307,13 +307,12 @@ void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
              "trmm: ", side == Side::Left ? "left" : "right",
              " operand size mismatch");
 
-  // Column grain sized like gemm.cpp's scaling passes: ~32K element
-  // touches per chunk, and never adjacent columns of a tiny B to separate
-  // threads.
-  const i64 scale_grain =
-      std::max<i64>(1, (i64{1} << 15) / std::max<i64>(1, b.rows));
+  // Scaling passes split like gemm.cpp's: ~32K element touches per chunk,
+  // and never adjacent columns of a tiny B to separate threads.
+  constexpr i64 kScaleChunkElems = i64{1} << 15;
   if (alpha == 0.0) {
-    parallel::parallel_for(b.cols, scale_grain, [&](i64 j0, i64 j1) {
+    parallel::parallel_for_cols(b.rows, b.cols, kScaleChunkElems,
+                                [&](i64 j0, i64 j1) {
       for (i64 j = j0; j < j1; ++j) {
         double* cj = b.data + j * b.ld;
         for (i64 i = 0; i < b.rows; ++i) cj[i] = 0.0;
@@ -322,7 +321,8 @@ void trmm(Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
   } else {
     trmm_rec(side, uplo, trans, diag, t, b);
     if (alpha != 1.0) {
-      parallel::parallel_for(b.cols, scale_grain, [&](i64 j0, i64 j1) {
+      parallel::parallel_for_cols(b.rows, b.cols, kScaleChunkElems,
+                                  [&](i64 j0, i64 j1) {
         for (i64 j = j0; j < j1; ++j) {
           double* cj = b.data + j * b.ld;
           for (i64 i = 0; i < b.rows; ++i) cj[i] *= alpha;

@@ -2,19 +2,28 @@
 #include <cmath>
 
 #include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/parallel.hpp"
 #include "cacqr/lin/qr.hpp"
 #include "cacqr/lin/util.hpp"
 #include "cacqr/support/rng.hpp"
 
 namespace cacqr::lin {
 
+Matrix materialize(ConstMatrixView a) {
+  Matrix out(a.rows, a.cols);
+  copy(a, out);
+  return out;
+}
+
 void copy(ConstMatrixView a, MatrixView b) {
   ensure_dim(a.rows == b.rows && a.cols == b.cols, "copy: shape mismatch");
-  for (i64 j = 0; j < a.cols; ++j) {
-    const double* src = a.data + j * a.ld;
-    double* dst = b.data + j * b.ld;
-    std::copy(src, src + a.rows, dst);
-  }
+  parallel::parallel_for_cols(a.rows, a.cols, [&](i64 j0, i64 j1) {
+    for (i64 j = j0; j < j1; ++j) {
+      const double* src = a.data + j * a.ld;
+      double* dst = b.data + j * b.ld;
+      std::copy(src, src + a.rows, dst);
+    }
+  });
 }
 
 void set_all(MatrixView a, double offdiag, double diag) {
