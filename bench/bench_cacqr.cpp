@@ -15,26 +15,39 @@
 /// previous commit on the same machine and run this harness from both
 /// builds; do NOT diff against a committed JSON from another host.
 ///
-/// Usage: bench_cacqr [--json[=PATH]] [--quick]
-///   --json   additionally write machine-readable results (default PATH:
-///            bench_out/bench_cacqr.json) -- the artifact CI uploads and
-///            PRs commit at perf/bench_cacqr.json.
-///   --quick  one small shape / fewer repetitions (CI smoke mode).
+/// Usage: bench_cacqr [--json[=PATH]] [--quick] [--threads-list=T1,T2,...]
+///   --json          additionally write machine-readable results (default
+///                   PATH: bench_out/bench_cacqr.json) -- the artifact CI
+///                   uploads and PRs commit at perf/bench_cacqr.json.
+///   --quick         one small shape / fewer repetitions (CI smoke mode).
+///   --threads-list  per-rank worker budgets to sweep.  The default is
+///                   hw_threads-aware: {1, 2, 4} ({1, 4} in quick mode)
+///                   filtered to budgets the host can actually run in
+///                   parallel, so a 1-hardware-thread container measures
+///                   only threads=1 instead of silently recording
+///                   oversubscription.  An explicit list is taken as-is.
 ///
-/// Reported per point:
-///   seconds  best-of-reps wall time of the factorization call alone --
-///            grid construction and data distribution happen outside the
-///            timed window -- max over ranks (barrier-fenced inside one
-///            Runtime::run, so thread pools and rank threads are warm);
-///   gflops   2 m n^2 - 2 n^3 / 3 (the Householder QR flop count) divided
-///            by `seconds` -- a useful-work rate, comparable across
-///            algorithms that do different amounts of raw arithmetic;
+/// Reported per point (each point is measured twice, overlap off then on,
+/// via rt::set_overlap_enabled -- the CACQR_OVERLAP runtime toggle):
+///   seconds      best-of-reps wall time with overlap OFF, factorization
+///                call alone -- grid construction and data distribution
+///                happen outside the timed window -- max over ranks
+///                (barrier-fenced inside one Runtime::run, so thread pools
+///                and rank threads are warm);
+///   seconds_ovl  the same with communication/computation overlap ON;
+///   gflops[_ovl] 2 m n^2 - 2 n^3 / 3 (the Householder QR flop count)
+///                divided by the matching seconds -- a useful-work rate,
+///                comparable across algorithms that do different amounts
+///                of raw arithmetic;
 ///   msgs/words/flops  max-over-ranks modeled cost counters for ONE
-///            factorization (deterministic: independent of threading).
+///                factorization (deterministic: independent of threading
+///                AND of overlap -- the harness errors out if the two
+///                modes ever disagree).
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -94,11 +107,19 @@ struct Point {
   i64 n = 0;
   int p = 0;
   int threads = 0;
-  double seconds = 0.0;
-  double gflops = 0.0;
+  double seconds = 0.0;          ///< overlap off
+  double gflops = 0.0;           ///< overlap off
+  double seconds_overlap = 0.0;  ///< overlap on
+  double gflops_overlap = 0.0;   ///< overlap on
   i64 msgs = 0;
   i64 words = 0;
   i64 flops = 0;
+};
+
+/// One measured mode: best wall time + max-over-ranks cost delta.
+struct ModeResult {
+  double seconds = 0.0;
+  rt::CostCounters cost;
 };
 
 /// Times `reps` factorizations inside ONE Runtime::run (rank threads and
@@ -108,10 +129,13 @@ struct Point {
 /// factorization closure; only that closure is inside the barrier fences,
 /// so `seconds` and the counter deltas cover the factorization alone.
 /// Returns the best barrier-to-barrier wall time and the max-over-ranks
-/// cost delta of a single factorization.
+/// cost delta of a single factorization, with overlap set as requested
+/// for the whole run.
 template <class Setup>
-Point measure(const Config& cfg, i64 m, i64 n, int threads, int reps,
-              const Setup& setup) {
+ModeResult measure_mode(const Config& cfg, i64 m, i64 n, int threads,
+                        int reps, bool overlap, const Setup& setup) {
+  const bool prev_overlap = rt::overlap_enabled();
+  rt::set_overlap_enabled(overlap);
   std::vector<double> per_rank_best(static_cast<std::size_t>(cfg.p), 1e300);
   std::vector<rt::CostCounters> per_rank_cost(
       static_cast<std::size_t>(cfg.p));
@@ -139,6 +163,38 @@ Point measure(const Config& cfg, i64 m, i64 n, int threads, int reps,
         }
       },
       rt::Machine::counting(), threads);
+  rt::set_overlap_enabled(prev_overlap);
+
+  ModeResult out;
+  out.seconds = *std::max_element(per_rank_best.begin(), per_rank_best.end());
+  out.cost = rt::max_counters(per_rank_cost);
+  return out;
+}
+
+/// Measures one sweep point in both overlap modes and cross-checks that
+/// the raw cost counters agree (they must: overlap only reorders local
+/// work).  Exits nonzero on disagreement -- that would mean the request
+/// engine charges differently from the blocking schedules.
+template <class Setup>
+Point measure(const Config& cfg, i64 m, i64 n, int threads, int reps,
+              const Setup& setup) {
+  const ModeResult off = measure_mode(cfg, m, n, threads, reps, false, setup);
+  const ModeResult on = measure_mode(cfg, m, n, threads, reps, true, setup);
+  if (off.cost.msgs != on.cost.msgs || off.cost.words != on.cost.words ||
+      off.cost.flops != on.cost.flops) {
+    std::fprintf(stderr,
+                 "error: overlap changed the cost counters (%s %lldx%lld): "
+                 "msgs %lld vs %lld, words %lld vs %lld, flops %lld vs %lld\n",
+                 cfg.algo.c_str(), static_cast<long long>(m),
+                 static_cast<long long>(n),
+                 static_cast<long long>(off.cost.msgs),
+                 static_cast<long long>(on.cost.msgs),
+                 static_cast<long long>(off.cost.words),
+                 static_cast<long long>(on.cost.words),
+                 static_cast<long long>(off.cost.flops),
+                 static_cast<long long>(on.cost.flops));
+    std::exit(1);
+  }
 
   Point out;
   out.algo = cfg.algo;
@@ -147,15 +203,33 @@ Point measure(const Config& cfg, i64 m, i64 n, int threads, int reps,
   out.n = n;
   out.p = cfg.p;
   out.threads = threads;
-  out.seconds = *std::max_element(per_rank_best.begin(), per_rank_best.end());
+  out.seconds = off.seconds;
+  out.seconds_overlap = on.seconds;
   const double dn = static_cast<double>(n);
   const double qr_flops =
       2.0 * static_cast<double>(m) * dn * dn - 2.0 * dn * dn * dn / 3.0;
   out.gflops = qr_flops / out.seconds * 1e-9;
-  const rt::CostCounters mc = rt::max_counters(per_rank_cost);
-  out.msgs = mc.msgs;
-  out.words = mc.words;
-  out.flops = mc.flops;
+  out.gflops_overlap = qr_flops / out.seconds_overlap * 1e-9;
+  out.msgs = off.cost.msgs;
+  out.words = off.cost.words;
+  out.flops = off.cost.flops;
+  return out;
+}
+
+/// Parses "1,2,4" into per-rank budgets; returns empty on malformed input.
+std::vector<int> parse_threads_list(const std::string& s) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = std::min(s.find(',', pos), s.size());
+    const std::string tok = s.substr(pos, comma - pos);
+    if (tok.empty()) return {};
+    char* end = nullptr;
+    const long v = std::strtol(tok.c_str(), &end, 10);
+    if (end != tok.c_str() + tok.size() || v < 1 || v > 256) return {};
+    out.push_back(static_cast<int>(v));
+    pos = comma + 1;
+  }
   return out;
 }
 
@@ -165,6 +239,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool json = false;
   std::string json_path = "bench_out/bench_cacqr.json";
+  std::vector<int> explicit_threads;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -178,8 +253,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --json= requires a path\n");
         return 2;
       }
+    } else if (arg.rfind("--threads-list=", 0) == 0) {
+      explicit_threads = parse_threads_list(arg.substr(15));
+      if (explicit_threads.empty()) {
+        std::fprintf(stderr,
+                     "error: --threads-list= wants comma-separated budgets "
+                     "in [1, 256], e.g. --threads-list=1,2,4\n");
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--json[=PATH]] [--quick]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--json[=PATH]] [--quick] "
+                   "[--threads-list=T1,T2,...]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -188,8 +274,18 @@ int main(int argc, char** argv) {
   const std::vector<std::pair<i64, i64>> shapes =
       quick ? std::vector<std::pair<i64, i64>>{{2048, 64}}
             : std::vector<std::pair<i64, i64>>{{8192, 128}, {16384, 256}};
-  const std::vector<int> thread_counts =
-      quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4};
+  const int hw_threads = lin::parallel::hardware_threads();
+  // hw_threads-aware default: drop budgets the host cannot actually run
+  // in parallel, so the committed trajectory never silently records
+  // oversubscription (threads=1 always stays).  --threads-list overrides
+  // verbatim for deliberate oversubscription studies.
+  std::vector<int> thread_counts = explicit_threads;
+  if (thread_counts.empty()) {
+    for (const int t : quick ? std::vector<int>{1, 4}
+                             : std::vector<int>{1, 2, 4}) {
+      if (t == 1 || t <= hw_threads) thread_counts.push_back(t);
+    }
+  }
   const int reps = quick ? 2 : 3;
 
   // Grids: 4- and 8-rank instances of each algorithm family.  cqr_1d is
@@ -207,11 +303,14 @@ int main(int argc, char** argv) {
   };
 
   std::printf("bench_cacqr: end-to-end factorization sweep (host hardware "
-              "threads: %d)\n",
-              lin::parallel::hardware_threads());
-  std::printf("%-10s %-8s %8s %5s %3s %3s %10s %10s %10s %12s %12s\n",
-              "algo", "grid", "m", "n", "P", "t", "seconds", "GF/s", "msgs",
-              "words", "flops");
+              "threads: %d; per-rank budgets:",
+              hw_threads);
+  for (const int t : thread_counts) std::printf(" %d", t);
+  std::printf(")\n");
+  std::printf(
+      "%-10s %-8s %8s %5s %3s %3s %10s %10s %10s %10s %10s %12s %12s\n",
+      "algo", "grid", "m", "n", "P", "t", "seconds", "sec_ovl", "GF/s",
+      "GF/s_ovl", "msgs", "words", "flops");
 
   std::vector<Point> points;
   for (const auto& [m, n] : shapes) {
@@ -256,11 +355,12 @@ int main(int argc, char** argv) {
         }
         points.push_back(pt);
         std::printf(
-            "%-10s %-8s %8lld %5lld %3d %3d %10.4f %10.2f %10lld %12lld "
-            "%12lld\n",
+            "%-10s %-8s %8lld %5lld %3d %3d %10.4f %10.4f %10.2f %10.2f "
+            "%10lld %12lld %12lld\n",
             pt.algo.c_str(), pt.grid.c_str(), static_cast<long long>(pt.m),
             static_cast<long long>(pt.n), pt.p, pt.threads, pt.seconds,
-            pt.gflops, static_cast<long long>(pt.msgs),
+            pt.seconds_overlap, pt.gflops, pt.gflops_overlap,
+            static_cast<long long>(pt.msgs),
             static_cast<long long>(pt.words),
             static_cast<long long>(pt.flops));
         std::fflush(stdout);
@@ -282,7 +382,12 @@ int main(int argc, char** argv) {
     }
     out << "{\n  \"bench\": \"bench_cacqr\",\n  \"unit\": \"seconds\",\n"
         << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
-        << "  \"hw_threads\": " << lin::parallel::hardware_threads() << ",\n"
+        << "  \"hw_threads\": " << hw_threads << ",\n"
+        << "  \"threads_list\": [";
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      out << (i ? ", " : "") << thread_counts[i];
+    }
+    out << "],\n"
         << "  \"gflops_normalization\": \"2*m*n^2 - 2*n^3/3\",\n"
         << "  \"results\": [\n";
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -290,7 +395,10 @@ int main(int argc, char** argv) {
       out << "    {\"algo\": \"" << pt.algo << "\", \"grid\": \"" << pt.grid
           << "\", \"m\": " << pt.m << ", \"n\": " << pt.n
           << ", \"p\": " << pt.p << ", \"threads\": " << pt.threads
-          << ", \"seconds\": " << pt.seconds << ", \"gflops\": " << pt.gflops
+          << ", \"seconds\": " << pt.seconds
+          << ", \"seconds_overlap\": " << pt.seconds_overlap
+          << ", \"gflops\": " << pt.gflops
+          << ", \"gflops_overlap\": " << pt.gflops_overlap
           << ", \"msgs\": " << pt.msgs << ", \"words\": " << pt.words
           << ", \"flops\": " << pt.flops << "}"
           << (i + 1 < points.size() ? "," : "") << "\n";

@@ -30,6 +30,8 @@
 /// (alpha/beta from the collectives, gamma from lin/) are independent of
 /// the thread budget.
 
+#include <utility>
+
 #include "cacqr/grid/grid.hpp"
 #include "cacqr/lin/matrix.hpp"
 #include "cacqr/lin/util.hpp"
@@ -73,6 +75,14 @@ class DistMatrix {
   /// Zero matrix of the given global shape and layout.
   DistMatrix(i64 rows, i64 cols, int row_procs, int col_procs, int my_row,
              int my_col);
+
+  /// Like the shape constructor but with UNINITIALIZED local storage (no
+  /// zero pass): only for results whose every local element is written
+  /// before being read — a permute/copy target, a gemm output with
+  /// beta == 0.  Same audit rule as lin::Matrix::uninit.
+  [[nodiscard]] static DistMatrix uninit(i64 rows, i64 cols, int row_procs,
+                                         int col_procs, int my_row,
+                                         int my_col);
 
   /// Local piece of a replicated global matrix (each rank extracts its
   /// cyclic entries; no communication).
@@ -144,6 +154,16 @@ class DistMatrix {
 /// are threaded local stages.
 [[nodiscard]] DistMatrix transpose3d(const DistMatrix& a,
                                      const grid::CubeGrid& g);
+
+/// Two transposes with their exchanges pipelined: equivalent to
+/// {transpose3d(a, g), transpose3d(b, g)} (bitwise, and in msgs/words),
+/// but with rt::overlap_enabled() the second block's staging copy
+/// proceeds under the first exchange and the first permute under the
+/// second — the back-to-back R / R^{-1} transposes of CA-CQR and the
+/// CFR3D recursion.  Both operands must be distributed like transpose3d
+/// expects, with equal shapes.
+[[nodiscard]] std::pair<DistMatrix, DistMatrix> transpose3d_pair(
+    const DistMatrix& a, const DistMatrix& b, const grid::CubeGrid& g);
 
 /// MM3D: C = alpha * A * B on the cube.  Each depth layer z multiplies the
 /// k-classes congruent to z (Bcast of A along the row comm from x == z and

@@ -8,12 +8,43 @@
 /// addressed without copying.
 
 #include <cstddef>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "cacqr/support/error.hpp"
 #include "cacqr/support/math.hpp"
 
 namespace cacqr::lin {
+
+namespace detail {
+
+/// std::allocator with default-initializing construct: `resize(n)` leaves
+/// doubles uninitialized instead of zero-filling, while value construction
+/// (`assign(n, 0.0)`, copies) behaves exactly as before.  Matrix uses it so
+/// `Matrix::uninit` can skip the sequential zero pass on staging buffers
+/// that are fully overwritten anyway (and so first-touch page placement
+/// happens in the threaded writer, not the allocating thread).
+template <class T>
+struct DefaultInitAlloc : std::allocator<T> {
+  using std::allocator<T>::allocator;
+  template <class U>
+  struct rebind {
+    using other = DefaultInitAlloc<U>;
+  };
+  template <class U>
+  void construct(U* p) noexcept(noexcept(::new (static_cast<void*>(p)) U)) {
+    ::new (static_cast<void*>(p)) U;
+  }
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    std::allocator_traits<std::allocator<T>>::construct(
+        *static_cast<std::allocator<T>*>(this), p,
+        std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace detail
 
 /// Non-owning read-only view of a column-major matrix block.
 struct ConstMatrixView {
@@ -69,6 +100,20 @@ class Matrix {
     ensure_dim(m >= 0 && n >= 0, "Matrix: negative dimension");
   }
 
+  /// Allocates an m x n matrix with UNINITIALIZED storage: no zero pass.
+  /// Only for staging buffers whose every element is overwritten before
+  /// being read (bcast destinations, materialize/copy targets, beta == 0
+  /// kernel outputs); anything relying on zeros -- identity off-diagonals,
+  /// DistMatrix construction, padding -- must use the zeroing constructor.
+  [[nodiscard]] static Matrix uninit(i64 m, i64 n) {
+    ensure_dim(m >= 0 && n >= 0, "Matrix::uninit: negative dimension");
+    Matrix out;
+    out.rows_ = m;
+    out.cols_ = n;
+    out.store_.resize(static_cast<std::size_t>(checked_mul(m, n)));
+    return out;
+  }
+
   [[nodiscard]] i64 rows() const noexcept { return rows_; }
   [[nodiscard]] i64 cols() const noexcept { return cols_; }
   [[nodiscard]] i64 size() const { return checked_mul(rows_, cols_); }
@@ -114,14 +159,15 @@ class Matrix {
  private:
   i64 rows_ = 0;
   i64 cols_ = 0;
-  std::vector<double> store_;
+  std::vector<double, detail::DefaultInitAlloc<double>> store_;
 };
 
-/// Copies a view into a freshly-allocated owning matrix.  The column
-/// copies are split over the calling thread's worker team (via lin::copy;
-/// defined in util.cpp), so the collective staging buffers on the ca_gram
-/// / mm3d / transpose3d hot paths inherit the dist-stage threading; at a
-/// budget of 1 the copy runs inline, one std::copy per column.
+/// Copies a view into a freshly-allocated owning matrix (uninitialized
+/// storage: the copy overwrites every element).  The column copies are
+/// split over the calling thread's worker team (via lin::copy; defined in
+/// util.cpp), so the collective staging buffers on the ca_gram / mm3d /
+/// transpose3d hot paths inherit the dist-stage threading; at a budget of
+/// 1 the copy runs inline, one std::copy per column.
 [[nodiscard]] Matrix materialize(ConstMatrixView a);
 
 }  // namespace cacqr::lin

@@ -25,6 +25,13 @@
 /// cacqr::lin are drained into the clock at every communication call, so
 /// max-over-ranks of the final clock is the modeled parallel execution time
 /// for the configured machine parameters.
+///
+/// Collectives come in two flavors sharing ONE implementation: the
+/// blocking calls below are wait(start_*(...)) over the request engine.
+/// start_* captures the collective's exact point-to-point schedule as a
+/// step list, performs the eager sends, and returns a Request; wait/test/
+/// progress drive the remaining steps cooperatively, so local work can
+/// overlap an in-flight collective (DESIGN.md section 5).
 
 #include <algorithm>
 #include <cstdint>
@@ -33,6 +40,7 @@
 #include <span>
 #include <vector>
 
+#include "cacqr/lin/parallel.hpp"
 #include "cacqr/support/error.hpp"
 #include "cacqr/support/math.hpp"
 
@@ -77,7 +85,65 @@ struct CostCounters {
 namespace detail {
 struct World;
 struct CommState;
+struct RequestState;
 }  // namespace detail
+
+/// Handle to one in-flight nonblocking operation (Comm::start_*).
+/// Move-only.  All methods must run on the rank thread that started the
+/// operation; the operation's buffers must stay alive and untouched until
+/// completion.  Destroying (or move-assigning over) an incomplete request
+/// completes it first, so a dropped handle never leaves the collective's
+/// partners hanging (the destructor may rethrow a genuine drain failure
+/// when no other exception is unwinding; AbortError is always absorbed).
+class Request {
+ public:
+  Request() noexcept;
+  Request(Request&& other) noexcept;
+  Request& operator=(Request&& other) noexcept;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+  ~Request() noexcept(false);
+
+  /// True if this handle refers to an operation (completed or not).
+  [[nodiscard]] bool valid() const noexcept;
+
+  /// Blocks until the operation completes.  Drives ALL of the calling
+  /// rank's in-flight requests meanwhile -- so concurrent requests may be
+  /// waited in any (even rank-dependent) order without deadlock -- and
+  /// sleeps on the mailbox between message arrivals.  No-op when already
+  /// complete or invalid.
+  void wait();
+
+  /// Nonblocking completion check: advances the rank's in-flight requests
+  /// as far as messages allow, then reports whether this one finished.
+  /// Invalid handles report true.  Throws AbortError once the run aborts,
+  /// so a test()-polling loop unwinds like a blocked wait would.
+  [[nodiscard]] bool test();
+
+ private:
+  friend class Comm;
+  explicit Request(std::unique_ptr<detail::RequestState> state) noexcept;
+  std::unique_ptr<detail::RequestState> state_;
+  /// Unwind depth at construction: the destructor rethrows drain failures
+  /// only when no NEW exception is in flight relative to this baseline,
+  /// so a Request living inside cleanup code that runs during unrelated
+  /// unwinding still surfaces its own errors.
+  int uncaught_ = 0;
+};
+
+/// True when the communication/computation overlap paths in dist/ and
+/// core/ are enabled: parsed once from the CACQR_OVERLAP environment
+/// variable (default off), overridable via set_overlap_enabled.  Overlap
+/// never changes results (bitwise) or the raw msgs/words/flops tallies;
+/// it reorders local work relative to in-flight collectives, which can
+/// move kernel-flop drains across recv clock-stamps (see DESIGN.md
+/// section 5 on charge timing).
+[[nodiscard]] bool overlap_enabled() noexcept;
+
+/// Process-wide override of the CACQR_OVERLAP default (benches and tests
+/// flip it between measured modes).  Not thread-safe against ranks mid
+/// collective: call it outside Runtime::run.
+void set_overlap_enabled(bool on) noexcept;
 
 /// Communicator handle (cheap to copy; copies share identity).  Every
 /// method below that is documented "collective" must be called by all
@@ -123,6 +189,39 @@ class Comm {
   /// Collective: concatenation of equal-size contributions, rank order.
   void allgather(std::span<const double> mine, std::span<double> all) const;
 
+  // ------------------------------------------- nonblocking (request) API
+  // Every blocking collective above is exactly wait(start_*(...)): the
+  // start call reserves the collective's tag, performs the eager sends of
+  // the schedule, and registers the request; wait/test/progress drive the
+  // remaining point-to-point steps cooperatively.  Per-rank msgs/words/
+  // flops tallies and the modeled clock are charged per step exactly as
+  // the blocking schedules charge them, so wait(start_*) is bit-for-bit
+  // identical to the blocking call.  Discipline: all members of a
+  // communicator must start collectives on it in the same order (the
+  // usual MPI nonblocking-collective rule); a request must be waited (or
+  // destroyed, which waits) before its run's body returns.
+
+  /// Nonblocking bcast; same schedule and cost as bcast().
+  [[nodiscard]] Request start_bcast(std::span<double> data, int root) const;
+  /// Nonblocking allreduce; same schedule and cost as allreduce_sum().
+  [[nodiscard]] Request start_allreduce_sum(std::span<double> data) const;
+  /// Nonblocking reduce (costed as allreduce, like reduce_sum()).
+  [[nodiscard]] Request start_reduce_sum(std::span<double> data,
+                                         int root) const;
+  /// Nonblocking allgather; `mine` is copied out at start.
+  [[nodiscard]] Request start_allgather(std::span<const double> mine,
+                                        std::span<double> all) const;
+  /// Nonblocking pairwise exchange (no-op request when partner == rank()).
+  [[nodiscard]] Request start_sendrecv_swap(int partner, int tag,
+                                            std::span<double> data) const;
+
+  /// Drives all of the calling rank's in-flight requests as far as
+  /// pending messages allow; never blocks (throws AbortError once the
+  /// run aborts).  Cheap when none are active.  Must be called from the
+  /// rank thread (rt::ProgressScope arranges for lin::parallel loop
+  /// splitters to do so between chunks of local work).
+  void progress() const;
+
   // ------------------------------------------------------- accounting
   /// This rank's world-wide running tally (shared across all comms of the
   /// run).  Drains pending kernel flops first so the snapshot is current.
@@ -140,6 +239,30 @@ class Comm {
   explicit Comm(std::shared_ptr<detail::CommState> state)
       : state_(std::move(state)) {}
   std::shared_ptr<detail::CommState> state_;
+};
+
+/// RAII overlap window: while alive, the calling (rank) thread's
+/// lin::parallel loop splitters poll Comm::progress() between chunks, so
+/// an in-flight collective advances underneath a threaded staging copy.
+/// Restores the previous hook on destruction (windows nest).  The comm
+/// argument only names the rank whose requests to drive -- any
+/// communicator of the run works.
+class ProgressScope {
+ public:
+  explicit ProgressScope(const Comm& comm) noexcept
+      : comm_(comm),
+        prev_(lin::parallel::set_progress_hook({&ProgressScope::poll, this})) {
+  }
+  ~ProgressScope() { lin::parallel::set_progress_hook(prev_); }
+  ProgressScope(const ProgressScope&) = delete;
+  ProgressScope& operator=(const ProgressScope&) = delete;
+
+ private:
+  static void poll(void* self) {
+    static_cast<ProgressScope*>(self)->comm_.progress();
+  }
+  Comm comm_;
+  lin::parallel::ProgressHook prev_;
 };
 
 /// SPMD launcher.

@@ -44,8 +44,7 @@ Cfr3dResult cfr3d_rec(const DistMatrix& a, const grid::CubeGrid& grid,
   // block back-substitution against R11 = L11^T instead.
   DistMatrix l21;
   if (child_depth > 0) {
-    DistMatrix r11 = dist::transpose3d(top.l, grid);
-    DistMatrix y11t = dist::transpose3d(top.l_inv, grid);
+    auto [r11, y11t] = dist::transpose3d_pair(top.l, top.l_inv, grid);
     l21 = dist::block_backsolve(a21, r11, y11t, i64(1) << child_depth, grid);
   } else {
     DistMatrix w = dist::transpose3d(top.l_inv, grid);

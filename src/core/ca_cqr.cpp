@@ -32,17 +32,20 @@ DistMatrix ca_gram(const DistMatrix& a, const grid::TunableGrid& g) {
   const auto [x, y, z] = g.coords();
   const i64 n = a.cols();
 
-  // Line 1: Bcast(A -> W, root x == z, Pi[:, y, z]).  The staging copy of
-  // the m/d x n/c local panel is threaded (materialize splits columns over
-  // the rank's worker team); the collective itself is not.
-  lin::Matrix w = materialize(a.local().view());
+  // Line 1: Bcast(A -> W, root x == z, Pi[:, y, z]).  Only the root
+  // stages its panel (threaded materialize); everyone else receives into
+  // uninitialized storage the Bcast fully overwrites.
+  lin::Matrix w = x == z ? materialize(a.local().view())
+                         : lin::Matrix::uninit(a.local().rows(),
+                                               a.local().cols());
   g.row().bcast(span_of(w), z);
 
   // Line 2: X = W^T * A_local, the (l = z mod c, j = x mod c) block of the
   // Gram matrix partially summed over this rank's row class.  With c == 1
   // W coincides with A_local and the product is a symmetric rank-k update
-  // (Algorithm 6 line 1), at half the flops.
-  lin::Matrix xbuf(n / c, n / c);
+  // (Algorithm 6 line 1), at half the flops.  beta == 0 either way, so
+  // the block is uninitialized staging too.
+  lin::Matrix xbuf = lin::Matrix::uninit(n / c, n / c);
   if (c == 1) {
     lin::gram(1.0, a.local(), 0.0, xbuf);
   } else {
@@ -55,15 +58,21 @@ DistMatrix ca_gram(const DistMatrix& a, const grid::TunableGrid& g) {
 
   // Line 4: Allreduce across the strided y-group completes the sum over
   // all d row classes (meaningful on the group roots; the next broadcast
-  // overwrites everyone else).
-  g.ygroup_strided().allreduce_sum(span_of(xbuf));
+  // overwrites everyone else).  Started before allocating line 5's
+  // staging target (uninitialized -- the copy below overwrites it) so
+  // the schedule's eager sends drain during the allocation; the real
+  // Gram-Allreduce overlap window is cqr_1d's staging copy.
+  rt::Request gram_sum = g.ygroup_strided().start_allreduce_sum(span_of(xbuf));
+  const auto& sub = g.subcube();
+  DistMatrix zmat = DistMatrix::uninit(n, n, sub.g(), sub.g(),
+                                       sub.coords().y, sub.coords().x);
+  gram_sum.wait();
 
   // Line 5: Bcast along depth from root z == y mod c, after which every
   // rank holds the Gram block for (row class y mod c, column class x):
   // Z distributed over the subcube slice, replicated over depth.
   g.depth().bcast(span_of(xbuf), y % c);
 
-  DistMatrix zmat = DistMatrix::on_cube(n, n, g.subcube());
   lin::copy(xbuf, zmat.local());
   return zmat;
 }
@@ -99,9 +108,9 @@ CaCqrResult ca_cqr(const DistMatrix& a, const grid::TunableGrid& g,
       zmat, g.subcube(),
       {.base_case = opts.base_case, .inverse_depth = depth});
 
-  // Materialize R and R^{-1} via the Transpose collective.
-  DistMatrix r = dist::transpose3d(rt_factor, g.subcube());
-  DistMatrix rinv = dist::transpose3d(rinv_t, g.subcube());
+  // Materialize R and R^{-1} via the Transpose collective; the pair form
+  // pipelines the two exchanges when overlap is on.
+  auto [r, rinv] = dist::transpose3d_pair(rt_factor, rinv_t, g.subcube());
 
   // Line 8: Q = A R^{-1}.
   CaCqrResult out;

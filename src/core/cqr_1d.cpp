@@ -23,18 +23,34 @@ Cqr1dResult cqr_1d(const DistMatrix& a, const rt::Comm& comm) {
   check_1d_layout(a, comm);
   const i64 n = a.cols();
 
-  // Line 1: local symmetric rank-(m/P) update X = A_p^T A_p.
-  lin::Matrix z(n, n);
+  // Line 1: local symmetric rank-(m/P) update X = A_p^T A_p (beta == 0
+  // overwrites the whole buffer, so the Gram staging is uninitialized).
+  lin::Matrix z = lin::Matrix::uninit(n, n);
   lin::gram(1.0, a.local(), 0.0, z);
 
-  // Line 2: Allreduce the n x n Gram contributions.
-  comm.allreduce_sum({z.data(), static_cast<std::size_t>(z.size())});
+  // Line 2: Allreduce the n x n Gram contributions.  With overlap on, it
+  // is started here and the Q staging panel (the copy of A_p that line 4
+  // multiplies in place) is materialized while it flies, the copy chunks
+  // polling progress; overlap off completes it immediately, the blocking
+  // order.
+  rt::Request gram_sum =
+      comm.start_allreduce_sum({z.data(), static_cast<std::size_t>(z.size())});
+  Cqr1dResult out;
+  if (rt::overlap_enabled()) {
+    out = {DistMatrix::uninit(a.rows(), n, comm.size(), 1, comm.rank(), 0),
+           lin::Matrix(n, n)};
+    rt::ProgressScope scope(comm);
+    lin::copy(a.local(), out.q.local());
+  } else {
+    gram_sum.wait();
+    out = {a, lin::Matrix(n, n)};
+  }
+  gram_sum.wait();
 
   // Line 3: redundant CholInv: R^T = chol(Z), R^{-T} = L^{-1}.
   auto li = lin::cholinv(z);
 
   // Line 4: Q_p = A_p R^{-1}, purely local triangular multiply.
-  Cqr1dResult out{a, lin::Matrix(n, n)};
   lin::trmm(lin::Side::Right, lin::Uplo::Lower, lin::Trans::T,
             lin::Diag::NonUnit, 1.0, li.l_inv, out.q.local());
 

@@ -13,9 +13,11 @@ namespace parallel = lin::parallel;
 
 namespace {
 
-/// Message tag for the transpose pairwise exchange (the only p2p traffic
-/// in this translation unit).
+/// Message tags for the transpose pairwise exchange (the only p2p traffic
+/// in this translation unit).  transpose3d_pair keeps two exchanges in
+/// flight between the same partners, so each leg gets its own tag.
 constexpr int kTransposeTag = 0x7452;  // 'tr'
+constexpr int kTransposeTag2 = 0x7453;
 
 void check_layout_positive(const Layout& lay) {
   ensure_dim(lay.rows >= 0 && lay.cols >= 0, "DistMatrix: negative shape");
@@ -55,9 +57,21 @@ DistMatrix::DistMatrix(i64 rows, i64 cols, int row_procs, int col_procs,
   local_ = lin::Matrix(layout_.local_rows(), layout_.local_cols());
 }
 
+DistMatrix DistMatrix::uninit(i64 rows, i64 cols, int row_procs,
+                              int col_procs, int my_row, int my_col) {
+  DistMatrix out;
+  out.layout_ = {rows, cols, row_procs, col_procs, my_row, my_col};
+  check_layout_positive(out.layout_);
+  out.local_ = lin::Matrix::uninit(out.layout_.local_rows(),
+                                   out.layout_.local_cols());
+  return out;
+}
+
 DistMatrix DistMatrix::from_global(lin::ConstMatrixView a, int row_procs,
                                    int col_procs, int my_row, int my_col) {
-  DistMatrix out(a.rows, a.cols, row_procs, col_procs, my_row, my_col);
+  // Uninitialized: the pack below writes every local element.
+  DistMatrix out = uninit(a.rows, a.cols, row_procs, col_procs, my_row,
+                          my_col);
   const Layout& lay = out.layout_;
   // Local pack stage: each local column is written by exactly one team
   // member, so extraction is bitwise identical at any thread budget.
@@ -161,8 +175,9 @@ lin::Matrix gather(const DistMatrix& a, const rt::Comm& comm) {
   // Unpack stage: split over local column index lj.  One lj covers the
   // col_procs global columns {x + lj*col_procs : x in ranks}, disjoint
   // across lj, so every element of `full` has exactly one owner and the
-  // scatter is bitwise identical at any thread budget.
-  lin::Matrix full(lay.rows, lay.cols);
+  // scatter is bitwise identical at any thread budget.  Uninitialized
+  // staging: the owners collectively write every element.
+  lin::Matrix full = lin::Matrix::uninit(lay.rows, lay.cols);
   parallel::parallel_for_cols(
       lay.rows * lay.col_procs, lc, [&](i64 j0, i64 j1) {
         for (int r = 0; r < p; ++r) {
@@ -181,23 +196,23 @@ lin::Matrix gather(const DistMatrix& a, const rt::Comm& comm) {
   return full;
 }
 
-DistMatrix transpose3d(const DistMatrix& a, const grid::CubeGrid& g) {
+namespace {
+
+void check_transpose_operand(const DistMatrix& a, const grid::CubeGrid& g) {
   check_on_cube(a, g, "transpose3d");
   ensure_dim(a.rows() == a.cols(), "transpose3d: matrix must be square");
   ensure_dim(a.rows() % g.g() == 0,
              "transpose3d: dimension must be divisible by the grid");
-  const auto [x, y, z] = g.coords();
-  (void)z;
+}
 
-  // Entry (i, j) of A^T is A(j, i): my block of the result is exactly the
-  // local block of the mirrored rank (x' = y, y' = x), locally transposed.
-  lin::Matrix buf = materialize(a.local().view());
-  g.slice().sendrecv_swap(g.slice_rank(y, x), kTransposeTag, span_of(buf));
-
-  // Local permute stage: each output column is written by exactly one
-  // team member (rows of `buf` are read shared, which is safe).
-  DistMatrix out(a.rows(), a.cols(), a.layout().row_procs,
-                 a.layout().col_procs, y, x);
+/// The local permute stage of transpose3d: uninitialized result (every
+/// element written below), each output column owned by exactly one team
+/// member (rows of `buf` are read shared, which is safe).
+DistMatrix transpose_permute(const lin::Matrix& buf, const DistMatrix& a,
+                             int y, int x) {
+  DistMatrix out = DistMatrix::uninit(a.rows(), a.cols(),
+                                      a.layout().row_procs,
+                                      a.layout().col_procs, y, x);
   parallel::parallel_for_cols(
       out.local().rows(), out.local().cols(), [&](i64 j0, i64 j1) {
         for (i64 lj = j0; lj < j1; ++lj) {
@@ -207,6 +222,60 @@ DistMatrix transpose3d(const DistMatrix& a, const grid::CubeGrid& g) {
         }
       });
   return out;
+}
+
+}  // namespace
+
+DistMatrix transpose3d(const DistMatrix& a, const grid::CubeGrid& g) {
+  check_transpose_operand(a, g);
+  const auto [x, y, z] = g.coords();
+  (void)z;
+
+  // Entry (i, j) of A^T is A(j, i): my block of the result is exactly the
+  // local block of the mirrored rank (x' = y, y' = x), locally transposed.
+  // A single transpose is one irreducible dependency chain (stage, swap,
+  // permute) with nothing local to hide the exchange behind; see
+  // transpose3d_pair for the pipelined back-to-back form.
+  lin::Matrix buf = materialize(a.local().view());
+  g.slice().sendrecv_swap(g.slice_rank(y, x), kTransposeTag, span_of(buf));
+  return transpose_permute(buf, a, y, x);
+}
+
+std::pair<DistMatrix, DistMatrix> transpose3d_pair(const DistMatrix& a,
+                                                   const DistMatrix& b,
+                                                   const grid::CubeGrid& g) {
+  check_transpose_operand(a, g);
+  check_transpose_operand(b, g);
+  ensure_dim(a.rows() == b.rows(), "transpose3d_pair: shapes differ");
+  if (!rt::overlap_enabled()) {
+    return {transpose3d(a, g), transpose3d(b, g)};
+  }
+  const auto [x, y, z] = g.coords();
+  (void)z;
+  const int partner = g.slice_rank(y, x);
+
+  // Pipeline the two exchanges: B's staging copy runs under A's exchange
+  // and A's permute under B's exchange (ProgressScope polls the in-flight
+  // request between the threaded loop chunks).  Same two sendrecv_swap
+  // charges, same per-element writes as the sequential form.
+  lin::Matrix abuf = materialize(a.local().view());
+  rt::Request aswap =
+      g.slice().start_sendrecv_swap(partner, kTransposeTag, span_of(abuf));
+  lin::Matrix bbuf;
+  {
+    rt::ProgressScope scope(g.slice());
+    bbuf = materialize(b.local().view());
+  }
+  rt::Request bswap =
+      g.slice().start_sendrecv_swap(partner, kTransposeTag2, span_of(bbuf));
+  aswap.wait();
+  DistMatrix at;
+  {
+    rt::ProgressScope scope(g.slice());
+    at = transpose_permute(abuf, a, y, x);
+  }
+  bswap.wait();
+  return {std::move(at), transpose_permute(bbuf, b, y, x)};
 }
 
 DistMatrix mm3d(const DistMatrix& a, const DistMatrix& b,
@@ -225,17 +294,35 @@ DistMatrix mm3d(const DistMatrix& a, const DistMatrix& b,
   // Depth layer z owns the k-classes congruent to z: the A block for
   // (row class y, k class z) lives at x == z in my slice row, the B block
   // for (k class z, column class x) at y == z in my slice column.
+  // Staging buffers are uninitialized on non-roots (the Bcast overwrites
+  // every word).  With overlap on, the A broadcast flies while the B
+  // panel is staged (ProgressScope polls it between copy chunks);
+  // overlap off waits each broadcast where the blocking calls used to.
   lin::Matrix abuf = x == z ? materialize(a.local().view())
-                            : lin::Matrix(m / gg, k / gg);
-  g.row().bcast(span_of(abuf), z);
-  lin::Matrix bbuf = y == z ? materialize(b.local().view())
-                            : lin::Matrix(k / gg, n / gg);
-  g.col().bcast(span_of(bbuf), z);
+                            : lin::Matrix::uninit(m / gg, k / gg);
+  rt::Request bcast_a = g.row().start_bcast(span_of(abuf), z);
+  auto stage_b = [&] {
+    return y == z ? materialize(b.local().view())
+                  : lin::Matrix::uninit(k / gg, n / gg);
+  };
+  lin::Matrix bbuf;
+  if (rt::overlap_enabled()) {
+    rt::ProgressScope scope(g.row());
+    bbuf = stage_b();
+  } else {
+    bcast_a.wait();
+    bbuf = stage_b();
+  }
+  rt::Request bcast_b = g.col().start_bcast(span_of(bbuf), z);
+  if (!rt::overlap_enabled()) bcast_b.wait();
 
   // Partial product over my depth layer's k-classes, then sum the g
   // layers along depth.  Consistent k mapping: local index lk on both
-  // sides is global k = z + lk * g.
-  DistMatrix out(m, n, gg, gg, y, x);
+  // sides is global k = z + lk * g.  The output is uninitialized: gemm's
+  // beta == 0 scale pass overwrites every element before accumulating.
+  DistMatrix out = DistMatrix::uninit(m, n, gg, gg, y, x);
+  bcast_a.wait();
+  bcast_b.wait();
   lin::gemm(lin::Trans::N, lin::Trans::N, alpha, abuf, bbuf, 0.0,
             out.local());
   g.depth().allreduce_sum(span_of(out.local()));

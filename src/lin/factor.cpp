@@ -23,7 +23,7 @@ void potf2(MatrixView a, i64 pivot_base) {
     const double d = cj[j];
     if (!(d > 0.0) || !std::isfinite(d)) {
       throw NotSpdError(
-          detail::concat("potrf: pivot ", pivot_base + j,
+          cacqr::detail::concat("potrf: pivot ", pivot_base + j,
                          " is not positive (", d, "); matrix is not SPD"),
           static_cast<std::size_t>(pivot_base + j));
     }

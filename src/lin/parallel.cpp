@@ -67,6 +67,11 @@ thread_local int tls_budget = 0;
 /// or worker): nested region requests run inline instead of spawning.
 thread_local int tls_region_depth = 0;
 
+/// Per-thread cooperative progress callback (see parallel.hpp).  Workers
+/// start with the default {nullptr, nullptr}, so only the installing
+/// (rank) thread ever polls it.
+thread_local ProgressHook tls_progress_hook = {};
+
 struct DepthGuard {
   DepthGuard() noexcept { ++tls_region_depth; }
   ~DepthGuard() { --tls_region_depth; }
@@ -195,6 +200,14 @@ void Team::barrier() {
 }
 
 bool in_region() noexcept { return detail::tls_region_depth > 0; }
+
+ProgressHook progress_hook() noexcept { return detail::tls_progress_hook; }
+
+ProgressHook set_progress_hook(ProgressHook hook) noexcept {
+  const ProgressHook prev = detail::tls_progress_hook;
+  detail::tls_progress_hook = hook;
+  return prev;
+}
 
 void run(int nthreads, const std::function<void(Team&)>& body) {
   const int n = std::max(1, nthreads);

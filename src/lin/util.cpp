@@ -10,7 +10,7 @@
 namespace cacqr::lin {
 
 Matrix materialize(ConstMatrixView a) {
-  Matrix out(a.rows, a.cols);
+  Matrix out = Matrix::uninit(a.rows, a.cols);
   copy(a, out);
   return out;
 }

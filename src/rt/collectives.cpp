@@ -1,5 +1,5 @@
 /// \file collectives.cpp
-/// \brief Butterfly/binomial collective algorithms over point-to-point.
+/// \brief Butterfly/binomial collective schedules over point-to-point.
 ///
 /// Algorithm choices are driven by the paper's collective cost table
 /// (Section II-B): Bcast/Reduce/Allreduce must cost 2 ceil(lg P) alpha +
@@ -12,6 +12,12 @@
 ///   - reduce     = allreduce (the paper charges Reduce == Allreduce)
 ///   - allgather  = Bruck (works for any P, ragged chunks)
 ///   - barrier    = dissemination
+///
+/// Every collective is built as a step list on a RequestState (the
+/// builders below append the caller's exact point-to-point sequence);
+/// the blocking methods are wait(start_*(...)), so blocking and
+/// nonblocking flavors charge identical per-rank msgs/words/flops and
+/// modeled clock, step for step.
 
 #include <algorithm>
 #include <functional>
@@ -50,13 +56,20 @@ int next_internal_tag(CommState& s) {
   return -1 - static_cast<int>(s.op_seq++ & 0x3fffffffULL);
 }
 
-/// Bruck allgather over `nparts` participants that are a subset of the
-/// communicator.  Participant i is comm rank part_rank(i); the caller is
-/// participant `my_part`.  On entry data[off[my_part]..off[my_part+1]) is
-/// the caller's contribution; on return data holds all chunks.
-void bruck_allgather(const Comm& comm, std::span<double> data,
-                     const std::vector<i64>& off, int nparts, int my_part,
-                     const std::function<int(int)>& part_rank, int tag) {
+namespace {
+
+/// Appends the Bruck allgather schedule over `nparts` participants that
+/// are a subset of the communicator.  Participant i is comm rank
+/// part_rank(i); the caller is participant `my_part`.  When the first
+/// scheduled step runs, data[off[my_part]..off[my_part+1]) must hold the
+/// caller's contribution (for bcast it is produced by the preceding
+/// scatter steps, hence the staging copy is a scheduled Local step, not a
+/// build-time one); after the last step data holds all chunks.
+/// `part_rank` is only evaluated at build time.
+void build_bruck_allgather(RequestState& r, double* data,
+                           const std::vector<i64>& off, int nparts,
+                           int my_part,
+                           const std::function<int(int)>& part_rank) {
   if (nparts <= 1) return;
   // Rotated staging buffer: position q holds chunk (my_part + q) % nparts.
   std::vector<i64> pos(static_cast<std::size_t>(nparts) + 1, 0);
@@ -65,50 +78,55 @@ void bruck_allgather(const Comm& comm, std::span<double> data,
         pos[static_cast<std::size_t>(q)] +
         chunk_size(off, (my_part + q) % nparts);
   }
-  std::vector<double> temp(static_cast<std::size_t>(pos.back()));
-  std::copy_n(data.data() + off[static_cast<std::size_t>(my_part)],
-              chunk_size(off, my_part), temp.data());
+  r.rot.resize(static_cast<std::size_t>(pos.back()));
+  double* rot = r.rot.data();
+
+  {
+    const i64 my_off = off[static_cast<std::size_t>(my_part)];
+    const i64 my_words = chunk_size(off, my_part);
+    r.steps.push_back({Step::Kind::Local, -1, nullptr, 0,
+                       [data, rot, my_off, my_words] {
+                         std::copy_n(data + my_off, my_words, rot);
+                       }});
+  }
 
   for (i64 s = 1; s < nparts; s <<= 1) {
     const int blocks = static_cast<int>(std::min<i64>(s, nparts - s));
-    const int dst_part = static_cast<int>((my_part - s % nparts + nparts) % nparts);
+    const int dst_part =
+        static_cast<int>((my_part - s % nparts + nparts) % nparts);
     const int src_part = static_cast<int>((my_part + s) % nparts);
     const i64 send_words = pos[static_cast<std::size_t>(blocks)];
     const i64 recv_at = pos[static_cast<std::size_t>(s)];
-    const i64 recv_words =
-        pos[static_cast<std::size_t>(s) + blocks] - recv_at;
-    comm.send(part_rank(dst_part), tag, {temp.data(), static_cast<std::size_t>(send_words)});
-    comm.recv(part_rank(src_part), tag,
-              {temp.data() + recv_at, static_cast<std::size_t>(recv_words)});
+    const i64 recv_words = pos[static_cast<std::size_t>(s) + blocks] - recv_at;
+    r.steps.push_back(
+        {Step::Kind::Send, part_rank(dst_part), rot, send_words, {}});
+    r.steps.push_back(
+        {Step::Kind::Recv, part_rank(src_part), rot + recv_at, recv_words,
+         {}});
   }
 
   // Un-rotate back into chunk order.
-  for (int q = 0; q < nparts; ++q) {
-    const int g = (my_part + q) % nparts;
-    std::copy_n(temp.data() + pos[static_cast<std::size_t>(q)], chunk_size(off, g),
-                data.data() + off[static_cast<std::size_t>(g)]);
-  }
+  r.steps.push_back(
+      {Step::Kind::Local, -1, nullptr, 0,
+       [data, rot, off, pos, my_part, nparts] {
+         for (int q = 0; q < nparts; ++q) {
+           const int g = (my_part + q) % nparts;
+           std::copy_n(rot + pos[static_cast<std::size_t>(q)],
+                       off[static_cast<std::size_t>(g) + 1] -
+                           off[static_cast<std::size_t>(g)],
+                       data + off[static_cast<std::size_t>(g)]);
+         }
+       }});
 }
 
-}  // namespace detail
+}  // namespace
 
-void Comm::barrier() const {
-  const int p = size();
-  if (p == 1) return;
-  const int me = rank();
-  const int tag = detail::next_internal_tag(*state_);
-  for (int s = 1; s < p; s <<= 1) {
-    send((me + s) % p, tag, {});
-    recv((me - s % p + p) % p, tag, {});
-  }
-}
-
-void Comm::bcast(std::span<double> data, int root) const {
-  const int p = size();
+void build_bcast(RequestState& r, std::span<double> data, int root) {
+  const int p = static_cast<int>(r.comm->members.size());
   ensure<CommError>(root >= 0 && root < p, "bcast: bad root ", root);
   if (p == 1 || data.empty()) return;
-  const int me = rank();
-  const int tag = detail::next_internal_tag(*state_);
+  const int me = r.comm->myrank;
+  r.tag = next_internal_tag(*r.comm);
   const auto off = chunk_offsets(static_cast<i64>(data.size()), p);
   // Work in "virtual rank" space where the root is vrank 0.
   const int v = (me - root + p) % p;
@@ -121,12 +139,14 @@ void Comm::bcast(std::span<double> data, int root) const {
     const i64 o0 = off[static_cast<std::size_t>(mid)];
     const i64 o1 = off[static_cast<std::size_t>(hi)];
     if (v == lo) {
-      send(vrank_to_rank(mid), tag,
-           {data.data() + o0, static_cast<std::size_t>(o1 - o0)});
+      r.steps.push_back(
+          {Step::Kind::Send, vrank_to_rank(mid), data.data() + o0, o1 - o0,
+           {}});
       hi = mid;
     } else if (v == mid) {
-      recv(vrank_to_rank(lo), tag,
-           {data.data() + o0, static_cast<std::size_t>(o1 - o0)});
+      r.steps.push_back(
+          {Step::Kind::Recv, vrank_to_rank(lo), data.data() + o0, o1 - o0,
+           {}});
       lo = mid;
     } else if (v < mid) {
       hi = mid;
@@ -136,33 +156,36 @@ void Comm::bcast(std::span<double> data, int root) const {
   }
 
   // Allgather the scattered chunks (chunk index == vrank).
-  detail::bruck_allgather(*this, data, off, p, v, vrank_to_rank, tag);
+  build_bruck_allgather(r, data.data(), off, p, v, vrank_to_rank);
 }
 
-void Comm::allreduce_sum(std::span<double> data) const {
-  const int p = size();
+void build_allreduce(RequestState& r, std::span<double> data) {
+  const int p = static_cast<int>(r.comm->members.size());
   if (p == 1 || data.empty()) return;
-  const int me = rank();
-  const int tag = detail::next_internal_tag(*state_);
+  const int me = r.comm->myrank;
+  r.tag = next_internal_tag(*r.comm);
   const int p2 = 1 << ilog2(p);  // largest power of two <= p
   const int extras = p - p2;
-
-  std::vector<double> temp(data.size());
+  const i64 n = static_cast<i64>(data.size());
+  double* d = data.data();
 
   // Fold: ranks [p2, p) ship their vectors to partners [0, extras) and wait
-  // for the final result.
+  // for the final result (no reduction scratch needed on their side).
   if (me >= p2) {
-    send(me - p2, tag, data);
-    recv(me - p2, tag, data);
+    r.steps.push_back({Step::Kind::Send, me - p2, d, n, {}});
+    r.steps.push_back({Step::Kind::Recv, me - p2, d, n, {}});
     return;
   }
+  r.tmp.resize(data.size());
+  double* tmp = r.tmp.data();
   if (me < extras) {
-    recv(me + p2, tag, temp);
-    for (std::size_t i = 0; i < data.size(); ++i) data[i] += temp[i];
+    r.steps.push_back({Step::Kind::Recv, me + p2, tmp, n, [d, tmp, n] {
+                         for (i64 i = 0; i < n; ++i) d[i] += tmp[i];
+                       }});
   }
 
   // Recursive-halving reduce-scatter among the pow2 set [0, p2).
-  const auto off = chunk_offsets(static_cast<i64>(data.size()), p2);
+  const auto off = chunk_offsets(n, p2);
   int lo = 0, hi = p2;
   while (hi - lo > 1) {
     const int half = (hi - lo) / 2;
@@ -178,9 +201,12 @@ void Comm::allreduce_sum(std::span<double> data) const {
     const i64 sn = off[static_cast<std::size_t>(s1)] - so;
     const i64 ko = off[static_cast<std::size_t>(k0)];
     const i64 kn = off[static_cast<std::size_t>(k1)] - ko;
-    send(partner, tag, {data.data() + so, static_cast<std::size_t>(sn)});
-    recv(partner, tag, {temp.data(), static_cast<std::size_t>(kn)});
-    for (i64 i = 0; i < kn; ++i) data[ko + i] += temp[static_cast<std::size_t>(i)];
+    r.steps.push_back({Step::Kind::Send, partner, d + so, sn, {}});
+    r.steps.push_back({Step::Kind::Recv, partner, tmp, kn, [d, tmp, ko, kn] {
+                         for (i64 i = 0; i < kn; ++i) {
+                           d[ko + i] += tmp[static_cast<std::size_t>(i)];
+                         }
+                       }});
     if (lower) {
       hi = mid;
     } else {
@@ -189,33 +215,121 @@ void Comm::allreduce_sum(std::span<double> data) const {
   }
 
   // Allgather the reduced chunks (chunk index == rank within [0, p2)).
-  detail::bruck_allgather(*this, data, off, p2, me,
-                          [](int r) { return r; }, tag);
+  build_bruck_allgather(r, d, off, p2, me, [](int rr) { return rr; });
 
   // Unfold: return the finished vector to the folded partner.
-  if (me < extras) send(me + p2, tag, data);
+  if (me < extras) {
+    r.steps.push_back({Step::Kind::Send, me + p2, d, n, {}});
+  }
 }
 
-void Comm::reduce_sum(std::span<double> data, int root) const {
-  ensure<CommError>(root >= 0 && root < size(), "reduce_sum: bad root ", root);
-  // The paper's cost table charges Reduce identically to Allreduce
-  // (reduce-scatter + gather); delivering the result everywhere costs the
-  // same in this model and keeps one code path.
-  allreduce_sum(data);
-}
-
-void Comm::allgather(std::span<const double> mine, std::span<double> all) const {
-  const int p = size();
+void build_allgather(RequestState& r, std::span<const double> mine,
+                     std::span<double> all) {
+  const int p = static_cast<int>(r.comm->members.size());
   ensure<CommError>(all.size() == mine.size() * static_cast<std::size_t>(p),
                     "allgather: output must be size * input");
-  const int me = rank();
+  const int me = r.comm->myrank;
+  // The caller's contribution lands at start (MPI-style: `mine` may be
+  // reused immediately); the scheduled steps only touch `all`.
   std::copy(mine.begin(), mine.end(),
             all.begin() + static_cast<std::ptrdiff_t>(mine.size()) * me);
   if (p == 1 || mine.empty()) return;
-  const int tag = detail::next_internal_tag(*state_);
+  r.tag = next_internal_tag(*r.comm);
   const auto off = chunk_offsets(static_cast<i64>(all.size()), p);
-  detail::bruck_allgather(*this, all, off, p, me,
-                          [](int r) { return r; }, tag);
+  build_bruck_allgather(r, all.data(), off, p, me, [](int rr) { return rr; });
+}
+
+void build_sendrecv_swap(RequestState& r, int partner,
+                         std::span<double> data) {
+  const int p = static_cast<int>(r.comm->members.size());
+  ensure<CommError>(partner >= 0 && partner < p,
+                    "sendrecv_swap: bad partner rank ", partner);
+  if (partner == r.comm->myrank) return;
+  const i64 n = static_cast<i64>(data.size());
+  r.steps.push_back({Step::Kind::Send, partner, data.data(), n, {}});
+  r.steps.push_back({Step::Kind::Recv, partner, data.data(), n, {}});
+}
+
+}  // namespace detail
+
+// --------------------------------------------------------- start_* API
+
+Request Comm::start_bcast(std::span<double> data, int root) const {
+  auto st = std::make_unique<detail::RequestState>();
+  st->comm = state_;
+  detail::build_bcast(*st, data, root);
+  detail::start_request(*st);
+  return Request(std::move(st));
+}
+
+Request Comm::start_allreduce_sum(std::span<double> data) const {
+  auto st = std::make_unique<detail::RequestState>();
+  st->comm = state_;
+  detail::build_allreduce(*st, data);
+  detail::start_request(*st);
+  return Request(std::move(st));
+}
+
+Request Comm::start_reduce_sum(std::span<double> data, int root) const {
+  ensure<CommError>(root >= 0 && root < size(),
+                    "reduce_sum: bad root ", root);
+  // The paper's cost table charges Reduce identically to Allreduce
+  // (reduce-scatter + gather); delivering the result everywhere costs the
+  // same in this model and keeps one code path.
+  return start_allreduce_sum(data);
+}
+
+Request Comm::start_allgather(std::span<const double> mine,
+                              std::span<double> all) const {
+  auto st = std::make_unique<detail::RequestState>();
+  st->comm = state_;
+  detail::build_allgather(*st, mine, all);
+  detail::start_request(*st);
+  return Request(std::move(st));
+}
+
+Request Comm::start_sendrecv_swap(int partner, int tag,
+                                  std::span<double> data) const {
+  auto st = std::make_unique<detail::RequestState>();
+  st->comm = state_;
+  st->tag = tag;  // pairwise exchange uses the caller's tag
+  detail::build_sendrecv_swap(*st, partner, data);
+  detail::start_request(*st);
+  return Request(std::move(st));
+}
+
+// ----------------------------------------------------- blocking flavors
+
+void Comm::barrier() const {
+  const int p = size();
+  if (p == 1) return;
+  const int me = rank();
+  const int tag = detail::next_internal_tag(*state_);
+  for (int s = 1; s < p; s <<= 1) {
+    send((me + s) % p, tag, {});
+    recv((me - s % p + p) % p, tag, {});
+  }
+}
+
+void Comm::bcast(std::span<double> data, int root) const {
+  Request r = start_bcast(data, root);
+  r.wait();
+}
+
+void Comm::allreduce_sum(std::span<double> data) const {
+  Request r = start_allreduce_sum(data);
+  r.wait();
+}
+
+void Comm::reduce_sum(std::span<double> data, int root) const {
+  Request r = start_reduce_sum(data, root);
+  r.wait();
+}
+
+void Comm::allgather(std::span<const double> mine,
+                     std::span<double> all) const {
+  Request r = start_allgather(mine, all);
+  r.wait();
 }
 
 void Comm::sync_clock() const {
@@ -225,7 +339,12 @@ void Comm::sync_clock() const {
   // restore my tally and apply the max.
   charge_local_flops();
   detail::World& w = *state_->world;
-  auto& my_tally = w.ranks[static_cast<std::size_t>(world_rank())].tally;
+  auto& rank_state = w.ranks[static_cast<std::size_t>(world_rank())];
+  // Restoring the snapshot would silently erase charges any other
+  // in-flight request makes while the allgather below progresses.
+  ensure<CommError>(rank_state.active.empty(),
+                    "sync_clock: requests still in flight");
+  auto& my_tally = rank_state.tally;
   const CostCounters saved = my_tally;
 
   std::vector<double> mine = {saved.time};

@@ -1,4 +1,5 @@
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 #include <thread>
 
@@ -31,6 +32,77 @@ void World::abort_all() {
   }
 }
 
+namespace {
+
+/// Drains the calling thread's pending kernel flops into the rank tally.
+/// Idempotent between kernel calls (the thread-local counter is taken),
+/// so retry loops may call it repeatedly without double charging.
+void charge_flops_now(CommState& s) {
+  const i64 f = lin::flops::take();
+  if (f == 0) return;
+  auto& rank_state =
+      s.world->ranks[static_cast<std::size_t>(world_rank_of(s))];
+  rank_state.tally.flops += f;
+  rank_state.tally.time += static_cast<double>(f) * s.world->machine.gamma;
+}
+
+}  // namespace
+
+void send_now(CommState& s, int dest, int tag, std::span<const double> data) {
+  charge_flops_now(s);
+  World& w = *s.world;
+  auto& me = w.ranks[static_cast<std::size_t>(world_rank_of(s))].tally;
+  me.msgs += 1;
+  me.words += static_cast<i64>(data.size());
+  me.time += w.machine.alpha +
+             static_cast<double>(data.size()) * w.machine.beta;
+
+  Message msg;
+  msg.ctx = s.ctx;
+  msg.src_world = world_rank_of(s);
+  msg.tag = tag;
+  msg.arrival = me.time;
+  msg.payload.assign(data.begin(), data.end());
+
+  const int dest_world = s.members[static_cast<std::size_t>(dest)];
+  auto& mb = *w.mailboxes[static_cast<std::size_t>(dest_world)];
+  {
+    std::lock_guard<std::mutex> lock(mb.mu);
+    mb.queue.push_back(std::move(msg));
+    ++mb.arrivals;
+  }
+  mb.cv.notify_all();
+}
+
+bool try_recv_now(CommState& s, int src, int tag, std::span<double> data) {
+  charge_flops_now(s);
+  World& w = *s.world;
+  const int src_world = s.members[static_cast<std::size_t>(src)];
+  auto& mb = *w.mailboxes[static_cast<std::size_t>(world_rank_of(s))];
+
+  Message msg;
+  {
+    std::lock_guard<std::mutex> lock(mb.mu);
+    // First queued message matching (ctx, src, tag): FIFO per channel.
+    auto it = mb.queue.begin();
+    for (; it != mb.queue.end(); ++it) {
+      if (it->ctx == s.ctx && it->src_world == src_world && it->tag == tag) {
+        break;
+      }
+    }
+    if (it == mb.queue.end()) return false;
+    msg = std::move(*it);
+    mb.queue.erase(it);
+  }
+  ensure<CommError>(msg.payload.size() == data.size(),
+                    "recv: size mismatch: expected ", data.size(), " got ",
+                    msg.payload.size());
+  std::copy(msg.payload.begin(), msg.payload.end(), data.begin());
+  auto& me = w.ranks[static_cast<std::size_t>(world_rank_of(s))].tally;
+  me.time = std::max(me.time, msg.arrival);
+  return true;
+}
+
 }  // namespace detail
 
 int Comm::rank() const noexcept { return state_->myrank; }
@@ -46,12 +118,7 @@ int Comm::world_rank() const noexcept {
 const Machine& Comm::machine() const noexcept { return state_->world->machine; }
 
 void Comm::charge_local_flops() const {
-  const i64 f = lin::flops::take();
-  if (f == 0) return;
-  auto& rank_state =
-      state_->world->ranks[static_cast<std::size_t>(world_rank())];
-  rank_state.tally.flops += f;
-  rank_state.tally.time += static_cast<double>(f) * machine().gamma;
+  detail::charge_flops_now(*state_);
 }
 
 CostCounters Comm::counters() const {
@@ -61,72 +128,49 @@ CostCounters Comm::counters() const {
 
 void Comm::send(int dest, int tag, std::span<const double> data) const {
   ensure<CommError>(dest >= 0 && dest < size(), "send: bad dest rank ", dest);
-  charge_local_flops();
-  World& w = *state_->world;
-  auto& me = w.ranks[static_cast<std::size_t>(world_rank())].tally;
-  me.msgs += 1;
-  me.words += static_cast<i64>(data.size());
-  me.time +=
-      machine().alpha + static_cast<double>(data.size()) * machine().beta;
-
-  Message msg;
-  msg.ctx = state_->ctx;
-  msg.src_world = world_rank();
-  msg.tag = tag;
-  msg.arrival = me.time;
-  msg.payload.assign(data.begin(), data.end());
-
-  const int dest_world = state_->members[static_cast<std::size_t>(dest)];
-  auto& mb = *w.mailboxes[static_cast<std::size_t>(dest_world)];
-  {
-    std::lock_guard<std::mutex> lock(mb.mu);
-    mb.queue.push_back(std::move(msg));
-  }
-  mb.cv.notify_all();
+  detail::send_now(*state_, dest, tag, data);
 }
 
 void Comm::recv(int src, int tag, std::span<double> data) const {
   ensure<CommError>(src >= 0 && src < size(), "recv: bad src rank ", src);
-  charge_local_flops();
-  World& w = *state_->world;
-  const int src_world = state_->members[static_cast<std::size_t>(src)];
-  auto& mb = *w.mailboxes[static_cast<std::size_t>(world_rank())];
-
-  Message msg;
-  {
-    std::unique_lock<std::mutex> lock(mb.mu);
-    for (;;) {
-      if (w.aborted.load(std::memory_order_acquire)) {
-        throw AbortError("recv: run aborted by another rank");
-      }
-      // First queued message matching (ctx, src, tag): FIFO per channel.
-      auto it = mb.queue.begin();
-      for (; it != mb.queue.end(); ++it) {
-        if (it->ctx == state_->ctx && it->src_world == src_world &&
-            it->tag == tag) {
-          break;
-        }
-      }
-      if (it != mb.queue.end()) {
-        msg = std::move(*it);
-        mb.queue.erase(it);
-        break;
-      }
-      mb.cv.wait(lock);
-    }
-  }
-  ensure<CommError>(msg.payload.size() == data.size(),
-                    "recv: size mismatch: expected ", data.size(), " got ",
-                    msg.payload.size());
-  std::copy(msg.payload.begin(), msg.payload.end(), data.begin());
-  auto& me = w.ranks[static_cast<std::size_t>(world_rank())].tally;
-  me.time = std::max(me.time, msg.arrival);
+  // The shared wait loop drives this rank's in-flight requests while
+  // blocked: the message we need may be gated on our part of another
+  // collective's schedule.
+  detail::wait_until(
+      *state_->world, world_rank(),
+      [&] { return detail::try_recv_now(*state_, src, tag, data); }, "recv");
 }
 
 void Comm::sendrecv_swap(int partner, int tag, std::span<double> data) const {
-  if (partner == rank()) return;
-  send(partner, tag, data);
-  recv(partner, tag, data);
+  Request r = start_sendrecv_swap(partner, tag, data);
+  r.wait();
+}
+
+void Comm::progress() const {
+  detail::progress_all(*state_->world, world_rank());
+}
+
+namespace {
+
+std::atomic<bool>& overlap_flag() {
+  static std::atomic<bool> flag = [] {
+    const char* s = std::getenv("CACQR_OVERLAP");
+    if (s == nullptr || *s == '\0') return false;
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    return end != s && *end == '\0' && v != 0;
+  }();
+  return flag;
+}
+
+}  // namespace
+
+bool overlap_enabled() noexcept {
+  return overlap_flag().load(std::memory_order_relaxed);
+}
+
+void set_overlap_enabled(bool on) noexcept {
+  overlap_flag().store(on, std::memory_order_relaxed);
 }
 
 Comm Comm::split(int color, int key) const {

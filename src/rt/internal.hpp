@@ -1,9 +1,13 @@
 #pragma once
 /// \file internal.hpp
-/// \brief Shared internals of the rt module (world state, mailboxes).
+/// \brief Shared internals of the rt module (world state, mailboxes, and
+///        the request engine behind the nonblocking collectives).
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -26,11 +30,19 @@ struct Mailbox {
   std::mutex mu;
   std::condition_variable cv;
   std::deque<Message> queue;
+  u64 arrivals = 0;  ///< messages ever enqueued; wait loops sleep on changes
 };
+
+struct RequestState;
 
 /// Per-rank mutable state, touched only by the owning rank thread.
 struct RankState {
   CostCounters tally;
+  /// In-flight requests of this rank, in start order.  Progress and the
+  /// blocking wait loops drive every entry, so a rank blocked on one
+  /// collective still completes its part of the others (no deadlock from
+  /// rank-dependent wait order).
+  std::vector<RequestState*> active;
 };
 
 /// Whole-run shared state.
@@ -58,5 +70,99 @@ struct CommState {
 
 /// 64-bit mix for communicator identity derivation.
 [[nodiscard]] u64 mix64(u64 x) noexcept;
+
+/// World rank of the caller of a CommState.
+[[nodiscard]] inline int world_rank_of(const CommState& s) noexcept {
+  return s.members[static_cast<std::size_t>(s.myrank)];
+}
+
+/// Reserves a fresh internal tag for one collective invocation.
+int next_internal_tag(CommState& s);
+
+// ------------------------------------------------------- p2p primitives
+// (comm.cpp)  Both charge exactly like the blocking calls: send adds
+// alpha/beta/clock at execution, a successful try-receive jumps the clock
+// to the arrival stamp.  Both drain pending kernel flops first.
+
+/// Eager buffered send: never blocks.
+void send_now(CommState& s, int dest, int tag, std::span<const double> data);
+
+/// Nonblocking receive: delivers and charges the first queued message
+/// matching (ctx, src, tag) and returns true, or returns false untouched.
+bool try_recv_now(CommState& s, int src, int tag, std::span<double> data);
+
+// ------------------------------------------------------- request engine
+
+/// One step of a collective schedule.  Steps execute strictly in order;
+/// Send and Local steps never block, a Recv step parks the request until
+/// its message arrives.
+struct Step {
+  enum class Kind { Send, Recv, Local };
+  Kind kind = Kind::Local;
+  int peer = -1;          ///< comm rank: Send destination / Recv source
+  double* ptr = nullptr;  ///< payload: send source / receive destination
+  i64 len = 0;
+  /// Local step body; on a Recv step, runs right after delivery (the
+  /// reduction accumulate of allreduce).  Local work charges nothing,
+  /// exactly as in the blocking schedules.
+  std::function<void()> local;
+};
+
+/// An in-flight collective: its schedule plus owned scratch.  The steps
+/// hold raw pointers into `tmp`/`rot` and the caller's buffer, so neither
+/// may be resized after the schedule is built, and the caller's buffer
+/// must stay alive until completion.
+struct RequestState {
+  std::shared_ptr<CommState> comm;
+  int tag = 0;
+  std::vector<double> tmp;  ///< reduction / fold scratch (allreduce)
+  std::vector<double> rot;  ///< Bruck rotated staging
+  std::vector<Step> steps;
+  std::size_t next = 0;  ///< first unexecuted step
+  bool registered = false;
+
+  [[nodiscard]] bool done() const noexcept { return next >= steps.size(); }
+};
+
+// (request.cpp)  All of these run on the owning rank thread only.
+
+/// Registers `r` with its rank and drives it as far as possible without
+/// blocking (eager sends start the collective immediately).
+void start_request(RequestState& r);
+
+/// Drives `r` as far as possible without blocking; unregisters and
+/// returns true when it completes.
+bool advance_request(RequestState& r);
+
+/// Drives every in-flight request of `world_rank` without blocking.
+void progress_all(World& w, int world_rank);
+
+/// Blocks until `r` completes, driving all of the rank's in-flight
+/// requests meanwhile and sleeping on the mailbox between arrivals.
+void wait_request(RequestState& r);
+
+/// The shared blocking loop under wait_request and Comm::recv: repeats
+/// {snapshot mailbox arrivals; drive every in-flight request; re-check
+/// `ready`; sleep on the mailbox until a new arrival} until `ready()`
+/// returns true.  `ready` may have side effects (Comm::recv's consumes
+/// its message); it is called at most twice per iteration, before and
+/// after the progress sweep.  Throws AbortError("<who>: run aborted by
+/// another rank") once the world aborts.
+void wait_until(World& w, int world_rank, const std::function<bool()>& ready,
+                const char* who);
+
+/// Removes `r` from its rank's active list (no-op if not registered).
+void unregister_request(RequestState& r);
+
+// ------------------------------------------- collective schedule builders
+// (collectives.cpp)  Each appends the caller's exact blocking schedule --
+// same peers, same payload sizes, same order -- as steps on `r`.
+
+void build_bcast(RequestState& r, std::span<double> data, int root);
+void build_allreduce(RequestState& r, std::span<double> data);
+void build_allgather(RequestState& r, std::span<const double> mine,
+                     std::span<double> all);
+void build_sendrecv_swap(RequestState& r, int partner,
+                         std::span<double> data);
 
 }  // namespace cacqr::rt::detail

@@ -117,5 +117,42 @@ TEST(MaterializeTest, DegenerateViews) {
   EXPECT_EQ(materialize(c.view()).cols(), 0);
 }
 
+TEST(UninitTest, ShapeAndFullOverwriteMatchZeroConstructed) {
+  Matrix u = Matrix::uninit(9, 5);
+  EXPECT_EQ(u.rows(), 9);
+  EXPECT_EQ(u.cols(), 5);
+  EXPECT_EQ(u.size(), 45);
+  // After a full overwrite an uninit matrix is indistinguishable from a
+  // zero-constructed one -- the only legal way to use it.
+  Matrix z(9, 5);
+  for (i64 j = 0; j < 5; ++j) {
+    for (i64 i = 0; i < 9; ++i) {
+      const double v = static_cast<double>(i * 10 + j);
+      u(i, j) = v;
+      z(i, j) = v;
+    }
+  }
+  EXPECT_TRUE(u == z);
+}
+
+TEST(UninitTest, DegenerateAndZeroSized) {
+  EXPECT_EQ(Matrix::uninit(0, 7).size(), 0);
+  EXPECT_EQ(Matrix::uninit(7, 0).rows(), 7);
+  EXPECT_THROW(Matrix::uninit(-1, 2), DimensionError);
+}
+
+TEST(UninitTest, ZeroingConstructorStillZeroes) {
+  // The audit contract: Matrix(m, n) (identity, DistMatrix construction,
+  // padding) keeps value-initialized storage.
+  Matrix z(16, 16);
+  for (i64 j = 0; j < 16; ++j) {
+    for (i64 i = 0; i < 16; ++i) EXPECT_EQ(z(i, j), 0.0);
+  }
+  Matrix id = Matrix::identity(4);
+  for (i64 j = 0; j < 4; ++j) {
+    for (i64 i = 0; i < 4; ++i) EXPECT_EQ(id(i, j), i == j ? 1.0 : 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace cacqr::lin
