@@ -16,6 +16,7 @@
 /// builds; do NOT diff against a committed JSON from another host.
 ///
 /// Usage: bench_cacqr [--json[=PATH]] [--quick] [--threads-list=T1,T2,...]
+///                    [--plan-mode=M1,M2,...]
 ///   --json          additionally write machine-readable results (default
 ///                   PATH: bench_out/bench_cacqr.json) -- the artifact CI
 ///                   uploads and PRs commit at perf/bench_cacqr.json.
@@ -26,6 +27,16 @@
 ///                   parallel, so a 1-hardware-thread container measures
 ///                   only threads=1 instead of silently recording
 ///                   oversubscription.  An explicit list is taken as-is.
+///   --plan-mode     which core::factorize planning policies the driver
+///                   sweep measures (subset of heuristic,model,measured;
+///                   default heuristic,model).  These rows time the WHOLE
+///                   factorize driver -- padding, distribution, the
+///                   factorization, and the final gathers -- under each
+///                   policy, so the trajectory records heuristic-vs-
+///                   planned wins.  model/measured calibrate this host
+///                   once (quick) at startup; measured additionally pays
+///                   its trial runs in the warmup rep only (the plan memo
+///                   serves the timed reps).
 ///
 /// Reported per point (each point is measured twice, overlap off then on,
 /// via rt::set_overlap_enabled -- the CACQR_OVERLAP runtime toggle):
@@ -58,8 +69,10 @@
 #include "cacqr/baseline/pgeqrf_2d.hpp"
 #include "cacqr/core/ca_cqr.hpp"
 #include "cacqr/core/cqr_1d.hpp"
+#include "cacqr/core/factorize.hpp"
 #include "cacqr/lin/generate.hpp"
 #include "cacqr/lin/parallel.hpp"
+#include "cacqr/tune/calibrate.hpp"
 
 namespace {
 
@@ -216,6 +229,73 @@ Point measure(const Config& cfg, i64 m, i64 n, int threads, int reps,
   return out;
 }
 
+/// One row of the factorize-driver plan sweep.
+struct PlanPoint {
+  std::string plan_mode;  ///< "heuristic" | "model" | "measured"
+  std::string algo;       ///< variant the policy picked
+  std::string grid;
+  std::string source;     ///< plan provenance ("heuristic"/"model"/...)
+  i64 m = 0;
+  i64 n = 0;
+  int p = 0;
+  int threads = 0;
+  double seconds = 0.0;    ///< whole factorize() call, best-of-reps
+  double gflops = 0.0;
+  double predicted = 0.0;  ///< the planner's modeled seconds (0: heuristic)
+};
+
+/// Times the whole factorize driver under one planning policy.  Unlike
+/// measure_mode, pad/distribute/gather are INSIDE the window -- the
+/// driver is the product surface the planner optimizes.  Overlap stays
+/// off: plan policies are compared under one fixed schedule.
+PlanPoint measure_factorize(i64 m, i64 n, int p, int threads, int reps,
+                            core::PlanMode mode, const char* mode_name,
+                            const tune::MachineProfile* profile) {
+  const bool prev_overlap = rt::overlap_enabled();
+  rt::set_overlap_enabled(false);
+  std::vector<double> per_rank_best(static_cast<std::size_t>(p), 1e300);
+  PlanPoint out;
+  rt::Runtime::run(
+      p,
+      [&](rt::Comm& world) {
+        const lin::Matrix a = lin::hashed_matrix(1789, m, n);
+        core::FactorizeOptions opts;
+        opts.plan_mode = mode;
+        opts.profile = profile;
+        for (int rep = 0; rep <= reps; ++rep) {
+          world.barrier();
+          const double t0 = now_seconds();
+          const core::FactorizeResult res = core::factorize(a, world, opts);
+          world.barrier();
+          const double dt = now_seconds() - t0;
+          auto& best = per_rank_best[static_cast<std::size_t>(world.rank())];
+          // rep 0 is the warmup: pools spawn, and in measured mode the
+          // trial runs + cache fill happen here, not in the timed reps.
+          if (rep > 0) best = std::min(best, dt);
+          if (world.rank() == 0 && rep == reps) {
+            out.algo = res.algo;
+            out.grid = res.plan.grid();
+            out.source = res.plan.source;
+            out.predicted = res.plan.predicted_seconds;
+          }
+        }
+      },
+      rt::Machine::counting(), threads);
+  rt::set_overlap_enabled(prev_overlap);
+
+  out.plan_mode = mode_name;
+  out.m = m;
+  out.n = n;
+  out.p = p;
+  out.threads = threads;
+  out.seconds = *std::max_element(per_rank_best.begin(), per_rank_best.end());
+  const double dn = static_cast<double>(n);
+  const double qr_flops =
+      2.0 * static_cast<double>(m) * dn * dn - 2.0 * dn * dn * dn / 3.0;
+  out.gflops = qr_flops / out.seconds * 1e-9;
+  return out;
+}
+
 /// Parses "1,2,4" into per-rank budgets; returns empty on malformed input.
 std::vector<int> parse_threads_list(const std::string& s) {
   std::vector<int> out;
@@ -240,6 +320,7 @@ int main(int argc, char** argv) {
   bool json = false;
   std::string json_path = "bench_out/bench_cacqr.json";
   std::vector<int> explicit_threads;
+  std::vector<std::string> plan_modes = {"heuristic", "model"};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -261,10 +342,27 @@ int main(int argc, char** argv) {
                      "in [1, 256], e.g. --threads-list=1,2,4\n");
         return 2;
       }
+    } else if (arg.rfind("--plan-mode=", 0) == 0) {
+      plan_modes.clear();
+      std::string list = arg.substr(12);
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = std::min(list.find(',', pos), list.size());
+        const std::string tok = list.substr(pos, comma - pos);
+        if (tok == "heuristic" || tok == "model" || tok == "measured") {
+          plan_modes.push_back(tok);
+        } else {
+          std::fprintf(stderr,
+                       "error: --plan-mode= wants a comma-separated subset "
+                       "of heuristic,model,measured\n");
+          return 2;
+        }
+        pos = comma + 1;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json[=PATH]] [--quick] "
-                   "[--threads-list=T1,T2,...]\n",
+                   "[--threads-list=T1,T2,...] [--plan-mode=M1,M2,...]\n",
                    argv[0]);
       return 2;
     }
@@ -368,6 +466,52 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- The factorize-driver plan sweep: heuristic vs planned configs.
+  // model/measured need a calibrated profile of THIS host; calibrate
+  // once, quick (a fraction of a second), before any timed window.
+  std::vector<PlanPoint> plan_points;
+  if (!plan_modes.empty()) {
+    tune::MachineProfile profile;
+    bool have_profile = false;
+    for (const std::string& mode : plan_modes) {
+      if (mode != "heuristic" && !have_profile) {
+        std::printf("\ncalibrating for planned modes (quick)...\n");
+        profile = tune::calibrate({.quick = true, .reps = 2, .ranks = 4});
+        have_profile = true;
+      }
+    }
+    std::printf("\nfactorize driver sweep (whole driver timed; overlap "
+                "off):\n");
+    std::printf("%-10s %8s %5s %3s %3s  %-10s %-8s %10s %10s %12s\n",
+                "plan_mode", "m", "n", "P", "t", "algo", "grid", "seconds",
+                "GF/s", "predicted_s");
+    for (const auto& [m, n] : shapes) {
+      for (const int p : {4, 8}) {
+        for (const int t : thread_counts) {
+          for (const std::string& mode : plan_modes) {
+            const core::PlanMode pm = mode == "heuristic"
+                                          ? core::PlanMode::heuristic
+                                      : mode == "model"
+                                          ? core::PlanMode::model
+                                          : core::PlanMode::measured;
+            const PlanPoint pt = measure_factorize(
+                m, n, p, t, reps, pm, mode.c_str(),
+                have_profile ? &profile : nullptr);
+            plan_points.push_back(pt);
+            std::printf(
+                "%-10s %8lld %5lld %3d %3d  %-10s %-8s %10.4f %10.2f "
+                "%12.6f\n",
+                pt.plan_mode.c_str(), static_cast<long long>(pt.m),
+                static_cast<long long>(pt.n), pt.p, pt.threads,
+                pt.algo.c_str(), pt.grid.c_str(), pt.seconds, pt.gflops,
+                pt.predicted);
+            std::fflush(stdout);
+          }
+        }
+      }
+    }
+  }
+
   if (json) {
     std::filesystem::path p(json_path);
     std::error_code ec;
@@ -402,6 +546,17 @@ int main(int argc, char** argv) {
           << ", \"msgs\": " << pt.msgs << ", \"words\": " << pt.words
           << ", \"flops\": " << pt.flops << "}"
           << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"plan_sweep\": [\n";
+    for (std::size_t i = 0; i < plan_points.size(); ++i) {
+      const PlanPoint& pt = plan_points[i];
+      out << "    {\"plan_mode\": \"" << pt.plan_mode << "\", \"algo\": \""
+          << pt.algo << "\", \"grid\": \"" << pt.grid << "\", \"source\": \""
+          << pt.source << "\", \"m\": " << pt.m << ", \"n\": " << pt.n
+          << ", \"p\": " << pt.p << ", \"threads\": " << pt.threads
+          << ", \"seconds\": " << pt.seconds << ", \"gflops\": " << pt.gflops
+          << ", \"predicted_seconds\": " << pt.predicted << "}"
+          << (i + 1 < plan_points.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     out.close();

@@ -58,7 +58,7 @@ struct CaCqrResult {
 /// measure this phase against the paper's Table V rows.  Collective over
 /// the whole grid.  Charge: Bcast(mn/(dc), c) + Reduce(n^2/c^2, c) +
 /// Allreduce(n^2/c^2, d/c) + Bcast(n^2/c^2, c) (the corrected line-5
-/// operand; DESIGN.md section 7) plus the local Gram/gemm gamma.
+/// operand; DESIGN.md section 8) plus the local Gram/gemm gamma.
 [[nodiscard]] dist::DistMatrix ca_gram(const dist::DistMatrix& a,
                                        const grid::TunableGrid& g);
 

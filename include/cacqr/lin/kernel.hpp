@@ -9,7 +9,7 @@
 /// updates a fixed MR x NR register block over the K dimension, with
 /// three-level MC/NC/KC cache blocking around it.  See DESIGN.md section 2
 /// for the architecture, section 3 for the thread-parallel decomposition,
-/// and section 6 for how to re-tune the block sizes.
+/// and section 7 for how to re-tune the block sizes.
 ///
 /// The driver is thread-parallel: when the calling thread's worker budget
 /// (lin/parallel.hpp, CACQR_THREADS) exceeds one and the product is large

@@ -48,6 +48,23 @@ struct Pool;
 /// integer, clamped to [1, 256]; absent or malformed values yield 1.
 [[nodiscard]] int env_threads() noexcept;
 
+/// Opt-in NUMA/affinity policy for pool threads (CACQR_AFFINITY).
+enum class Affinity {
+  off,      ///< default: the OS scheduler places threads freely
+  compact,  ///< owner + its workers pinned to consecutive CPUs (one
+            ///< rank's team shares a cache/socket neighborhood)
+  spread,   ///< team members pinned hw/team CPUs apart (maximum
+            ///< aggregate bandwidth on multi-socket hosts)
+};
+
+/// Parses an affinity spec: "compact" | "spread" | anything else -> off.
+/// Exposed for testing; the process-wide policy below parses the
+/// CACQR_AFFINITY environment variable once with exactly this rule.
+[[nodiscard]] Affinity parse_affinity(const char* spec) noexcept;
+
+/// The process-wide policy (CACQR_AFFINITY, parsed once; default off).
+[[nodiscard]] Affinity affinity_mode() noexcept;
+
 /// The calling thread's worker budget: the maximum team size `parallel_for`
 /// will use.  Initialized from `env_threads()` on first use in each thread.
 [[nodiscard]] int thread_budget() noexcept;

@@ -1,0 +1,142 @@
+#pragma once
+/// \file json.hpp
+/// \brief Minimal JSON value type, writer, and parser for the persistent
+///        artifacts this library produces and consumes (the tune/ plan
+///        cache, calibration profiles, bench emitters).
+///
+/// No external JSON dependency exists in the build environment, so this
+/// is a small self-contained implementation with two properties the plan
+/// cache relies on:
+///
+///   * **Deterministic serialization**: objects keep insertion order and
+///     `dump()` emits doubles via a shortest-round-trip format, so
+///     serializing the same value twice yields byte-identical text (the
+///     cache round-trip tests assert this).
+///   * **Tolerant parsing**: `parse()` returns std::nullopt on any
+///     malformed input instead of throwing, so a corrupted or
+///     truncated cache file is *ignored*, never fatal.
+///
+/// Numbers are stored as double (every integer this library persists
+/// fits in the 53-bit mantissa).  Object lookup is linear -- the files
+/// involved hold at most a few hundred keys.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cacqr/support/math.hpp"
+
+namespace cacqr::support {
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() noexcept : type_(Type::Null) {}
+  Json(bool b) noexcept : type_(Type::Bool), bool_(b) {}  // NOLINT(google-explicit-constructor)
+  Json(double v) noexcept : type_(Type::Number), num_(v) {}  // NOLINT
+  Json(i64 v) noexcept : type_(Type::Number), num_(static_cast<double>(v)) {}  // NOLINT
+  Json(int v) noexcept : type_(Type::Number), num_(v) {}     // NOLINT
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : type_(Type::String), str_(s) {}             // NOLINT
+
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+  }
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::Number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::String;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::Object;
+  }
+
+  /// Typed accessors with fallbacks: wrong-type access returns the
+  /// fallback, matching the cache's ignore-don't-throw discipline.
+  [[nodiscard]] bool as_bool(bool fallback = false) const noexcept {
+    return is_bool() ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_number(double fallback = 0.0) const noexcept {
+    return is_number() ? num_ : fallback;
+  }
+  [[nodiscard]] i64 as_int(i64 fallback = 0) const noexcept {
+    // Range-checked: a corrupted file holding 1e300 must read as the
+    // fallback, not as an out-of-range float-to-int cast (UB).
+    constexpr double lo = -9.2e18;
+    constexpr double hi = 9.2e18;
+    return is_number() && num_ >= lo && num_ <= hi
+               ? static_cast<i64>(num_)
+               : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const noexcept {
+    static const std::string empty;
+    return is_string() ? str_ : empty;
+  }
+
+  // ------------------------------------------------------------- array
+  [[nodiscard]] std::size_t size() const noexcept {
+    return is_array() ? arr_.size() : (is_object() ? obj_.size() : 0);
+  }
+  /// Element i of an array; Null for out-of-range or non-array.
+  [[nodiscard]] const Json& at(std::size_t i) const noexcept;
+  void push_back(Json v) {
+    type_ = Type::Array;
+    arr_.push_back(std::move(v));
+  }
+
+  // ------------------------------------------------------------ object
+  /// Member lookup; Null when absent or not an object.
+  [[nodiscard]] const Json& operator[](std::string_view key) const noexcept;
+  [[nodiscard]] bool has(std::string_view key) const noexcept;
+  /// Inserts or replaces; insertion order is serialization order.
+  void set(std::string_view key, Json v);
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const noexcept {
+    return obj_;
+  }
+
+  // ----------------------------------------------------------- text IO
+  /// Serializes deterministically.  indent < 0: compact single line;
+  /// indent >= 0: pretty-printed with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Strict parse of a complete JSON document (trailing non-whitespace
+  /// rejected).  Returns std::nullopt on any error.
+  [[nodiscard]] static std::optional<Json> parse(std::string_view text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/// Reads and parses a JSON file; std::nullopt when the file is missing,
+/// unreadable, or malformed (the cache's "ignore, not fatal" rule).
+[[nodiscard]] std::optional<Json> read_json_file(const std::string& path);
+
+/// Writes `dump(indent)` atomically: to `path + ".tmp.<pid>"` first, then
+/// renamed over `path`, so concurrent readers never observe a torn file.
+/// Returns false on any I/O failure (cache writes are best-effort).
+bool write_json_file(const std::string& path, const Json& value,
+                     int indent = 1);
+
+}  // namespace cacqr::support

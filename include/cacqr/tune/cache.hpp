@@ -1,0 +1,74 @@
+#pragma once
+/// \file cache.hpp
+/// \brief Persistent plan cache: measured/model plans and calibration
+///        profiles remembered across processes, so repeated and batched
+///        workloads skip planning (and re-calibration) entirely.
+///
+/// Layout under the cache directory (`CACQR_TUNE_DIR`):
+///
+///   plans-<fp>.json    one file per profile fingerprint: a versioned
+///                      object mapping ProblemKey::text() -> Plan
+///   profile-<host>.json  the calibrated MachineProfile for this host
+///
+/// where <fp> and <host> are FNV-1a digests of the profile fingerprint
+/// and host fingerprint.  Guarantees:
+///
+///   * **Deterministic serialization** -- keys are written in sorted
+///     order, numbers in shortest-round-trip form, so store(load(f))
+///     reproduces f byte for byte (tested).
+///   * **Corruption is ignored, never fatal** -- unparseable files, wrong
+///     schema versions, and malformed entries all read as "absent".
+///   * **Atomic writes** -- temp file + rename, so a concurrent reader
+///     sees the old or the new file, never a torn one.
+///
+/// The cache is a per-process-call object (cheap: it holds only the
+/// directory path); every load/store re-reads the file, which keeps
+/// independent processes coherent without locking.  In-process repeat
+/// lookups are served by core::factorize's plan memo before ever
+/// reaching this class.
+
+#include <optional>
+
+#include "cacqr/tune/planner.hpp"
+
+namespace cacqr::tune {
+
+class PlanCache {
+ public:
+  /// Disabled cache: loads miss, stores are no-ops.
+  PlanCache() = default;
+
+  /// Cache rooted at `dir` (created on first store).  Empty = disabled.
+  explicit PlanCache(std::string dir);
+
+  /// Reads CACQR_TUNE_DIR at call time (not cached statically, so tests
+  /// and long-lived processes can repoint it).  Unset/empty = disabled.
+  [[nodiscard]] static PlanCache from_env();
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir_.empty(); }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Cached plan for (profile fingerprint, problem key), or nullopt.
+  [[nodiscard]] std::optional<Plan> load(const std::string& fingerprint,
+                                         const ProblemKey& key) const;
+
+  /// Inserts/replaces the entry and rewrites the fingerprint's plan file
+  /// (read-modify-write; best-effort -- I/O failures are swallowed, the
+  /// cache is an optimization, never a correctness dependency).
+  void store(const std::string& fingerprint, const ProblemKey& key,
+             const Plan& plan) const;
+
+  /// Calibrated profile persisted for this host fingerprint, or nullopt.
+  [[nodiscard]] std::optional<MachineProfile> load_profile(
+      const std::string& host) const;
+  void store_profile(const MachineProfile& profile) const;
+
+  /// The file a fingerprint's plans live in (test/debug introspection).
+  [[nodiscard]] std::string plans_path(const std::string& fingerprint) const;
+  [[nodiscard]] std::string profile_path(const std::string& host) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace cacqr::tune

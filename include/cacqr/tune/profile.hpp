@@ -1,0 +1,96 @@
+#pragma once
+/// \file profile.hpp
+/// \brief tune::MachineProfile: what the calibrator measured about THIS
+///        host, in the form the planner scores candidates with.
+///
+/// Where model/machine.hpp holds hand-set presets for the paper's
+/// machines (Stampede2, Blue Waters), a MachineProfile is *measured*: the
+/// calibrator fits alpha/beta from timed runtime collectives and gamma
+/// from kernel sweeps on the machine actually running the job
+/// (DESIGN.md section 6).  The profile carries
+///
+///   * a fitted model::Machine (the planner evaluates model/costs.hpp
+///     formulas against it),
+///   * the raw kernel-efficiency table the gamma fit came from (useful
+///     for inspection and for bench_tune's JSON artifact),
+///   * measured intra-rank thread-scaling efficiencies (budget ->
+///     speedup), which the planner folds into gamma when the problem key
+///     says ranks run with a worker budget > 1,
+///   * a host fingerprint + a parameter digest, which together key the
+///     persistent plan cache: plans never leak across hosts or across
+///     differently-calibrated profiles.
+
+#include <string>
+#include <vector>
+
+#include "cacqr/model/machine.hpp"
+#include "cacqr/support/json.hpp"
+
+namespace cacqr::tune {
+
+/// One measured kernel rate (per-thread, i.e. worker budget 1).
+struct KernelSample {
+  std::string kernel;  ///< "gemm_nn" | "gemm_tn" | "gram" | ...
+  i64 m = 0;
+  i64 n = 0;
+  i64 k = 0;
+  double gflops = 0.0;
+};
+
+/// Measured intra-rank thread scaling: at worker budget `threads` the
+/// calibration kernel ran `speedup` times faster than at budget 1.
+struct ThreadScaling {
+  int threads = 1;
+  double speedup = 1.0;
+};
+
+struct MachineProfile {
+  /// Schema version of the serialized form; bump on breaking changes.
+  /// Loaders ignore files whose version differs (never fatal).
+  static constexpr int kSchemaVersion = 1;
+
+  model::Machine machine;  ///< fitted alpha_s / beta_s / gamma_s
+  std::vector<KernelSample> kernels;
+  std::vector<ThreadScaling> scaling;  ///< sorted by threads, includes {1, 1}
+  std::string host;        ///< host fingerprint (hostname, cpu, hw threads)
+  std::string calibrated;  ///< "measured" or "generic" (the fallback)
+
+  /// Measured speedup at the given per-rank worker budget: exact table hit,
+  /// else the largest measured budget <= threads (conservative -- never
+  /// extrapolates beyond what was measured).
+  [[nodiscard]] double thread_speedup(int threads) const noexcept;
+
+  /// Effective machine for ranks running `threads` workers each: gamma is
+  /// divided by thread_speedup(threads); alpha/beta are per-rank already.
+  [[nodiscard]] model::Machine machine_at(int threads) const;
+
+  /// Cache key component: host fingerprint plus an FNV-1a digest of the
+  /// fitted parameters, so differently-calibrated profiles on one host
+  /// never share cached plans.
+  [[nodiscard]] std::string fingerprint() const;
+
+  /// Deterministic serialization (includes kSchemaVersion).
+  [[nodiscard]] support::Json to_json() const;
+  /// Rejects missing/mismatched schema or non-finite/non-positive fitted
+  /// parameters; never throws.
+  [[nodiscard]] static std::optional<MachineProfile> from_json(
+      const support::Json& j);
+};
+
+/// Stable description of this host: hostname, cpu model (when readable
+/// from /proc/cpuinfo), and hardware thread count.  Identical across
+/// processes on one machine; the plan cache is keyed by it.
+[[nodiscard]] std::string host_fingerprint();
+
+/// The no-calibration fallback profile: nominal laptop-class constants
+/// (documented in DESIGN.md section 6) with `calibrated == "generic"`.
+/// Deterministic, so plan_mode=model works out of the box -- but its
+/// absolute predictions are only as good as the guess; calibrate for the
+/// real machine.
+[[nodiscard]] MachineProfile generic_profile();
+
+/// FNV-1a 64-bit hash rendered as 16 hex chars (cache file names, profile
+/// digests).  Deterministic across platforms.
+[[nodiscard]] std::string fnv1a_hex(std::string_view text);
+
+}  // namespace cacqr::tune

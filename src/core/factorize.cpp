@@ -1,10 +1,19 @@
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <optional>
 #include <utility>
 
+#include "cacqr/baseline/pgeqrf_2d.hpp"
+#include "cacqr/core/cqr_1d.hpp"
 #include "cacqr/core/factorize.hpp"
 #include "cacqr/core/shifted.hpp"
 #include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/parallel.hpp"
 #include "cacqr/lin/util.hpp"
+#include "cacqr/support/timer.hpp"
+#include "cacqr/tune/cache.hpp"
 
 namespace cacqr::core {
 
@@ -41,11 +50,13 @@ struct Padded {
   i64 n = 0;  ///< original cols
 };
 
-Padded pad_for_grid(lin::ConstMatrixView a, int c, int d) {
+/// Pads columns to a multiple of `col_mult` (delta-scaled identity) and
+/// rows to a multiple of `row_mult` (zero rows), keeping m_pad >= n_pad.
+Padded pad_to_multiples(lin::ConstMatrixView a, i64 row_mult, i64 col_mult) {
   const i64 m = a.rows;
   const i64 n = a.cols;
-  const i64 n_pad = round_up(n, c);
-  const i64 m_pad = round_up(std::max(m + (n_pad - n), n_pad), d);
+  const i64 n_pad = round_up(n, col_mult);
+  const i64 m_pad = round_up(std::max(m + (n_pad - n), n_pad), row_mult);
   if (m_pad == m && n_pad == n) {
     return {lin::materialize(a), m, n};
   }
@@ -60,20 +71,15 @@ Padded pad_for_grid(lin::ConstMatrixView a, int c, int d) {
   return {std::move(padded), m, n};
 }
 
-}  // namespace
+Padded pad_for_grid(lin::ConstMatrixView a, int c, int d) {
+  return pad_to_multiples(a, d, c);
+}
 
-FactorizeResult factorize(lin::ConstMatrixView a, const rt::Comm& world,
-                          FactorizeOptions opts) {
-  ensure_dim(a.rows >= a.cols && a.cols >= 1,
-             "factorize: requires m >= n >= 1");
-  ensure(opts.passes >= 1 && opts.passes <= 3,
-         "factorize: passes must be 1, 2 or 3");
+// ------------------------------------------------------ variant execution
 
-  int c = opts.c;
-  int d = opts.d;
-  if (c == 0 || d == 0) {
-    std::tie(c, d) = choose_grid(world.size(), a.rows, a.cols);
-  }
+/// The historical CA-CQR path on an explicit (c, d) grid.
+FactorizeResult run_ca_cqr(lin::ConstMatrixView a, const rt::Comm& world,
+                           const FactorizeOptions& opts, int c, int d) {
   ensure_dim(grid::TunableGrid::valid_shape(world.size(), c, d),
              "factorize: grid ", c, "x", d, "x", c, " invalid for ",
              world.size(), " ranks");
@@ -83,6 +89,7 @@ FactorizeResult factorize(lin::ConstMatrixView a, const rt::Comm& world,
   DistMatrix da = DistMatrix::from_global_on_tunable(padded.a, g);
 
   FactorizeResult out;
+  out.algo = "ca_cqr";
   out.c = c;
   out.d = d;
   const CaCqrOptions run_opts{.base_case = opts.base_case, .shift = 0.0};
@@ -109,6 +116,320 @@ FactorizeResult factorize(lin::ConstMatrixView a, const rt::Comm& world,
   lin::Matrix r_full = dist::gather(fact.r, g.subcube().slice());
   out.q = lin::materialize(q_full.sub(0, 0, padded.m, padded.n));
   out.r = lin::materialize(r_full.sub(0, 0, padded.n, padded.n));
+  return out;
+}
+
+/// 1D-CholeskyQR2 (Algorithms 6-7) on all P ranks: rows padded to a
+/// multiple of P (zero rows only -- the Gram matrix is untouched), no
+/// column padding.  The shifted fallback reuses the c=1 grid path.
+FactorizeResult run_cqr_1d(lin::ConstMatrixView a, const rt::Comm& world,
+                           const FactorizeOptions& opts) {
+  const int p = world.size();
+  Padded padded = pad_for_grid(a, 1, p);
+
+  FactorizeResult out;
+  out.algo = "cqr_1d";
+  out.c = 1;
+  out.d = p;
+
+  if (opts.passes != 3) {
+    DistMatrix da =
+        DistMatrix::from_global(padded.a, p, 1, world.rank(), 0);
+    try {
+      Cqr1dResult fact =
+          opts.passes == 1 ? cqr_1d(da, world) : cqr2_1d(da, world);
+      lin::Matrix q_full = dist::gather(fact.q, world);
+      out.q = lin::materialize(q_full.sub(0, 0, padded.m, padded.n));
+      out.r = std::move(fact.r);
+      return out;
+    } catch (const NotSpdError&) {
+      if (!opts.auto_shift) throw;
+      // Consistent on every rank; fall through to shifted CQR3 below.
+    }
+  }
+
+  grid::TunableGrid g(world, 1, p);
+  DistMatrix da = DistMatrix::from_global_on_tunable(padded.a, g);
+  CaCqrResult fact =
+      ca_cqr3(da, g, {.base_case = opts.base_case, .shift = 0.0});
+  out.used_shift = true;
+  lin::Matrix q_full = dist::gather(fact.q, g.slice());
+  lin::Matrix r_full = dist::gather(fact.r, g.subcube().slice());
+  out.q = lin::materialize(q_full.sub(0, 0, padded.m, padded.n));
+  out.r = lin::materialize(r_full.sub(0, 0, padded.n, padded.n));
+  return out;
+}
+
+/// The ScaLAPACK-style 2D Householder baseline.  Block-cyclic layout
+/// needs block*pr | m and block*lcm(pr, pc) | n (the n x n R lives on
+/// the same grid); the delta augmentation keeps the padded matrix full
+/// rank, and sign normalization makes the factors unique, so stripping
+/// recovers the Householder factors of A.
+FactorizeResult run_pgeqrf(lin::ConstMatrixView a, const rt::Comm& world,
+                           int pr, int pc, i64 block) {
+  ensure_dim(pr >= 1 && pc >= 1 && block >= 1 &&
+                 pr * pc == world.size(),
+             "factorize: pgeqrf grid ", pr, "x", pc, " invalid for ",
+             world.size(), " ranks");
+  const i64 col_mult = block * std::lcm<i64>(pr, pc);
+  Padded padded = pad_to_multiples(a, block * pr, col_mult);
+
+  baseline::ProcGrid2d g(world, pr, pc);
+  auto da = baseline::BlockCyclicMatrix::from_global(padded.a, block, g);
+  baseline::Pgeqrf2dResult fact = baseline::pgeqrf_2d(da, g);
+
+  FactorizeResult out;
+  out.algo = "pgeqrf_2d";
+  out.c = 0;
+  out.d = 0;
+  out.pr = pr;
+  out.pc = pc;
+  out.block = block;
+  lin::Matrix q_full = fact.q.gather(g);
+  lin::Matrix r_full = fact.r.gather(g);
+  out.q = lin::materialize(q_full.sub(0, 0, padded.m, padded.n));
+  out.r = lin::materialize(r_full.sub(0, 0, padded.n, padded.n));
+  return out;
+}
+
+/// Executes `plan` (which must fit `world`).
+FactorizeResult run_plan(lin::ConstMatrixView a, const rt::Comm& world,
+                         const FactorizeOptions& opts,
+                         const tune::Plan& plan) {
+  if (plan.algo == "cqr_1d") return run_cqr_1d(a, world, opts);
+  if (plan.algo == "pgeqrf_2d") {
+    return run_pgeqrf(a, world, plan.pr, plan.pc, plan.block);
+  }
+  return run_ca_cqr(a, world, opts, plan.c, plan.d);
+}
+
+// ------------------------------------------------------- plan resolution
+
+/// A plan is executable for this key iff its configuration matches the
+/// rank count and basic shape preconditions.  Cached plans that fail
+/// this (stale or corrupted files) are treated as cache misses.
+bool plan_fits(const tune::Plan& plan, const tune::ProblemKey& key) {
+  if (plan.algo == "cqr_1d") return plan.d == key.p;
+  if (plan.algo == "ca_cqr2") {
+    return grid::TunableGrid::valid_shape(key.p, plan.c, plan.d) &&
+           static_cast<i64>(plan.c) * plan.c <= key.n && plan.d <= key.m;
+  }
+  if (plan.algo == "pgeqrf_2d") {
+    return plan.pr >= 1 && plan.pc >= 1 && plan.block >= 1 &&
+           static_cast<long long>(plan.pr) * plan.pc == key.p;
+  }
+  return false;
+}
+
+/// A remembered plan may satisfy this request only if it fits AND, in
+/// measured mode, actually went through trials -- otherwise a
+/// model-sourced memo/cache entry would silently relabel the model pick
+/// as "measured".  (The reverse is fine: model mode happily reuses a
+/// measured winner -- that is the cache remembering what won.)
+bool plan_acceptable(const tune::Plan& plan, const tune::ProblemKey& key,
+                    PlanMode mode) {
+  return plan_fits(plan, key) &&
+         (mode != PlanMode::measured || plan.measured_seconds > 0.0);
+}
+
+/// Fixed-width wire form of one Plan (10 doubles): rank 0 resolves
+/// memo/cache/planner and broadcasts, so ranks can never diverge on
+/// what a file or the process memo said.
+constexpr std::size_t kPlanWords = 10;
+
+void encode_plan(const tune::Plan& plan, double* w) {
+  w[0] = plan.algo == "cqr_1d" ? 0.0 : plan.algo == "ca_cqr2" ? 1.0 : 2.0;
+  w[1] = plan.c;
+  w[2] = plan.d;
+  w[3] = plan.pr;
+  w[4] = plan.pc;
+  w[5] = static_cast<double>(plan.block);
+  w[6] = plan.predicted_seconds;
+  w[7] = plan.measured_seconds;
+  w[8] = plan.source == "cache" ? 1.0 : plan.source == "measured" ? 2.0
+                                                                  : 0.0;
+  w[9] = 0.0;  // reserved
+}
+
+tune::Plan decode_plan(const double* w) {
+  tune::Plan plan;
+  plan.algo = w[0] == 0.0 ? "cqr_1d" : w[0] == 1.0 ? "ca_cqr2" : "pgeqrf_2d";
+  plan.c = static_cast<int>(w[1]);
+  plan.d = static_cast<int>(w[2]);
+  plan.pr = static_cast<int>(w[3]);
+  plan.pc = static_cast<int>(w[4]);
+  plan.block = static_cast<i64>(w[5]);
+  plan.predicted_seconds = w[6];
+  plan.measured_seconds = w[7];
+  plan.source = w[8] == 1.0 ? "cache" : w[8] == 2.0 ? "measured" : "model";
+  return plan;
+}
+
+/// Process-wide plan memo: repeated factorize calls in one process skip
+/// planning, the cache file, and (in measured mode) the trials.  Keyed
+/// by profile fingerprint + problem key, so it can never alias across
+/// profiles.  Only rank 0 of a world ever touches it (non-roots follow
+/// the broadcast), so concurrent worlds resolving the same key cannot
+/// diverge mid-collective.  Leaked intentionally: rank threads may
+/// outlive static destructors.
+struct PlanMemo {
+  std::mutex mu;
+  std::map<std::string, tune::Plan> map;
+  static PlanMemo& instance() {
+    static PlanMemo* memo = new PlanMemo();
+    return *memo;
+  }
+  std::optional<tune::Plan> lookup(const std::string& memo_key) {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = map.find(memo_key);
+    return it == map.end() ? std::nullopt
+                           : std::optional<tune::Plan>(it->second);
+  }
+  void insert(const std::string& memo_key, const tune::Plan& plan) {
+    std::lock_guard<std::mutex> lock(mu);
+    map.insert_or_assign(memo_key, plan);
+  }
+};
+
+/// Resolves the plan for a non-heuristic mode and, in measured mode, may
+/// already produce the winning factorization result (the winner's trial
+/// is reused instead of re-run).  Collective: rank 0 resolves profile,
+/// memo, and cache, then one broadcast distributes either the final
+/// plan or the candidate list to trial.
+tune::Plan resolve_plan(lin::ConstMatrixView a, const rt::Comm& world,
+                        const FactorizeOptions& opts,
+                        std::optional<FactorizeResult>* trial_result) {
+  const tune::ProblemKey key{a.rows,  a.cols,     world.size(),
+                             lin::parallel::thread_budget(),
+                             opts.passes, opts.base_case};
+  const std::size_t top_k =
+      static_cast<std::size_t>(std::max(1, opts.plan_top_k));
+  // Wire: w[0] = -1 followed by one final plan, or the candidate count
+  // followed by that many plans to trial.  Model mode never trials, so
+  // its buffer holds exactly one plan.
+  const std::size_t max_plans =
+      opts.plan_mode == PlanMode::measured ? top_k : std::size_t{1};
+  std::vector<double> wire(1 + max_plans * kPlanWords, 0.0);
+
+  const tune::PlanCache cache = tune::PlanCache::from_env();
+  std::string fingerprint;  // rank 0 only (non-roots follow the bcast)
+  bool store_needed = false;  // rank 0 only: freshly planned, not remembered
+  if (world.rank() == 0) {
+    // Profile precedence: the caller's, else a calibration persisted by
+    // bench_tune --save for this host, else the generic fallback.
+    tune::MachineProfile loaded;
+    const tune::MachineProfile* profile = opts.profile;
+    if (profile == nullptr) {
+      auto saved = cache.load_profile(tune::host_fingerprint());
+      loaded = saved ? std::move(*saved) : tune::generic_profile();
+      profile = &loaded;
+    }
+    fingerprint = profile->fingerprint();
+    const std::string memo_key = fingerprint + "|" + key.text();
+
+    std::optional<tune::Plan> final = PlanMemo::instance().lookup(memo_key);
+    if (final && !plan_acceptable(*final, key, opts.plan_mode)) {
+      final.reset();
+    }
+    if (!final) {
+      if (auto hit = cache.load(fingerprint, key);
+          hit && plan_acceptable(*hit, key, opts.plan_mode)) {
+        final = std::move(*hit);
+      }
+    }
+    if (final) {
+      wire[0] = -1.0;
+      encode_plan(*final, wire.data() + 1);
+    } else {
+      store_needed = true;
+      const tune::Planner planner(*profile,
+                                  {.top_k = static_cast<int>(top_k)});
+      std::vector<tune::Plan> cands = planner.candidates(key);
+      ensure(!cands.empty(), "factorize: no valid plan for ", key.text());
+      if (opts.plan_mode == PlanMode::model) {
+        wire[0] = -1.0;
+        encode_plan(cands.front(), wire.data() + 1);
+      } else {
+        const std::size_t k = std::min(cands.size(), top_k);
+        wire[0] = static_cast<double>(k);
+        for (std::size_t i = 0; i < k; ++i) {
+          encode_plan(cands[i], wire.data() + 1 + i * kPlanWords);
+        }
+      }
+    }
+  }
+  world.bcast(wire, 0);
+
+  tune::Plan winner;
+  if (wire[0] < 0.0) {
+    winner = decode_plan(wire.data() + 1);
+  } else {
+    // Trial-run the candidates on the real input.  One Allreduce per
+    // trial makes every rank score each candidate by the summed wall
+    // time, so the argmin (ties to the lower, better-modeled index) is
+    // agreed without any rank-dependent branching.
+    const auto k = static_cast<std::size_t>(wire[0]);
+    double best_score = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const tune::Plan cand = decode_plan(wire.data() + 1 + i * kPlanWords);
+      world.barrier();
+      WallTimer timer;
+      FactorizeResult res = run_plan(a, world, opts, cand);
+      world.barrier();
+      double score[1] = {timer.seconds()};
+      world.allreduce_sum(score);
+      if (i == 0 || score[0] < best_score) {
+        best_score = score[0];
+        winner = cand;
+        *trial_result = std::move(res);
+      }
+    }
+    winner.measured_seconds = best_score / world.size();  // mean over ranks
+    winner.source = "measured";
+  }
+
+  if (world.rank() == 0) {
+    // Remembered plans (memo or cache file hits) are already persisted:
+    // only fresh planning/trial outcomes touch the file, so memo-served
+    // repeat calls do zero I/O.
+    if (store_needed) cache.store(fingerprint, key, winner);
+    PlanMemo::instance().insert(fingerprint + "|" + key.text(), winner);
+  }
+  return winner;
+}
+
+}  // namespace
+
+FactorizeResult factorize(lin::ConstMatrixView a, const rt::Comm& world,
+                          FactorizeOptions opts) {
+  ensure_dim(a.rows >= a.cols && a.cols >= 1,
+             "factorize: requires m >= n >= 1");
+  ensure(opts.passes >= 1 && opts.passes <= 3,
+         "factorize: passes must be 1, 2 or 3");
+
+  // Explicit grid or the historical heuristic: the CA-CQR family with
+  // the closed-form grid rule, bit-identical to the pre-planner driver.
+  if ((opts.c != 0 && opts.d != 0) || opts.plan_mode == PlanMode::heuristic) {
+    int c = opts.c;
+    int d = opts.d;
+    if (c == 0 || d == 0) {
+      std::tie(c, d) = choose_grid(world.size(), a.rows, a.cols);
+    }
+    FactorizeResult out = run_ca_cqr(a, world, opts, c, d);
+    out.plan.algo = "ca_cqr2";
+    out.plan.c = c;
+    out.plan.d = d;
+    out.plan.source = "heuristic";
+    return out;
+  }
+
+  std::optional<FactorizeResult> trial_result;
+  const tune::Plan plan = resolve_plan(a, world, opts, &trial_result);
+  FactorizeResult out = trial_result.has_value()
+                            ? std::move(*trial_result)
+                            : run_plan(a, world, opts, plan);
+  out.plan = plan;
+  if (out.plan.source.empty()) out.plan.source = "model";
   return out;
 }
 

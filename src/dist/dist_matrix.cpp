@@ -1,5 +1,6 @@
 #include "cacqr/dist/dist_matrix.hpp"
 
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -278,8 +279,31 @@ std::pair<DistMatrix, DistMatrix> transpose3d_pair(const DistMatrix& a,
   return {std::move(at), transpose_permute(bbuf, b, y, x)};
 }
 
-DistMatrix mm3d(const DistMatrix& a, const DistMatrix& b,
-                const grid::CubeGrid& g, double alpha) {
+namespace {
+
+/// An mm3d whose broadcasts are in flight: the staging buffers, the two
+/// started Bcast requests, and the shape needed to finish.  Splitting
+/// start from finish lets block_backsolve start product k+1's broadcasts
+/// while product k's gemm/allreduce/accumulate still runs -- the same
+/// schedule per communicator on every rank, so the collective-order
+/// discipline holds.
+struct Mm3dPending {
+  lin::Matrix abuf;
+  lin::Matrix bbuf;
+  rt::Request bcast_a;
+  rt::Request bcast_b;
+  i64 m = 0;
+  i64 n = 0;
+  double alpha = 1.0;
+};
+
+/// Stages both operands and starts both broadcasts (the first half of
+/// mm3d; see the charge comment on dist_matrix.hpp).  With overlap off,
+/// each broadcast is waited exactly where the historical blocking calls
+/// waited, so mm3d == mm3d_finish(mm3d_start(...)) is bit-for-bit the
+/// old schedule in both modes.
+Mm3dPending mm3d_start(const DistMatrix& a, const DistMatrix& b,
+                       const grid::CubeGrid& g, double alpha) {
   check_on_cube(a, g, "mm3d");
   check_on_cube(b, g, "mm3d");
   ensure_dim(a.cols() == b.rows(), "mm3d: inner dimensions differ");
@@ -298,35 +322,54 @@ DistMatrix mm3d(const DistMatrix& a, const DistMatrix& b,
   // every word).  With overlap on, the A broadcast flies while the B
   // panel is staged (ProgressScope polls it between copy chunks);
   // overlap off waits each broadcast where the blocking calls used to.
-  lin::Matrix abuf = x == z ? materialize(a.local().view())
-                            : lin::Matrix::uninit(m / gg, k / gg);
-  rt::Request bcast_a = g.row().start_bcast(span_of(abuf), z);
+  Mm3dPending p;
+  p.m = m;
+  p.n = n;
+  p.alpha = alpha;
+  p.abuf = x == z ? materialize(a.local().view())
+                  : lin::Matrix::uninit(m / gg, k / gg);
+  p.bcast_a = g.row().start_bcast(span_of(p.abuf), z);
   auto stage_b = [&] {
     return y == z ? materialize(b.local().view())
                   : lin::Matrix::uninit(k / gg, n / gg);
   };
-  lin::Matrix bbuf;
   if (rt::overlap_enabled()) {
     rt::ProgressScope scope(g.row());
-    bbuf = stage_b();
+    p.bbuf = stage_b();
   } else {
-    bcast_a.wait();
-    bbuf = stage_b();
+    p.bcast_a.wait();
+    p.bbuf = stage_b();
   }
-  rt::Request bcast_b = g.col().start_bcast(span_of(bbuf), z);
-  if (!rt::overlap_enabled()) bcast_b.wait();
+  p.bcast_b = g.col().start_bcast(span_of(p.bbuf), z);
+  if (!rt::overlap_enabled()) p.bcast_b.wait();
+  return p;
+}
+
+/// Waits the broadcasts, multiplies, and reduces along depth (the second
+/// half of mm3d).
+DistMatrix mm3d_finish(Mm3dPending&& p, const grid::CubeGrid& g) {
+  const int gg = g.g();
+  const auto [x, y, z] = g.coords();
+  (void)z;
 
   // Partial product over my depth layer's k-classes, then sum the g
   // layers along depth.  Consistent k mapping: local index lk on both
   // sides is global k = z + lk * g.  The output is uninitialized: gemm's
   // beta == 0 scale pass overwrites every element before accumulating.
-  DistMatrix out = DistMatrix::uninit(m, n, gg, gg, y, x);
-  bcast_a.wait();
-  bcast_b.wait();
-  lin::gemm(lin::Trans::N, lin::Trans::N, alpha, abuf, bbuf, 0.0,
+  DistMatrix out = DistMatrix::uninit(p.m, p.n, gg, gg, y, x);
+  p.bcast_a.wait();
+  p.bcast_b.wait();
+  lin::gemm(lin::Trans::N, lin::Trans::N, p.alpha, p.abuf, p.bbuf, 0.0,
             out.local());
   g.depth().allreduce_sum(span_of(out.local()));
   return out;
+}
+
+}  // namespace
+
+DistMatrix mm3d(const DistMatrix& a, const DistMatrix& b,
+                const grid::CubeGrid& g, double alpha) {
+  return mm3d_finish(mm3d_start(a, b, g, alpha), g);
 }
 
 void add_scaled(DistMatrix& z, double alpha, const DistMatrix& u) {
@@ -349,17 +392,67 @@ DistMatrix block_backsolve(const DistMatrix& b, const DistMatrix& r,
   const i64 mp = b.rows();
   DistMatrix x(mp, n, b.layout().row_procs, b.layout().col_procs,
                b.layout().my_row, b.layout().my_col);
+
+  if (!rt::overlap_enabled()) {
+    for (i64 j = 0; j < nblocks; ++j) {
+      // T_j = B_j - sum_{i<j} X_i R_ij, then X_j = T_j Rinv_jj.
+      DistMatrix t = b.sub_block(0, j * bs, mp, bs);
+      for (i64 i = 0; i < j; ++i) {
+        DistMatrix xi = x.sub_block(0, i * bs, mp, bs);
+        DistMatrix rij = r.sub_block(i * bs, j * bs, bs, bs);
+        DistMatrix u = mm3d(xi, rij, g);
+        add_scaled(t, -1.0, u);
+      }
+      DistMatrix rinv_jj = r_inv.sub_block(j * bs, j * bs, bs, bs);
+      x.set_sub_block(0, j * bs, mm3d(t, rinv_jj, g));
+    }
+    return x;
+  }
+
+  // Overlap mode: pipeline the mm3d sequence across loop iterations with
+  // a lookahead of one product.  A product's broadcasts may start as
+  // soon as its inputs are final:
+  //   * inner product (j, i+1) -- inputs X_{i+1} (set in iteration
+  //     i+1 <= j-1) and R -- can start while (j, i) is still being
+  //     finished and accumulated;
+  //   * iteration j+1's first inner product (j+1, 0) -- inputs X_0 and
+  //     R -- can start while iteration j's final multiply (whose output
+  //     X_j it does not read) is in flight;
+  //   * the final product (j, Rinv_jj) reads the fully-accumulated T_j,
+  //     so it can never be hoisted -- it starts right after the last
+  //     accumulate.
+  // The schedule of starts is a pure function of (j, i), identical on
+  // every rank, so the per-communicator collective order is preserved;
+  // mm3d_start/finish charge exactly what back-to-back mm3d calls
+  // charge, and the accumulation order onto T_j is untouched -- results
+  // and counters are bitwise identical to the sequential loop.
+  // ProgressScope drives the lookahead's broadcasts underneath each
+  // add_scaled and staging copy.
+  auto start_inner = [&](i64 j, i64 i) {
+    DistMatrix xi = x.sub_block(0, i * bs, mp, bs);
+    DistMatrix rij = r.sub_block(i * bs, j * bs, bs, bs);
+    return mm3d_start(xi, rij, g, 1.0);
+  };
+  std::optional<Mm3dPending> next;  // the lookahead product's broadcasts
   for (i64 j = 0; j < nblocks; ++j) {
-    // T_j = B_j - sum_{i<j} X_i R_ij, then X_j = T_j Rinv_jj.
     DistMatrix t = b.sub_block(0, j * bs, mp, bs);
     for (i64 i = 0; i < j; ++i) {
-      DistMatrix xi = x.sub_block(0, i * bs, mp, bs);
-      DistMatrix rij = r.sub_block(i * bs, j * bs, bs, bs);
-      DistMatrix u = mm3d(xi, rij, g);
+      Mm3dPending cur = next ? std::move(*next) : start_inner(j, i);
+      next.reset();
+      if (i + 1 < j) next = start_inner(j, i + 1);
+      DistMatrix u = mm3d_finish(std::move(cur), g);
+      rt::ProgressScope scope(g.slice());
       add_scaled(t, -1.0, u);
     }
     DistMatrix rinv_jj = r_inv.sub_block(j * bs, j * bs, bs, bs);
-    x.set_sub_block(0, j * bs, mm3d(t, rinv_jj, g));
+    Mm3dPending fin = mm3d_start(t, rinv_jj, g, 1.0);
+    // Iteration j+1's first inner product reads X_0, which exists once
+    // iteration 0 completed -- so from j >= 1 on it overlaps the final
+    // multiply's wait/reduce and the set_sub_block copy below.
+    if (j >= 1 && j + 1 < nblocks) next = start_inner(j + 1, 0);
+    DistMatrix xj = mm3d_finish(std::move(fin), g);
+    rt::ProgressScope scope(g.slice());
+    x.set_sub_block(0, j * bs, xj);
   }
   return x;
 }

@@ -1,0 +1,389 @@
+#include "cacqr/support/json.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+namespace cacqr::support {
+
+namespace {
+
+const Json kNull;
+
+/// Shortest text that round-trips the double exactly (std::to_chars
+/// guarantees both), so equal values always serialize identically.
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Inf/NaN; the library never stores them, but a defensive
+    // writer must emit *something* parseable.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_value(std::string& out, const Json& v, int indent, int depth);
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+void append_value(std::string& out, const Json& v, int indent, int depth) {
+  switch (v.type()) {
+    case Json::Type::Null: out += "null"; break;
+    case Json::Type::Bool: out += v.as_bool() ? "true" : "false"; break;
+    case Json::Type::Number: append_number(out, v.as_number()); break;
+    case Json::Type::String: append_escaped(out, v.as_string()); break;
+    case Json::Type::Array: {
+      if (v.size() == 0) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        append_value(out, v.at(i), indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Json::Type::Object: {
+      const auto& members = v.members();
+      if (members.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, val] : members) {
+        if (!first) out += ',';
+        first = false;
+        append_newline_indent(out, indent, depth + 1);
+        append_escaped(out, key);
+        out += indent < 0 ? ":" : ": ";
+        append_value(out, val, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ parser
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;  ///< nesting guard against adversarially deep input
+
+  static constexpr int kMaxDepth = 64;
+
+  [[nodiscard]] bool eof() const noexcept { return pos >= text.size(); }
+  [[nodiscard]] char peek() const noexcept { return text[pos]; }
+
+  void skip_ws() noexcept {
+    while (!eof() && (text[pos] == ' ' || text[pos] == '\t' ||
+                      text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) noexcept {
+    if (eof() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool consume_word(std::string_view w) noexcept {
+    if (text.substr(pos, w.size()) != w) return false;
+    pos += w.size();
+    return true;
+  }
+
+  std::optional<Json> value() {
+    if (++depth > kMaxDepth) return std::nullopt;
+    skip_ws();
+    if (eof()) return std::nullopt;
+    std::optional<Json> out;
+    switch (peek()) {
+      case '{': out = object(); break;
+      case '[': out = array(); break;
+      case '"': {
+        auto s = string();
+        if (s) out = Json(std::move(*s));
+        break;
+      }
+      case 't': out = consume_word("true") ? std::optional<Json>(Json(true))
+                                           : std::nullopt;
+        break;
+      case 'f': out = consume_word("false") ? std::optional<Json>(Json(false))
+                                            : std::nullopt;
+        break;
+      case 'n': out = consume_word("null") ? std::optional<Json>(Json())
+                                           : std::nullopt;
+        break;
+      default: out = number(); break;
+    }
+    --depth;
+    return out;
+  }
+
+  std::optional<Json> number() {
+    const std::size_t start = pos;
+    if (!eof() && (peek() == '-' || peek() == '+')) ++pos;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        ++pos;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (!eof() && peek() == '.') {
+      ++pos;
+      eat_digits();
+    }
+    if (digits && !eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!eof() && (peek() == '-' || peek() == '+')) ++pos;
+      const bool before = digits;
+      digits = false;
+      eat_digits();
+      digits = digits && before;
+    }
+    if (!digits) return std::nullopt;
+    // from_chars, not strtod: locale-independent, mirroring the
+    // to_chars writer (a host app's setlocale must not break parsing).
+    const char* tok_begin = text.data() + start;
+    const char* tok_end = text.data() + pos;
+    if (*tok_begin == '+') ++tok_begin;  // from_chars rejects leading '+'
+    double v = 0.0;
+    const auto res = std::from_chars(tok_begin, tok_end, v);
+    if (res.ec != std::errc{} || res.ptr != tok_end || !std::isfinite(v)) {
+      return std::nullopt;
+    }
+    return Json(v);
+  }
+
+  std::optional<std::string> string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (!eof()) {
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) return std::nullopt;
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          // Encode as UTF-8 (surrogate pairs are not recombined -- the
+          // library never writes them; lone surrogates round-trip as-is).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> array() {
+    if (!consume('[')) return std::nullopt;
+    Json out = Json::array();
+    skip_ws();
+    if (consume(']')) return out;
+    for (;;) {
+      auto v = value();
+      if (!v) return std::nullopt;
+      out.push_back(std::move(*v));
+      skip_ws();
+      if (consume(']')) return out;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Json> object() {
+    if (!consume('{')) return std::nullopt;
+    Json out = Json::object();
+    skip_ws();
+    if (consume('}')) return out;
+    for (;;) {
+      skip_ws();
+      auto key = string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      auto v = value();
+      if (!v) return std::nullopt;
+      out.set(*key, std::move(*v));
+      skip_ws();
+      if (consume('}')) return out;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+};
+
+}  // namespace
+
+const Json& Json::at(std::size_t i) const noexcept {
+  if (!is_array() || i >= arr_.size()) return kNull;
+  return arr_[i];
+}
+
+const Json& Json::operator[](std::string_view key) const noexcept {
+  if (is_object()) {
+    for (const auto& [k, v] : obj_) {
+      if (k == key) return v;
+    }
+  }
+  return kNull;
+}
+
+bool Json::has(std::string_view key) const noexcept {
+  if (!is_object()) return false;
+  for (const auto& [k, v] : obj_) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+void Json::set(std::string_view key, Json v) {
+  type_ = Type::Object;
+  for (auto& [k, val] : obj_) {
+    if (k == key) {
+      val = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(std::string(key), std::move(v));
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  append_value(out, *this, indent, 0);
+  return out;
+}
+
+std::optional<Json> Json::parse(std::string_view text) {
+  Parser p{text};
+  auto v = p.value();
+  if (!v) return std::nullopt;
+  p.skip_ws();
+  if (!p.eof()) return std::nullopt;  // trailing garbage
+  return v;
+}
+
+std::optional<Json> read_json_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return Json::parse(ss.str());
+}
+
+bool write_json_file(const std::string& path, const Json& value, int indent) {
+  // Unique temp name per writer: a process token separates processes
+  // (pid on Linux; elsewhere the ASLR-randomized address of the static
+  // below, distinct per process in practice), the atomic counter
+  // separates threads of one process (the SPMD runtime maps ranks onto
+  // threads) -- so every writer renames its own complete file and
+  // readers see old-or-new, never torn.
+  static std::atomic<unsigned long> write_seq{0};
+  const unsigned long seq = write_seq.fetch_add(1, std::memory_order_relaxed);
+#ifdef __linux__
+  const unsigned long proc_token = static_cast<unsigned long>(getpid());
+#else
+  const unsigned long proc_token = static_cast<unsigned long>(
+      reinterpret_cast<std::uintptr_t>(&write_seq) >> 4);
+#endif
+  const std::string tmp = path + ".tmp." + std::to_string(proc_token) + "." +
+                          std::to_string(seq);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << value.dump(indent) << '\n';
+    out.close();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cacqr::support

@@ -1,0 +1,182 @@
+#include "cacqr/tune/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/lin/parallel.hpp"
+#include "cacqr/model/costs.hpp"
+#include "cacqr/rt/comm.hpp"
+#include "cacqr/support/timer.hpp"
+
+namespace cacqr::tune {
+
+namespace {
+
+namespace parallel = lin::parallel;
+
+/// Best-of-reps wall time of `body` (one untimed warmup first).
+template <class Body>
+double best_seconds(int reps, const Body& body) {
+  body();  // warmup: arenas grow, caches fill
+  double best = 1e300;
+  for (int r = 0; r < std::max(1, reps); ++r) {
+    WallTimer t;
+    body();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+/// RAII budget override so calibration kernels run at a chosen worker
+/// budget regardless of CACQR_THREADS.
+struct BudgetGuard {
+  explicit BudgetGuard(int budget) : prev(parallel::thread_budget()) {
+    parallel::set_thread_budget(budget);
+  }
+  ~BudgetGuard() { parallel::set_thread_budget(prev); }
+  int prev;
+};
+
+/// One timed gemm C = A * B at worker budget `threads`; returns GFLOP/s.
+double time_gemm(i64 m, i64 k, i64 n, int threads, int reps) {
+  BudgetGuard guard(threads);
+  const lin::Matrix a = lin::hashed_matrix(11, m, k);
+  const lin::Matrix b = lin::hashed_matrix(12, k, n);
+  lin::Matrix c(m, n);
+  const double secs = best_seconds(reps, [&] {
+    lin::gemm(lin::Trans::N, lin::Trans::N, 1.0, a, b, 0.0, c);
+  });
+  return model::flops_gemm(static_cast<double>(m), static_cast<double>(k),
+                           static_cast<double>(n)) /
+         secs * 1e-9;
+}
+
+/// One timed gram C = A^T A (the Gram kernel on CQR's critical path).
+double time_gram(i64 m, i64 n, int reps) {
+  BudgetGuard guard(1);
+  const lin::Matrix a = lin::hashed_matrix(13, m, n);
+  lin::Matrix c(n, n);
+  const double secs =
+      best_seconds(reps, [&] { lin::gram(1.0, a, 0.0, c); });
+  return model::flops_gram(static_cast<double>(m), static_cast<double>(n)) /
+         secs * 1e-9;
+}
+
+/// Max-over-ranks wall time of one Allreduce of `words` doubles over a
+/// team of `ranks` rank-threads, best of `reps` (barrier-fenced, pools
+/// warm inside one Runtime::run).
+double time_allreduce(int ranks, i64 words, int reps) {
+  std::vector<double> per_rank(static_cast<std::size_t>(ranks), 0.0);
+  rt::Runtime::run(
+      ranks,
+      [&](rt::Comm& comm) {
+        std::vector<double> buf(static_cast<std::size_t>(words), 1.0);
+        double best = 1e300;
+        for (int r = 0; r <= reps; ++r) {
+          comm.barrier();
+          WallTimer t;
+          comm.allreduce_sum(buf);
+          comm.barrier();
+          const double dt = t.seconds();
+          if (r > 0) best = std::min(best, dt);  // rep 0 is the warmup
+        }
+        per_rank[static_cast<std::size_t>(comm.rank())] = best;
+      },
+      rt::Machine::counting(), 1);
+  return *std::max_element(per_rank.begin(), per_rank.end());
+}
+
+/// Least-squares fit of t = A + B * w over (w, t) pairs.
+void fit_affine(const std::vector<std::pair<double, double>>& pts, double* a,
+                double* b) {
+  const double n = static_cast<double>(pts.size());
+  double sw = 0, st = 0, sww = 0, swt = 0;
+  for (const auto& [w, t] : pts) {
+    sw += w;
+    st += t;
+    sww += w * w;
+    swt += w * t;
+  }
+  const double det = n * sww - sw * sw;
+  if (det <= 0.0) {
+    *a = 0.0;
+    *b = 0.0;
+    return;
+  }
+  *b = (n * swt - sw * st) / det;
+  *a = (st - *b * sw) / n;
+}
+
+}  // namespace
+
+MachineProfile calibrate(const CalibrateOptions& opts) {
+  ensure(opts.ranks >= 2, "calibrate: collective fit needs >= 2 ranks");
+  MachineProfile p = generic_profile();  // start from the fallback shape
+  p.calibrated = "measured";
+  p.machine.name = "calibrated: " + p.host;
+  p.kernels.clear();
+  const int reps = std::max(1, opts.quick ? opts.reps - 1 : opts.reps);
+
+  // ---- gamma: per-thread kernel rates.  Square gemm bounds the peak;
+  // the tall-skinny gemm and gram match CA-CQR2's local shapes.
+  const i64 sq = opts.quick ? 192 : 384;
+  const i64 tall_m = opts.quick ? 2048 : 8192;
+  const i64 tall_n = opts.quick ? 48 : 96;
+  double best_rate = 0.0;
+  {
+    const double gf = time_gemm(sq, sq, sq, 1, reps);
+    p.kernels.push_back({"gemm_nn", sq, sq, sq, gf});
+    best_rate = std::max(best_rate, gf);
+  }
+  {
+    const double gf = time_gemm(tall_m, tall_n, tall_n, 1, reps);
+    p.kernels.push_back({"gemm_nn", tall_m, tall_n, tall_n, gf});
+    best_rate = std::max(best_rate, gf);
+  }
+  {
+    const double gf = time_gram(tall_m, tall_n, reps);
+    p.kernels.push_back({"gram", tall_m, tall_n, 0, gf});
+    best_rate = std::max(best_rate, gf);
+  }
+  // The model charges flops at the sustained rate of the level-3 core;
+  // floor at 0.1 GF/s so a pathological measurement can't explode the
+  // fitted gamma.
+  p.machine.gamma_s = 1.0 / (std::max(best_rate, 0.1) * 1e9);
+  p.machine.peak_gflops_node = best_rate;
+
+  // ---- thread scaling: the square gemm at growing budgets.
+  p.scaling = {{1, 1.0}};
+  const int hw = parallel::hardware_threads();
+  const int max_t =
+      std::min(opts.max_threads > 0 ? opts.max_threads : hw, hw);
+  const double base_gf = p.kernels.front().gflops;
+  for (int t = 2; t <= max_t; t *= 2) {
+    const double gf = time_gemm(sq, sq, sq, t, reps);
+    // Clamp to >= 1: a budget can't be modeled slower than sequential
+    // (the planner would otherwise prefer lying about thread counts).
+    p.scaling.push_back({t, std::max(1.0, gf / base_gf)});
+  }
+
+  // ---- alpha/beta: Allreduce timings vs payload size, affine fit.
+  const std::vector<i64> sizes =
+      opts.quick ? std::vector<i64>{256, 8192}
+                 : std::vector<i64>{256, 4096, 32768};
+  std::vector<std::pair<double, double>> pts;
+  for (const i64 w : sizes) {
+    pts.emplace_back(static_cast<double>(w),
+                     time_allreduce(opts.ranks, w, reps));
+  }
+  double fit_a = 0.0;
+  double fit_b = 0.0;
+  fit_affine(pts, &fit_a, &fit_b);
+  const double lg_p = std::ceil(std::log2(static_cast<double>(opts.ranks)));
+  // Allreduce = 2 ceil(lg P) alpha + 2 w beta (comm.hpp).  Floors keep a
+  // noisy fit physical: >= 10 ns per message, >= 8 bytes / 100 GB/s.
+  p.machine.alpha_s = std::max(fit_a / (2.0 * std::max(lg_p, 1.0)), 1e-8);
+  p.machine.beta_s = std::max(fit_b / 2.0, 8.0 / 100e9);
+  return p;
+}
+
+}  // namespace cacqr::tune

@@ -1,0 +1,187 @@
+#include "cacqr/tune/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "cacqr/lin/parallel.hpp"
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+namespace cacqr::tune {
+
+namespace {
+
+/// A fitted coefficient must be a positive finite number to be usable as
+/// a cost-model parameter.
+bool usable(double v) noexcept { return std::isfinite(v) && v > 0.0; }
+
+std::string cpu_model() {
+#ifdef __linux__
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") == 0) {
+      std::string v = line.substr(colon + 1);
+      const auto b = v.find_first_not_of(" \t");
+      return b == std::string::npos ? std::string("unknown") : v.substr(b);
+    }
+  }
+#endif
+  return "unknown";
+}
+
+std::string hostname() {
+#ifdef __linux__
+  char buf[256] = {};
+  if (gethostname(buf, sizeof buf - 1) == 0 && buf[0] != '\0') {
+    return buf;
+  }
+#endif
+  return "unknown-host";
+}
+
+}  // namespace
+
+std::string fnv1a_hex(std::string_view text) {
+  u64 h = 14695981039346656037ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string host_fingerprint() {
+  return "host:" + hostname() + "|cpu:" + cpu_model() +
+         "|hw:" + std::to_string(lin::parallel::hardware_threads());
+}
+
+double MachineProfile::thread_speedup(int threads) const noexcept {
+  double best = 1.0;
+  for (const ThreadScaling& s : scaling) {
+    if (s.threads <= threads && usable(s.speedup)) best = s.speedup;
+    if (s.threads > threads) break;  // sorted by threads
+  }
+  return best;
+}
+
+model::Machine MachineProfile::machine_at(int threads) const {
+  model::Machine m = machine;
+  m.gamma_s /= thread_speedup(std::max(1, threads));
+  return m;
+}
+
+std::string MachineProfile::fingerprint() const {
+  // Digest every parameter that influences planning, so two profiles
+  // that would ever score a candidate differently get distinct keys.
+  std::string params;
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "a=%.17g|b=%.17g|g=%.17g", machine.alpha_s,
+                machine.beta_s, machine.gamma_s);
+  params += buf;
+  for (const ThreadScaling& s : scaling) {
+    std::snprintf(buf, sizeof buf, "|t%d=%.17g", s.threads, s.speedup);
+    params += buf;
+  }
+  return host + "|prof:" + fnv1a_hex(params);
+}
+
+support::Json MachineProfile::to_json() const {
+  support::Json j = support::Json::object();
+  j.set("schema", kSchemaVersion);
+  j.set("kind", "cacqr-machine-profile");
+  j.set("host", host);
+  j.set("calibrated", calibrated);
+  j.set("name", machine.name);
+  j.set("alpha_s", machine.alpha_s);
+  j.set("beta_s", machine.beta_s);
+  j.set("gamma_s", machine.gamma_s);
+  support::Json ks = support::Json::array();
+  for (const KernelSample& s : kernels) {
+    support::Json e = support::Json::object();
+    e.set("kernel", s.kernel);
+    e.set("m", s.m);
+    e.set("n", s.n);
+    e.set("k", s.k);
+    e.set("gflops", s.gflops);
+    ks.push_back(std::move(e));
+  }
+  j.set("kernels", std::move(ks));
+  support::Json sc = support::Json::array();
+  for (const ThreadScaling& s : scaling) {
+    support::Json e = support::Json::object();
+    e.set("threads", s.threads);
+    e.set("speedup", s.speedup);
+    sc.push_back(std::move(e));
+  }
+  j.set("scaling", std::move(sc));
+  return j;
+}
+
+std::optional<MachineProfile> MachineProfile::from_json(
+    const support::Json& j) {
+  if (!j.is_object() || j["schema"].as_int(-1) != kSchemaVersion) {
+    return std::nullopt;
+  }
+  MachineProfile p;
+  p.host = j["host"].as_string();
+  p.calibrated = j["calibrated"].as_string();
+  p.machine.name = j["name"].as_string();
+  p.machine.alpha_s = j["alpha_s"].as_number();
+  p.machine.beta_s = j["beta_s"].as_number();
+  p.machine.gamma_s = j["gamma_s"].as_number();
+  if (!usable(p.machine.alpha_s) || !usable(p.machine.beta_s) ||
+      !usable(p.machine.gamma_s) || p.host.empty()) {
+    return std::nullopt;
+  }
+  const support::Json& ks = j["kernels"];
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const support::Json& e = ks.at(i);
+    p.kernels.push_back({e["kernel"].as_string(), e["m"].as_int(),
+                         e["n"].as_int(), e["k"].as_int(),
+                         e["gflops"].as_number()});
+  }
+  const support::Json& sc = j["scaling"];
+  for (std::size_t i = 0; i < sc.size(); ++i) {
+    const support::Json& e = sc.at(i);
+    const int t = static_cast<int>(e["threads"].as_int());
+    const double s = e["speedup"].as_number();
+    if (t < 1 || !usable(s)) return std::nullopt;
+    p.scaling.push_back({t, s});
+  }
+  std::sort(p.scaling.begin(), p.scaling.end(),
+            [](const ThreadScaling& a, const ThreadScaling& b) {
+              return a.threads < b.threads;
+            });
+  return p;
+}
+
+MachineProfile generic_profile() {
+  MachineProfile p;
+  p.host = host_fingerprint();
+  p.calibrated = "generic";
+  p.machine.name = "generic (uncalibrated)";
+  // Nominal laptop/CI-container-class constants: ~5 sustained GF/s per
+  // rank, ~5 GB/s effective shared-memory bandwidth, ~2 us per message.
+  // Only the RATIOS steer planning; calibrate() replaces all three with
+  // measurements.
+  p.machine.ranks_per_node = 1;
+  p.machine.peak_gflops_node = 5.0;
+  p.machine.gamma_s = 1.0 / 5e9;
+  p.machine.beta_s = 8.0 / 5e9;
+  p.machine.alpha_s = 2.0e-6;
+  p.scaling = {{1, 1.0}};
+  return p;
+}
+
+}  // namespace cacqr::tune

@@ -114,6 +114,22 @@ TEST(OverlapIdentity, BlockBacksolveComposite) {
   });
 }
 
+TEST(OverlapIdentity, BlockBacksolvePipelinedAcrossIterations) {
+  // nblocks >= 3 engages the cross-iteration mm3d pipeline: iteration
+  // j+1's first broadcasts start while iteration j's final multiply and
+  // add_scaled are still in flight, and inner product (j, i+1) starts
+  // under (j, i)'s accumulate.  Schedule changes only; the bits and the
+  // raw tallies must not move.
+  expect_overlap_invisible(8, [](rt::Comm& world) {
+    grid::CubeGrid g(world, 2);
+    const lin::Matrix b = lin::hashed_matrix(409, 128, 128);
+    const lin::Matrix r = lin::hashed_matrix(410, 128, 128);
+    auto db = DistMatrix::from_global_on_cube(b, g);
+    auto dr = DistMatrix::from_global_on_cube(r, g);
+    return block_backsolve(db, dr, dr, 4, g).local();
+  });
+}
+
 TEST(OverlapIdentity, Cqr1dEndToEnd) {
   expect_overlap_invisible(4, [](rt::Comm& world) {
     Rng rng(406);

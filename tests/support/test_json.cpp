@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "cacqr/support/json.hpp"
+
+namespace cacqr::support {
+namespace {
+
+TEST(JsonTest, BuildsAndAccesses) {
+  Json j = Json::object();
+  j.set("name", "cacqr");
+  j.set("count", 3);
+  j.set("pi", 3.5);
+  j.set("flag", true);
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  j.set("list", std::move(arr));
+
+  EXPECT_EQ(j["name"].as_string(), "cacqr");
+  EXPECT_EQ(j["count"].as_int(), 3);
+  EXPECT_DOUBLE_EQ(j["pi"].as_number(), 3.5);
+  EXPECT_TRUE(j["flag"].as_bool());
+  EXPECT_EQ(j["list"].size(), 2u);
+  EXPECT_EQ(j["list"].at(1).as_string(), "two");
+  EXPECT_TRUE(j["absent"].is_null());
+  EXPECT_EQ(j["absent"].as_int(-7), -7);
+  EXPECT_TRUE(j.has("flag"));
+  EXPECT_FALSE(j.has("absent"));
+}
+
+TEST(JsonTest, RoundTripsThroughText) {
+  Json j = Json::object();
+  j.set("neg", -1.25e-3);
+  j.set("big", 9007199254740992.0);  // 2^53
+  j.set("text", "line\nbreak \"quoted\" \\slash");
+  j.set("null", Json());
+  Json nested = Json::object();
+  nested.set("inner", Json::array());
+  j.set("obj", std::move(nested));
+
+  for (const int indent : {-1, 0, 2}) {
+    const std::string text = j.dump(indent);
+    auto back = Json::parse(text);
+    ASSERT_TRUE(back.has_value()) << text;
+    EXPECT_EQ(back->dump(indent), text);
+    EXPECT_DOUBLE_EQ((*back)["neg"].as_number(), -1.25e-3);
+    EXPECT_DOUBLE_EQ((*back)["big"].as_number(), 9007199254740992.0);
+    EXPECT_EQ((*back)["text"].as_string(), "line\nbreak \"quoted\" \\slash");
+    EXPECT_TRUE((*back)["null"].is_null());
+    EXPECT_EQ((*back)["obj"]["inner"].size(), 0u);
+  }
+}
+
+TEST(JsonTest, DeterministicSerialization) {
+  Json a = Json::object();
+  a.set("z", 1.0 / 3.0);
+  a.set("a", 0.1);
+  Json b = Json::object();
+  b.set("z", 1.0 / 3.0);
+  b.set("a", 0.1);
+  EXPECT_EQ(a.dump(1), b.dump(1));
+  // Round-trip preserves the exact double bits (shortest-round-trip).
+  auto back = Json::parse(a.dump());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ((*back)["z"].as_number(), 1.0 / 3.0);
+  EXPECT_EQ((*back)["a"].as_number(), 0.1);
+}
+
+TEST(JsonTest, AsIntRangeChecksCorruptValues) {
+  // A corrupted file can hold any finite double where an integer is
+  // expected; out-of-range values must read as the fallback, never as
+  // an undefined float-to-int cast.
+  EXPECT_EQ(Json(1e300).as_int(-1), -1);
+  EXPECT_EQ(Json(-1e300).as_int(-1), -1);
+  EXPECT_EQ(Json(42.0).as_int(-1), 42);
+  EXPECT_EQ(Json("42").as_int(-1), -1);
+}
+
+TEST(JsonTest, ParsesStandardForms) {
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_FALSE(Json::parse("false")->as_bool(true));
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e2")->as_number(), -250.0);
+  EXPECT_EQ(Json::parse("\"a\\u0041b\"")->as_string(), "aAb");
+  EXPECT_EQ(Json::parse("[1, 2, 3]")->size(), 3u);
+  EXPECT_EQ(Json::parse("{\"k\": [true]}").value()["k"].at(0).as_bool(),
+            true);
+  EXPECT_EQ(Json::parse(" { } ")->size(), 0u);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "}", "[1,", "[1 2]", "{\"a\"}", "{\"a\":}", "{a: 1}",
+        "\"unterminated", "tru", "nul", "1.2.3", "--1", "1e", "[1] trailing",
+        "\"bad\\x\"", "\"\\u12g4\"", "{\"a\":1,}", "[,]", "\x01"}) {
+    EXPECT_FALSE(Json::parse(bad).has_value()) << bad;
+  }
+  // Depth bomb: deeply nested arrays are rejected, not stack-overflowed.
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(Json::parse(deep).has_value());
+}
+
+TEST(JsonTest, FileRoundTripAndMissingFile) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "cacqr_json_test").string();
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/roundtrip.json";
+
+  Json j = Json::object();
+  j.set("v", 42);
+  ASSERT_TRUE(write_json_file(path, j));
+  auto back = read_json_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ((*back)["v"].as_int(), 42);
+
+  EXPECT_FALSE(read_json_file(dir + "/nope.json").has_value());
+
+  // Corrupted file reads as absent, not as an error.
+  std::ofstream(path, std::ios::trunc) << "{\"v\": 42";
+  EXPECT_FALSE(read_json_file(path).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace cacqr::support

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "cacqr/tune/calibrate.hpp"
+
+namespace cacqr::tune {
+namespace {
+
+TEST(CalibrateTest, QuickCalibrationProducesUsableProfile) {
+  const MachineProfile p = calibrate({.quick = true, .reps = 1, .ranks = 2});
+  EXPECT_EQ(p.calibrated, "measured");
+  EXPECT_EQ(p.host, host_fingerprint());
+
+  // Fitted parameters are positive, finite, and physically ordered:
+  // a flop is cheaper than a transferred word, a word cheaper than a
+  // whole message.
+  EXPECT_GT(p.machine.gamma_s, 0.0);
+  EXPECT_GT(p.machine.beta_s, 0.0);
+  EXPECT_GT(p.machine.alpha_s, 0.0);
+  EXPECT_LT(p.machine.gamma_s, 1e-6);   // > 1 MFLOP/s, surely
+  EXPECT_LT(p.machine.alpha_s, 1.0);    // < 1 s per message, surely
+  EXPECT_GE(p.machine.alpha_s, p.machine.beta_s);
+
+  // Kernel table covers the sweep and carries positive rates.
+  ASSERT_GE(p.kernels.size(), 3u);
+  bool has_gram = false;
+  for (const KernelSample& s : p.kernels) {
+    EXPECT_GT(s.gflops, 0.0) << s.kernel;
+    has_gram |= s.kernel == "gram";
+  }
+  EXPECT_TRUE(has_gram);
+
+  // Thread-scaling table starts at {1, 1} and never claims slowdown.
+  ASSERT_FALSE(p.scaling.empty());
+  EXPECT_EQ(p.scaling.front().threads, 1);
+  EXPECT_DOUBLE_EQ(p.scaling.front().speedup, 1.0);
+  for (const ThreadScaling& s : p.scaling) EXPECT_GE(s.speedup, 1.0);
+}
+
+TEST(CalibrateTest, ProfileSurvivesSerialization) {
+  const MachineProfile p = calibrate({.quick = true, .reps = 1, .ranks = 2});
+  auto back = MachineProfile::from_json(p.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->machine.alpha_s, p.machine.alpha_s);
+  EXPECT_EQ(back->machine.beta_s, p.machine.beta_s);
+  EXPECT_EQ(back->machine.gamma_s, p.machine.gamma_s);
+  EXPECT_EQ(back->fingerprint(), p.fingerprint());
+  EXPECT_EQ(back->kernels.size(), p.kernels.size());
+  EXPECT_EQ(back->scaling.size(), p.scaling.size());
+}
+
+TEST(CalibrateTest, HostFingerprintIsStable) {
+  EXPECT_EQ(host_fingerprint(), host_fingerprint());
+  EXPECT_NE(host_fingerprint().find("host:"), std::string::npos);
+  EXPECT_NE(host_fingerprint().find("|hw:"), std::string::npos);
+}
+
+TEST(CalibrateTest, RejectsDegenerateOptions) {
+  EXPECT_THROW((void)calibrate({.ranks = 1}), Error);
+}
+
+}  // namespace
+}  // namespace cacqr::tune

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "cacqr/core/factorize.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/lin/util.hpp"
+#include "cacqr/tune/cache.hpp"
+
+namespace cacqr::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Planned modes must produce exactly the bits the equivalent explicit
+/// configuration produces: planning only *selects*, it never changes the
+/// executed schedule.
+TEST(FactorizePlanTest, ModelPlanMatchesExplicitOptionsBitwise) {
+  rt::Runtime::run(8, [](rt::Comm& world) {
+    const lin::Matrix a = lin::hashed_matrix(301, 96, 16);
+    const tune::MachineProfile profile = tune::generic_profile();
+    FactorizeOptions planned;
+    planned.plan_mode = PlanMode::model;
+    planned.profile = &profile;
+    const FactorizeResult res = factorize(a, world, planned);
+    // "cache" when a CACQR_TUNE_DIR from a previous suite pass already
+    // holds this (deterministic, identical) plan.
+    EXPECT_TRUE(res.plan.source == "model" || res.plan.source == "cache")
+        << res.plan.source;
+
+    if (res.algo == "ca_cqr") {
+      const FactorizeResult ref =
+          factorize(a, world, {.c = res.c, .d = res.d});
+      EXPECT_EQ(lin::max_abs_diff(res.q, ref.q), 0.0);
+      EXPECT_EQ(lin::max_abs_diff(res.r, ref.r), 0.0);
+    } else {
+      // A non-CA winner can't be reproduced through explicit c/d options;
+      // correctness is still required.
+      EXPECT_LT(lin::orthogonality_error(res.q), 1e-11);
+      EXPECT_LT(lin::residual_error(a, res.q, res.r), 1e-11);
+    }
+  });
+}
+
+TEST(FactorizePlanTest, ModelPlanPicks1dForExtremeAspect) {
+  // 4096 x 8 on 4 ranks: communication-optimal c is far below 1, so the
+  // planner must select the 1D CholeskyQR2 family, and the result must
+  // match a direct explicit run of the same family bit for bit.
+  rt::Runtime::run(4, [](rt::Comm& world) {
+    const lin::Matrix a = lin::hashed_matrix(302, 4096, 8);
+    const tune::MachineProfile profile = tune::generic_profile();
+    FactorizeOptions planned;
+    planned.plan_mode = PlanMode::model;
+    planned.profile = &profile;
+    const FactorizeResult res = factorize(a, world, planned);
+    EXPECT_TRUE(res.algo == "cqr_1d" || (res.algo == "ca_cqr" && res.c == 1))
+        << res.algo;
+    EXPECT_LT(lin::orthogonality_error(res.q), 1e-12);
+    EXPECT_LT(lin::residual_error(a, res.q, res.r), 1e-12);
+  });
+}
+
+TEST(FactorizePlanTest, AllVariantsDispatchCorrectly) {
+  // Force each variant through the plan execution path (bypassing the
+  // planner) by seeding the cache with a hand-written plan.
+  const std::string dir =
+      (fs::temp_directory_path() / "cacqr_dispatch_test").string();
+  fs::remove_all(dir);
+  const char* orig = std::getenv("CACQR_TUNE_DIR");
+  const std::string saved = orig != nullptr ? orig : "";
+  ::setenv("CACQR_TUNE_DIR", dir.c_str(), 1);
+
+  const tune::MachineProfile profile = tune::generic_profile();
+  const tune::PlanCache cache(dir);
+
+  struct Case {
+    tune::Plan plan;
+    const char* expect_algo;
+    int ranks;
+    i64 m;
+    i64 n;
+  };
+  std::vector<Case> cases;
+  {
+    tune::Plan p;
+    p.algo = "cqr_1d";
+    p.d = 4;
+    cases.push_back({p, "cqr_1d", 4, 128, 32});
+    p = {};
+    p.algo = "ca_cqr2";
+    p.c = 2;
+    p.d = 2;
+    cases.push_back({p, "ca_cqr", 8, 160, 32});
+    p = {};
+    p.algo = "pgeqrf_2d";
+    p.pr = 2;
+    p.pc = 2;
+    p.block = 16;
+    cases.push_back({p, "pgeqrf_2d", 4, 160, 32});
+    // Same pgeqrf grid on a NON-divisible shape: exercises the
+    // block-cycle padding path (m 150 -> 160, n 30 -> 32 with the
+    // delta-identity augmentation) and the stripping afterwards.
+    cases.push_back({p, "pgeqrf_2d", 4, 150, 30});
+  }
+
+  for (const Case& c : cases) {
+    // Unique shape-per-case keys keep the plan memo and cache distinct.
+    cache.store(profile.fingerprint(),
+                tune::ProblemKey{c.m, c.n, c.ranks, 1}, c.plan);
+    rt::Runtime::run(c.ranks, [&](rt::Comm& world) {
+      const lin::Matrix a = lin::hashed_matrix(303, c.m, c.n);
+      FactorizeOptions opts;
+      opts.plan_mode = PlanMode::model;
+      opts.profile = &profile;
+      const FactorizeResult res = factorize(a, world, opts);
+      EXPECT_EQ(res.algo, c.expect_algo);
+      EXPECT_EQ(res.plan.source, "cache");
+      EXPECT_EQ(res.q.rows(), c.m);
+      EXPECT_EQ(res.q.cols(), c.n);
+      EXPECT_EQ(res.r.rows(), c.n);
+      EXPECT_LT(lin::orthogonality_error(res.q), 1e-10) << c.expect_algo;
+      EXPECT_LT(lin::residual_error(a, res.q, res.r), 1e-10)
+          << c.expect_algo;
+      EXPECT_TRUE(lin::is_upper_triangular(res.r));
+    });
+  }
+
+  if (orig != nullptr) {
+    ::setenv("CACQR_TUNE_DIR", saved.c_str(), 1);
+  } else {
+    ::unsetenv("CACQR_TUNE_DIR");
+  }
+  fs::remove_all(dir);
+}
+
+TEST(FactorizePlanTest, MeasuredModeAgreesAcrossRanksAndCaches) {
+  const std::string dir =
+      (fs::temp_directory_path() / "cacqr_measured_test").string();
+  fs::remove_all(dir);
+  const char* orig = std::getenv("CACQR_TUNE_DIR");
+  const std::string saved = orig != nullptr ? orig : "";
+  ::setenv("CACQR_TUNE_DIR", dir.c_str(), 1);
+
+  const tune::MachineProfile profile = tune::generic_profile();
+  rt::Runtime::run(4, [&](rt::Comm& world) {
+    const lin::Matrix a = lin::hashed_matrix(304, 192, 24);
+    FactorizeOptions opts;
+    opts.plan_mode = PlanMode::measured;
+    opts.profile = &profile;
+    opts.plan_top_k = 2;
+    const FactorizeResult res = factorize(a, world, opts);
+    EXPECT_EQ(res.plan.source, "measured");
+    EXPECT_GT(res.plan.measured_seconds, 0.0);
+    EXPECT_LT(lin::orthogonality_error(res.q), 1e-10);
+    EXPECT_LT(lin::residual_error(a, res.q, res.r), 1e-10);
+  });
+
+  // The winner was persisted; a fresh run in this process hits the memo,
+  // but the FILE must also contain it (what another process would load).
+  const tune::PlanCache cache(dir);
+  const auto hit = cache.load(profile.fingerprint(),
+                              tune::ProblemKey{192, 24, 4, 1});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_GT(hit->measured_seconds, 0.0);
+
+  if (orig != nullptr) {
+    ::setenv("CACQR_TUNE_DIR", saved.c_str(), 1);
+  } else {
+    ::unsetenv("CACQR_TUNE_DIR");
+  }
+  fs::remove_all(dir);
+}
+
+TEST(FactorizePlanTest, MeasuredAfterModelStillRunsTrials) {
+  // A model-mode call memoizes its plan; a measured-mode call on the
+  // SAME problem must not be satisfied by that entry (it never went
+  // through trials) -- it has to trial and record a measured time.
+  // Isolated cache dir: a CACQR_TUNE_DIR persisting across suite runs
+  // would otherwise pre-seed the measured winner.
+  const std::string dir =
+      (fs::temp_directory_path() / "cacqr_measured_after_model").string();
+  fs::remove_all(dir);
+  const char* orig = std::getenv("CACQR_TUNE_DIR");
+  const std::string saved = orig != nullptr ? orig : "";
+  ::setenv("CACQR_TUNE_DIR", dir.c_str(), 1);
+
+  rt::Runtime::run(4, [](rt::Comm& world) {
+    const lin::Matrix a = lin::hashed_matrix(307, 224, 16);
+    const tune::MachineProfile profile = tune::generic_profile();
+    FactorizeOptions opts;
+    opts.profile = &profile;
+    opts.plan_mode = PlanMode::model;
+    const FactorizeResult model_res = factorize(a, world, opts);
+    EXPECT_EQ(model_res.plan.measured_seconds, 0.0);
+
+    opts.plan_mode = PlanMode::measured;
+    opts.plan_top_k = 2;
+    const FactorizeResult measured_res = factorize(a, world, opts);
+    EXPECT_EQ(measured_res.plan.source, "measured");
+    EXPECT_GT(measured_res.plan.measured_seconds, 0.0);
+    EXPECT_LT(lin::orthogonality_error(measured_res.q), 1e-10);
+
+    // And the measured winner now serves later model-mode calls (the
+    // cache remembering what won).
+    opts.plan_mode = PlanMode::model;
+    const FactorizeResult again = factorize(a, world, opts);
+    EXPECT_EQ(again.plan.source, "measured");
+    EXPECT_GT(again.plan.measured_seconds, 0.0);
+  });
+
+  if (orig != nullptr) {
+    ::setenv("CACQR_TUNE_DIR", saved.c_str(), 1);
+  } else {
+    ::unsetenv("CACQR_TUNE_DIR");
+  }
+  fs::remove_all(dir);
+}
+
+TEST(FactorizePlanTest, HeuristicDefaultIgnoresPlannerMachinery) {
+  // The default options must follow the historical heuristic path: no
+  // planner, no cache, algo == "ca_cqr", plan.source == "heuristic" --
+  // and identical factors to an explicit run of the chosen grid.
+  rt::Runtime::run(4, [](rt::Comm& world) {
+    const lin::Matrix a = lin::hashed_matrix(305, 64, 16);
+    const FactorizeResult res = factorize(a, world);
+    EXPECT_EQ(res.algo, "ca_cqr");
+    EXPECT_EQ(res.plan.source, "heuristic");
+    const auto [c, d] = choose_grid(4, 64, 16);
+    EXPECT_EQ(res.c, c);
+    EXPECT_EQ(res.d, d);
+    const FactorizeResult ref = factorize(a, world, {.c = c, .d = d});
+    EXPECT_EQ(lin::max_abs_diff(res.q, ref.q), 0.0);
+    EXPECT_EQ(lin::max_abs_diff(res.r, ref.r), 0.0);
+  });
+}
+
+TEST(FactorizePlanTest, PlannedModesHandleAwkwardShapes) {
+  // Prime dimensions exercise every variant's padding rules.
+  rt::Runtime::run(4, [](rt::Comm& world) {
+    const tune::MachineProfile profile = tune::generic_profile();
+    for (const auto& [m, n] : {std::pair<i64, i64>{101, 13}, {67, 5}}) {
+      const lin::Matrix a = lin::hashed_matrix(306, m, n);
+      FactorizeOptions opts;
+      opts.plan_mode = PlanMode::model;
+      opts.profile = &profile;
+      const FactorizeResult res = factorize(a, world, opts);
+      EXPECT_EQ(res.q.rows(), m);
+      EXPECT_EQ(res.q.cols(), n);
+      EXPECT_LT(lin::orthogonality_error(res.q), 1e-11) << m << "x" << n;
+      EXPECT_LT(lin::residual_error(a, res.q, res.r), 1e-11);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace cacqr::core
