@@ -2,12 +2,21 @@
 /// \brief GFLOP/s of the packed micro-kernel level-3 paths against the
 ///        seed's scalar loops, over the tall-skinny shapes CholeskyQR2
 ///        actually feeds (Gram products and triangular updates of m x n
-///        panels with m >> n).
+///        panels with m >> n) -- measured once per host-executable
+///        micro-kernel variant (generic, avx2, avx512, neon).
 ///
 /// The "seed" reference implementations below are verbatim copies of the
 /// scalar kernels this library shipped with before the packed micro-kernel
 /// rebuild (see DESIGN.md section 2), kept here so every future PR can
-/// re-measure the speedup against the same baseline.
+/// re-measure the speedup against the same baseline.  Seed loops are
+/// variant-independent and timed once per shape; the packed kernels are
+/// re-timed with each supported variant forced active.
+///
+/// Benchmark operands are carved out of one 64-byte-aligned slab with
+/// fixed inter-operand padding, so the relative alignment of A, B, C and
+/// the triangular factor is identical in every process.  (Heap-luck
+/// alignment previously made the m=1024 trmm_r/trsm_r absolute rates
+/// bimodal across runs at the +/-35% level; see docs/benchmarks.md.)
 ///
 /// Usage: bench_kernels [--json[=PATH]] [--quick] [--threads N]
 ///   --json     additionally write machine-readable results (default PATH:
@@ -21,9 +30,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -140,6 +151,43 @@ void seed_trsm_rlt(ConstMatrixView t, MatrixView b) {
   }
 }
 
+// ----------------------------------------------------------- operand slab
+
+/// One 64-byte-aligned allocation all benchmark operands are carved from,
+/// each at a 64B boundary with a fixed 3-cache-line gap to its neighbor.
+/// The operands' relative alignment is therefore a program constant: the
+/// absolute rates of alignment-sensitive shapes (m=1024 trmm_r/trsm_r)
+/// stop depending on heap luck.
+class OperandSlab {
+ public:
+  explicit OperandSlab(std::size_t doubles) : cap_(doubles) {
+    base_ = static_cast<double*>(
+        std::aligned_alloc(64, ((cap_ * sizeof(double) + 63) / 64) * 64));
+    if (base_ == nullptr) throw std::bad_alloc();
+    std::memset(base_, 0, cap_ * sizeof(double));
+  }
+  OperandSlab(const OperandSlab&) = delete;
+  OperandSlab& operator=(const OperandSlab&) = delete;
+  ~OperandSlab() { std::free(base_); }
+
+  MatrixView take(i64 m, i64 n) {
+    double* p = base_ + used_;
+    used_ += static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
+    used_ = (used_ + 7u) & ~std::size_t{7};  // next 64B boundary
+    used_ += 24;                             // fixed 192B inter-operand gap
+    if (used_ > cap_) {
+      std::fprintf(stderr, "operand slab overflow\n");
+      std::abort();
+    }
+    return {p, m, n, m};
+  }
+
+ private:
+  double* base_ = nullptr;
+  std::size_t cap_ = 0;
+  std::size_t used_ = 0;
+};
+
 // ------------------------------------------------------- timing machinery
 
 double now_seconds() {
@@ -166,6 +214,7 @@ double time_best(F&& body, double target) {
 
 struct Result {
   std::string kernel;
+  std::string variant;  ///< micro-kernel variant of the "new" column
   i64 m = 0;
   i64 n = 0;
   double seed_gflops = 0.0;
@@ -225,113 +274,146 @@ int main(int argc, char** argv) {
   const std::vector<i64> ns = {16, 64, 256};
   const double target = quick ? 0.05 : 0.25;
 
+  // Every variant this host can execute, measured in the fixed dispatch
+  // order; the CACQR_KERNEL-resolved variant is restored afterwards.
+  const std::vector<lin::kernel::Variant> variants =
+      lin::kernel::supported_variants();
+  const lin::kernel::Variant entry_variant = lin::kernel::active_variant();
+
   std::vector<Result> results;
   std::printf("threads=%d (host hardware threads: %d)\n", threads,
               lin::parallel::hardware_threads());
-  std::printf("%-10s %8s %5s %12s %12s %9s\n", "kernel", "m", "n",
-              "seed GF/s", "new GF/s", "speedup");
+  std::printf("variants:");
+  for (const auto v : variants) {
+    std::printf(" %s", lin::kernel::variant_name(v));
+  }
+  std::printf(" (active: %s)\n",
+              lin::kernel::variant_name(entry_variant));
+  std::printf("%-10s %-8s %8s %5s %12s %12s %9s\n", "kernel", "variant",
+              "m", "n", "seed GF/s", "new GF/s", "speedup");
 
   for (const i64 m : ms) {
     for (const i64 n : ns) {
       Rng rng(static_cast<u64>(m * 1000 + n));
-      Matrix a = lin::gaussian(rng, m, n);
-      Matrix b = lin::gaussian(rng, m, n);
-      Matrix t = lin::spd_with_cond(rng, n, 10.0);
-      lin::potrf(t);
+      // Slab layout (fixed order = fixed relative alignment): A, B, the
+      // big m x n work/output panels, then the small n x n operands.
+      OperandSlab slab(4 * static_cast<std::size_t>(m) *
+                           static_cast<std::size_t>(n) +
+                       4 * static_cast<std::size_t>(n) *
+                           static_cast<std::size_t>(n) +
+                       8 * 32);
+      MatrixView a = slab.take(m, n);
+      MatrixView b = slab.take(m, n);
+      MatrixView big = slab.take(m, n);   // gemm_nn output
+      MatrixView work = slab.take(m, n);  // trmm/trsm in-place panel
+      MatrixView t = slab.take(n, n);
+      MatrixView xs = slab.take(n, n);
+      MatrixView c = slab.take(n, n);
+      MatrixView g = slab.take(n, n);
+      lin::copy(lin::gaussian(rng, m, n), a);
+      lin::copy(lin::gaussian(rng, m, n), b);
+      {
+        Matrix t0 = lin::spd_with_cond(rng, n, 10.0);
+        lin::potrf(t0);
+        lin::copy(t0, t);
+      }
+      lin::copy(lin::gaussian(rng, n, n), xs);
 
-      auto record = [&](const char* kernel, double flops, double t_seed,
-                        double t_new) {
-        Result r;
-        r.kernel = kernel;
-        r.m = m;
-        r.n = n;
-        r.seed_gflops = flops / t_seed * 1e-9;
-        r.new_gflops = flops / t_new * 1e-9;
-        results.push_back(r);
-        std::printf("%-10s %8lld %5lld %12.2f %12.2f %8.2fx\n", kernel,
-                    static_cast<long long>(m), static_cast<long long>(n),
-                    r.seed_gflops, r.new_gflops, r.speedup());
-        std::fflush(stdout);
-      };
+      // Seed loops are variant-independent: time them once per shape.
+      const double flops_gemm = 2.0 * static_cast<double>(m) *
+                                static_cast<double>(n) *
+                                static_cast<double>(n);
+      const double flops_tri = static_cast<double>(m) *
+                               static_cast<double>(n) *
+                               static_cast<double>(n + 1);
+      const double ts_tn = time_best(
+          [&] { seed_gemm_tn(1.0, a, b, c); }, target);
+      const double ts_gram = time_best([&] { seed_gram(a, g); }, target);
+      const double ts_nn = time_best(
+          [&] { seed_gemm_nn(1.0, a, xs, big); }, target);
+      const double ts_trmm = time_best(
+          [&] {
+            lin::copy(b, work);
+            seed_trmm_rlt(t, work);
+          },
+          target);
+      const double ts_trsm = time_best(
+          [&] {
+            lin::copy(b, work);
+            seed_trsm_rlt(t, work);
+          },
+          target);
 
-      {  // C = A^T B: the c > 1 Gram path of CA-CQR (Algorithm 8 line 2).
-        Matrix c(n, n);
-        const double flops = 2.0 * static_cast<double>(m) *
-                             static_cast<double>(n) * static_cast<double>(n);
-        const double ts = time_best(
-            [&] { seed_gemm_tn(1.0, a, b, c); }, target);
-        const double tn = time_best(
-            [&] {
-              lin::gemm(lin::Trans::T, lin::Trans::N, 1.0, a, b, 0.0, c);
-            },
-            target);
-        record("gemm_tn", flops, ts, tn);
+      for (const lin::kernel::Variant v : variants) {
+        lin::kernel::set_kernel_variant(v);
+        const char* vname = lin::kernel::variant_name(v);
+
+        auto record = [&](const char* kernel, double flops, double t_seed,
+                          double t_new) {
+          Result r;
+          r.kernel = kernel;
+          r.variant = vname;
+          r.m = m;
+          r.n = n;
+          r.seed_gflops = flops / t_seed * 1e-9;
+          r.new_gflops = flops / t_new * 1e-9;
+          results.push_back(r);
+          std::printf("%-10s %-8s %8lld %5lld %12.2f %12.2f %8.2fx\n",
+                      kernel, vname, static_cast<long long>(m),
+                      static_cast<long long>(n), r.seed_gflops,
+                      r.new_gflops, r.speedup());
+          std::fflush(stdout);
+        };
+
+        {  // C = A^T B: the c > 1 Gram path of CA-CQR (Algorithm 8 line 2).
+          const double tn = time_best(
+              [&] {
+                lin::gemm(lin::Trans::T, lin::Trans::N, 1.0, a, b, 0.0, c);
+              },
+              target);
+          record("gemm_tn", flops_gemm, ts_tn, tn);
+        }
+        {  // G = A^T A: the c == 1 Gram path (Algorithms 4/6).
+          const double tn =
+              time_best([&] { lin::gram(1.0, a, 0.0, g); }, target);
+          record("gram", flops_tri, ts_gram, tn);
+        }
+        {  // C = A X: panel times a square n x n factor.
+          const double tn =
+              time_best([&] { lin::matmul(a, xs, big); }, target);
+          record("gemm_nn", flops_gemm, ts_nn, tn);
+        }
+        {  // B = B L^T (right trmm): Q = A R^{-1} with R^{-1} = L^{-T}.
+          const double tn = time_best(
+              [&] {
+                lin::copy(b, work);
+                lin::trmm(lin::Side::Right, lin::Uplo::Lower, lin::Trans::T,
+                          lin::Diag::NonUnit, 1.0, t, work);
+              },
+              target);
+          record("trmm_r", flops_tri, ts_trmm, tn);
+        }
+        {  // Solve X L^T = B (right trsm): the least-squares backsolve.
+          const double tn = time_best(
+              [&] {
+                lin::copy(b, work);
+                lin::trsm(lin::Side::Right, lin::Uplo::Lower, lin::Trans::T,
+                          lin::Diag::NonUnit, 1.0, t, work);
+              },
+              target);
+          record("trsm_r", flops_tri, ts_trsm, tn);
+        }
       }
-      {  // G = A^T A: the c == 1 Gram path (Algorithms 4/6).
-        Matrix g(n, n);
-        const double flops = static_cast<double>(m) * static_cast<double>(n) *
-                             static_cast<double>(n + 1);
-        const double ts = time_best([&] { seed_gram(a, g); }, target);
-        const double tn =
-            time_best([&] { lin::gram(1.0, a, 0.0, g); }, target);
-        record("gram", flops, ts, tn);
-      }
-      {  // C = A X: panel times a square n x n factor.
-        Matrix xs = lin::gaussian(rng, n, n);
-        Matrix c(m, n);
-        const double flops = 2.0 * static_cast<double>(m) *
-                             static_cast<double>(n) * static_cast<double>(n);
-        const double ts = time_best(
-            [&] { seed_gemm_nn(1.0, a, xs, c); }, target);
-        const double tn = time_best([&] { lin::matmul(a, xs, c); }, target);
-        record("gemm_nn", flops, ts, tn);
-      }
-      {  // B = B L^T (right trmm): Q = A R^{-1} with R^{-1} = L^{-T}.
-        Matrix work(m, n);
-        const double flops = static_cast<double>(m) * static_cast<double>(n) *
-                             static_cast<double>(n + 1);
-        const double ts = time_best(
-            [&] {
-              lin::copy(b, work);
-              seed_trmm_rlt(t, work);
-            },
-            target);
-        const double tn = time_best(
-            [&] {
-              lin::copy(b, work);
-              lin::trmm(lin::Side::Right, lin::Uplo::Lower, lin::Trans::T,
-                        lin::Diag::NonUnit, 1.0, t, work);
-            },
-            target);
-        record("trmm_r", flops, ts, tn);
-      }
-      {  // Solve X L^T = B (right trsm): the least-squares backsolve shape.
-        Matrix work(m, n);
-        const double flops = static_cast<double>(m) * static_cast<double>(n) *
-                             static_cast<double>(n + 1);
-        const double ts = time_best(
-            [&] {
-              lin::copy(b, work);
-              seed_trsm_rlt(t, work);
-            },
-            target);
-        const double tn = time_best(
-            [&] {
-              lin::copy(b, work);
-              lin::trsm(lin::Side::Right, lin::Uplo::Lower, lin::Trans::T,
-                        lin::Diag::NonUnit, 1.0, t, work);
-            },
-            target);
-        record("trsm_r", flops, ts, tn);
-      }
+      lin::kernel::set_kernel_variant(entry_variant);
     }
   }
 
   // Thread-scaling sweep of the packed gemm paths at the tall-skinny
-  // trajectory shape (m=16384, n=256): same kernels the acceptance gate
-  // tracks.  Run for the JSON artifact so the perf trajectory records how
-  // the kernel scales on the measuring host; budgets beyond the host's
-  // core count are still measured (they show the oversubscription cliff).
+  // trajectory shape (m=16384, n=256), under the entry (CACQR_KERNEL)
+  // variant: same kernels the acceptance gate tracks.  Run for the JSON
+  // artifact so the perf trajectory records how the kernel scales on the
+  // measuring host; budgets beyond the host's core count are still
+  // measured (they show the oversubscription cliff).
   std::vector<ScalePoint> scaling;
   if (json) {
     const i64 sm = 16384;
@@ -344,9 +426,10 @@ int main(int argc, char** argv) {
     Matrix big(sm, sn);
     const double flops = 2.0 * static_cast<double>(sm) *
                          static_cast<double>(sn) * static_cast<double>(sn);
-    std::printf("\nthread scaling (m=%lld, n=%lld)\n%-10s %8s %12s\n",
+    std::printf("\nthread scaling (m=%lld, n=%lld, variant=%s)\n%-10s %8s %12s\n",
                 static_cast<long long>(sm), static_cast<long long>(sn),
-                "kernel", "threads", "GF/s");
+                lin::kernel::variant_name(entry_variant), "kernel",
+                "threads", "GF/s");
     for (const int t : {1, 2, 4, 8}) {
       lin::parallel::set_thread_budget(t);
       const double t_nn = time_best([&] { lin::matmul(a, xs, big); }, target);
@@ -381,13 +464,22 @@ int main(int argc, char** argv) {
         << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
         << "  \"threads\": " << threads << ",\n"
         << "  \"hw_threads\": " << lin::parallel::hardware_threads() << ",\n"
+        << "  \"kernel_variants\": [";
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      out << (i ? ", " : "") << "\""
+          << lin::kernel::variant_name(variants[i]) << "\"";
+    }
+    out << "],\n"
+        << "  \"active_variant\": \""
+        << lin::kernel::variant_name(entry_variant) << "\",\n"
         << "  \"arena_high_water_bytes\": " << arena.high_water_bytes
         << ",\n"
         << "  \"results\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
       const Result& r = results[i];
-      out << "    {\"kernel\": \"" << r.kernel << "\", \"m\": " << r.m
-          << ", \"n\": " << r.n << ", \"seed_gflops\": " << r.seed_gflops
+      out << "    {\"kernel\": \"" << r.kernel << "\", \"kernel_variant\": \""
+          << r.variant << "\", \"m\": " << r.m << ", \"n\": " << r.n
+          << ", \"seed_gflops\": " << r.seed_gflops
           << ", \"new_gflops\": " << r.new_gflops
           << ", \"speedup\": " << r.speedup() << "}"
           << (i + 1 < results.size() ? "," : "") << "\n";
@@ -395,7 +487,8 @@ int main(int argc, char** argv) {
     out << "  ],\n  \"thread_scaling\": [\n";
     for (std::size_t i = 0; i < scaling.size(); ++i) {
       const ScalePoint& s = scaling[i];
-      out << "    {\"kernel\": \"" << s.kernel << "\", \"m\": " << s.m
+      out << "    {\"kernel\": \"" << s.kernel << "\", \"kernel_variant\": \""
+          << lin::kernel::variant_name(entry_variant) << "\", \"m\": " << s.m
           << ", \"n\": " << s.n << ", \"threads\": " << s.threads
           << ", \"gflops\": " << s.gflops << "}"
           << (i + 1 < scaling.size() ? "," : "") << "\n";

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "cacqr/lin/kernel.hpp"
 #include "cacqr/support/timer.hpp"
 #include "cacqr/tune/cache.hpp"
 #include "cacqr/tune/calibrate.hpp"
@@ -83,13 +84,30 @@ int main(int argc, char** argv) {
   std::printf("fitted gamma     : %.3e s/flop (%.2f GF/s sustained)\n",
               profile.machine.gamma_s, 1.0 / profile.machine.gamma_s / 1e9);
   std::printf("flops-per-word   : %.1f\n", profile.machine.flops_per_word());
+  std::printf("kernel variant   : %s (fastest calibrated; dispatch decides "
+              "at run time)\n",
+              profile.kernel_variant.c_str());
+
+  std::printf("\nvariant table (per-thread):\n");
+  std::printf("  %-8s %14s %12s %s\n", "variant", "gamma (s/flop)",
+              "peak GF/s", "scaling");
+  for (const tune::VariantCalibration& v : profile.variants) {
+    std::printf("  %-8s %14.3e %12.2f ", v.variant.c_str(), v.gamma_s,
+                v.peak_gflops);
+    for (const tune::ThreadScaling& s : v.scaling) {
+      std::printf(" %dT=%.2fx", s.threads, s.speedup);
+    }
+    std::printf("\n");
+  }
 
   std::printf("\nkernel table (per-thread):\n");
-  std::printf("  %-10s %8s %6s %6s %10s\n", "kernel", "m", "n", "k", "GF/s");
+  std::printf("  %-10s %-8s %8s %6s %6s %10s\n", "kernel", "variant", "m",
+              "n", "k", "GF/s");
   for (const tune::KernelSample& s : profile.kernels) {
-    std::printf("  %-10s %8lld %6lld %6lld %10.2f\n", s.kernel.c_str(),
-                static_cast<long long>(s.m), static_cast<long long>(s.n),
-                static_cast<long long>(s.k), s.gflops);
+    std::printf("  %-10s %-8s %8lld %6lld %6lld %10.2f\n", s.kernel.c_str(),
+                s.variant.c_str(), static_cast<long long>(s.m),
+                static_cast<long long>(s.n), static_cast<long long>(s.k),
+                s.gflops);
   }
   std::printf("thread scaling:");
   for (const tune::ThreadScaling& s : profile.scaling) {
@@ -108,7 +126,9 @@ int main(int argc, char** argv) {
                   {4096, 1024, 8, 1}, {16384, 256, 16, 1}};
   const tune::Planner planner(profile);
   std::vector<PlanRow> rows;
-  std::printf("\nplanned configurations (model scores on this profile):\n");
+  std::printf(
+      "\nplanned configurations (model scores on this profile, variant=%s):\n",
+      lin::kernel::variant_name(lin::kernel::active_variant()));
   std::printf("  %-22s %-10s %-8s %14s %16s\n", "problem", "algo", "grid",
               "predicted_s", "runner_up");
   for (const tune::ProblemKey& key : keys) {

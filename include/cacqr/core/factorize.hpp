@@ -77,6 +77,9 @@ struct FactorizeResult {
   int pc = 0;
   i64 block = 0;
   bool used_shift = false;  ///< whether the shifted fallback ran
+  /// The micro-kernel variant the local level-3 kernels dispatched to
+  /// during this factorization (lin::kernel::active_variant at entry).
+  std::string kernel_variant;
   /// How the configuration was chosen: plan.source is "heuristic",
   /// "model", "measured", or "cache"; predicted/measured seconds are
   /// filled when the planner produced them.

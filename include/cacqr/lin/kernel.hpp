@@ -1,6 +1,7 @@
 #pragma once
 /// \file kernel.hpp
-/// \brief Packed, register-tiled GEMM micro-kernel core (BLIS-style).
+/// \brief Packed, register-tiled GEMM micro-kernel core (BLIS-style) with
+///        runtime-dispatched SIMD micro-kernel variants.
 ///
 /// Every level-3 kernel in cacqr::lin (gemm in all four transpose cases,
 /// gram, syrk_nt, and the off-diagonal updates of the blocked trmm/trsm
@@ -11,12 +12,26 @@
 /// for the architecture, section 3 for the thread-parallel decomposition,
 /// and section 7 for how to re-tune the block sizes.
 ///
+/// The MR x NR register block itself is **multi-versioned**: one binary
+/// carries a family of explicitly vectorized micro-kernels (AVX2 8x6 FMA,
+/// AVX-512 16x14, NEON 8x6) next to the always-available generic kernel,
+/// each compiled in its own translation unit with per-file ISA flags.  A
+/// one-time CPU probe (cpuid / architecture baseline) selects the variant
+/// at first use -- overridable with CACQR_KERNEL -- and the only dynamic
+/// indirection is one function pointer per MR x NR tile: the MC/NC/KC
+/// blocking, cooperative packing, arenas, and the one-owner threading rule
+/// are shared verbatim across variants, parameterized by the variant's
+/// block geometry.
+///
 /// The driver is thread-parallel: when the calling thread's worker budget
 /// (lin/parallel.hpp, CACQR_THREADS) exceeds one and the product is large
 /// enough, each (jc, pc) step packs the shared op(B) panel cooperatively
 /// and splits the ic/jr tile space across the team.  Every C micro-tile has
 /// exactly one owner and the pc reduction loop is never split, so results
-/// are bitwise identical across thread counts.
+/// are bitwise identical across thread counts -- per variant.  Different
+/// variants may round differently (FMA contraction, block-size-dependent
+/// accumulation splits); switching variants is a numerical event on the
+/// order of the unit roundoff, never a correctness one.
 ///
 /// Packing buffers are persistent per-thread arenas (grow-only, reused
 /// across calls): steady-state kernel invocations of a given shape perform
@@ -25,19 +40,27 @@
 ///
 /// Functions in this header perform NO flop accounting: the public BLAS
 /// wrappers in blas.hpp charge closed-form flop counts (DESIGN.md section 1)
-/// so the machine model's gamma tally is independent of blocking strategy
-/// and of the thread count.
+/// so the machine model's gamma tally is independent of blocking strategy,
+/// of the thread count, and of the selected variant.
+
+#include <vector>
 
 #include "cacqr/lin/blas.hpp"
 #include "cacqr/lin/matrix.hpp"
 
 namespace cacqr::lin::kernel {
 
-// ------------------------------------------------------------ block sizes
+// ------------------------------------------- generic-variant block sizes
+//
+// The geometry of the generic (and AVX2) variant; other variants carry
+// their own MR/NR/MC/KC/NC in their translation units and the driver reads
+// the active variant's geometry at run time.  Kept as named constants
+// because they document the tuning contract (DESIGN.md section 7) and the
+// lin/ tests sweep shapes straddling these boundaries.
 //
 // Register micro-tile: MR x NR accumulators live in registers across the
-// whole K loop.  8 x 6 doubles = 12 AVX2 ymm accumulators (or 6 AVX-512
-// zmm), leaving registers for the A column load and B broadcasts.
+// whole K loop.  8 x 6 doubles = 12 AVX2 ymm accumulators, leaving
+// registers for the A column load and B broadcasts.
 inline constexpr i64 MR = 8;
 inline constexpr i64 NR = 6;
 
@@ -47,6 +70,54 @@ inline constexpr i64 NR = 6;
 inline constexpr i64 MC = 144;  // multiple of MR
 inline constexpr i64 KC = 256;
 inline constexpr i64 NC = 3072;  // multiple of NR
+
+// ------------------------------------------------------- kernel variants
+
+/// The micro-kernel family.  `generic` is the portable baseline (GCC/Clang
+/// vector extensions with a scalar fallback) and is always executable;
+/// the SIMD variants are compiled into every binary (per-file ISA flags)
+/// but only executable where the CPU probe says so.
+enum class Variant { generic = 0, avx2 = 1, avx512 = 2, neon = 3 };
+
+/// What a CACQR_KERNEL value asks for: a specific variant, automatic
+/// selection, or nonsense (which the dispatcher refuses loudly rather
+/// than silently falling back -- a forced kernel must never be guessed).
+enum class VariantChoice { automatic, generic, avx2, avx512, neon, invalid };
+
+/// Parses a kernel spec: "generic" | "avx2" | "avx512" | "neon" |
+/// "auto" -> the matching choice; nullptr and "" -> automatic; anything
+/// else -> invalid.  Exposed for testing; the process-wide dispatch below
+/// parses the CACQR_KERNEL environment variable once with exactly this
+/// rule.
+[[nodiscard]] VariantChoice parse_kernel_variant(const char* spec) noexcept;
+
+/// Stable lowercase name of a variant ("generic", "avx2", ...), matching
+/// the CACQR_KERNEL spelling and the tune:: profile/plan serialization.
+[[nodiscard]] const char* variant_name(Variant v) noexcept;
+
+/// Whether `v` is executable on this host: its translation unit carries a
+/// real micro-kernel for this architecture AND the CPU probe (cpuid on
+/// x86, baseline ASIMD on AArch64) reports the required features.
+/// `generic` is always supported.
+[[nodiscard]] bool variant_supported(Variant v) noexcept;
+
+/// Every executable variant, in the fixed order generic, avx2, avx512,
+/// neon.  Never empty.
+[[nodiscard]] std::vector<Variant> supported_variants();
+
+/// The variant the driver currently dispatches to.  The first call
+/// resolves CACQR_KERNEL: a forced variant that is unsupported on this
+/// host (or a malformed value) throws cacqr::Error with the supported
+/// list; `auto` (the default) picks the widest supported SIMD variant
+/// (avx512 > avx2 > neon > generic).
+[[nodiscard]] Variant active_variant();
+
+/// Overrides the active variant process-wide and returns the previous
+/// one; throws cacqr::Error when `v` is not supported on this host.  For
+/// tests and the tune:: calibrator's per-variant sweeps -- do not call
+/// while kernels are in flight on other threads (the switch is atomic,
+/// but a factorization that changes variant mid-run mixes roundings).
+Variant set_kernel_variant(Variant v);
 
 /// Which MR x NR micro-tiles of C the driver computes.  `Lower` computes
 /// every tile that intersects the lower triangle (i >= j), `Upper` every

@@ -50,7 +50,9 @@ struct ProblemKey {
 /// One executable configuration with its scores.  `algo` selects the
 /// variant; the grid fields that don't apply to it stay 0.
 struct Plan {
-  static constexpr int kSchemaVersion = 1;
+  /// v2: kernel_variant field (which micro-kernel the plan was scored
+  /// for); v1 cache files are ignored by the loader.
+  static constexpr int kSchemaVersion = 2;
 
   std::string algo;     ///< "cqr_1d" | "ca_cqr2" | "pgeqrf_2d"
   int c = 0, d = 0;     ///< ca_cqr2 tunable grid
@@ -59,6 +61,12 @@ struct Plan {
   double predicted_seconds = 0.0;  ///< modeled time under the profile
   double measured_seconds = 0.0;   ///< trial-run time (0 = never trialed)
   std::string source;   ///< "model" | "measured" | "cache" | "heuristic"
+  /// Micro-kernel variant active when this plan was scored/measured
+  /// ("" on heuristic plans).  A cached plan whose variant differs from
+  /// the dispatcher's current pick is treated as a miss and re-planned:
+  /// its gamma -- and in measured mode its trial timings -- belong to a
+  /// different compute engine.
+  std::string kernel_variant;
 
   /// Human-readable grid tag matching bench_cacqr's convention
   /// ("p8", "c2d2", "4x2b16").

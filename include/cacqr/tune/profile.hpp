@@ -35,6 +35,9 @@ struct KernelSample {
   i64 n = 0;
   i64 k = 0;
   double gflops = 0.0;
+  /// Micro-kernel variant the sample was measured with (lin::kernel
+  /// variant name); "" on pre-variant profiles.
+  std::string variant;
 };
 
 /// Measured intra-rank thread scaling: at worker budget `threads` the
@@ -44,14 +47,35 @@ struct ThreadScaling {
   double speedup = 1.0;
 };
 
+/// Everything the calibrator measured about ONE micro-kernel variant:
+/// its fitted compute rate at worker budget 1 and its thread scaling,
+/// both measured with that variant forced active.  The planner scores a
+/// candidate with the gamma of the variant the driver will actually
+/// dispatch to, not a variant-blind average.
+struct VariantCalibration {
+  std::string variant;   ///< lin::kernel variant name ("generic", ...)
+  double gamma_s = 0.0;  ///< fitted seconds per flop at worker budget 1
+  double peak_gflops = 0.0;  ///< best measured rate across the sweeps
+  std::vector<ThreadScaling> scaling;  ///< sorted, includes {1, 1}
+};
+
 struct MachineProfile {
   /// Schema version of the serialized form; bump on breaking changes.
   /// Loaders ignore files whose version differs (never fatal).
-  static constexpr int kSchemaVersion = 1;
+  /// v2: per-variant kernel table (variants / kernel_variant fields,
+  /// variant-tagged kernel samples).
+  static constexpr int kSchemaVersion = 2;
 
   model::Machine machine;  ///< fitted alpha_s / beta_s / gamma_s
   std::vector<KernelSample> kernels;
   std::vector<ThreadScaling> scaling;  ///< sorted by threads, includes {1, 1}
+  /// Per-variant calibration table, one entry per host-executable variant
+  /// swept by the calibrator (fixed variant order).  May be empty on a
+  /// hand-built profile; machine_for falls back to the fitted machine.
+  std::vector<VariantCalibration> variants;
+  /// The calibrator's pick: the variant whose measured rates back the
+  /// top-level gamma_s/scaling (its fastest).  "" on hand-built profiles.
+  std::string kernel_variant;
   std::string host;        ///< host fingerprint (hostname, cpu, hw threads)
   std::string calibrated;  ///< "measured" or "generic" (the fallback)
 
@@ -63,6 +87,14 @@ struct MachineProfile {
   /// Effective machine for ranks running `threads` workers each: gamma is
   /// divided by thread_speedup(threads); alpha/beta are per-rank already.
   [[nodiscard]] model::Machine machine_at(int threads) const;
+
+  /// Effective machine for ranks dispatching to the named micro-kernel
+  /// variant at the given worker budget: gamma and the thread speedup
+  /// come from that variant's calibration entry.  Falls back to
+  /// machine_at(threads) when the variant was never calibrated (empty
+  /// name, hand-built profile, or a variant this profile predates).
+  [[nodiscard]] model::Machine machine_for(std::string_view variant,
+                                           int threads) const;
 
   /// Cache key component: host fingerprint plus an FNV-1a digest of the
   /// fitted parameters, so differently-calibrated profiles on one host

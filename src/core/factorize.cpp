@@ -10,6 +10,7 @@
 #include "cacqr/core/factorize.hpp"
 #include "cacqr/core/shifted.hpp"
 #include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/kernel.hpp"
 #include "cacqr/lin/parallel.hpp"
 #include "cacqr/lin/util.hpp"
 #include "cacqr/support/timer.hpp"
@@ -225,9 +226,17 @@ bool plan_fits(const tune::Plan& plan, const tune::ProblemKey& key) {
 /// measured mode, actually went through trials -- otherwise a
 /// model-sourced memo/cache entry would silently relabel the model pick
 /// as "measured".  (The reverse is fine: model mode happily reuses a
-/// measured winner -- that is the cache remembering what won.)
+/// measured winner -- that is the cache remembering what won.)  A plan
+/// scored or trialed under a different micro-kernel variant than the one
+/// the dispatcher currently runs is also rejected: its gamma and timings
+/// describe a different compute engine (variant-less legacy plans pass).
 bool plan_acceptable(const tune::Plan& plan, const tune::ProblemKey& key,
                     PlanMode mode) {
+  if (!plan.kernel_variant.empty() &&
+      plan.kernel_variant !=
+          lin::kernel::variant_name(lin::kernel::active_variant())) {
+    return false;
+  }
   return plan_fits(plan, key) &&
          (mode != PlanMode::measured || plan.measured_seconds > 0.0);
 }
@@ -236,6 +245,24 @@ bool plan_acceptable(const tune::Plan& plan, const tune::ProblemKey& key,
 /// memo/cache/planner and broadcasts, so ranks can never diverge on
 /// what a file or the process memo said.
 constexpr std::size_t kPlanWords = 10;
+
+double encode_variant(const std::string& name) {
+  if (name == "generic") return 1.0;
+  if (name == "avx2") return 2.0;
+  if (name == "avx512") return 3.0;
+  if (name == "neon") return 4.0;
+  return 0.0;  // unset / unknown
+}
+
+std::string decode_variant(double w) {
+  switch (static_cast<int>(w)) {
+    case 1: return "generic";
+    case 2: return "avx2";
+    case 3: return "avx512";
+    case 4: return "neon";
+    default: return "";
+  }
+}
 
 void encode_plan(const tune::Plan& plan, double* w) {
   w[0] = plan.algo == "cqr_1d" ? 0.0 : plan.algo == "ca_cqr2" ? 1.0 : 2.0;
@@ -248,7 +275,7 @@ void encode_plan(const tune::Plan& plan, double* w) {
   w[7] = plan.measured_seconds;
   w[8] = plan.source == "cache" ? 1.0 : plan.source == "measured" ? 2.0
                                                                   : 0.0;
-  w[9] = 0.0;  // reserved
+  w[9] = encode_variant(plan.kernel_variant);
 }
 
 tune::Plan decode_plan(const double* w) {
@@ -262,6 +289,7 @@ tune::Plan decode_plan(const double* w) {
   plan.predicted_seconds = w[6];
   plan.measured_seconds = w[7];
   plan.source = w[8] == 1.0 ? "cache" : w[8] == 2.0 ? "measured" : "model";
+  plan.kernel_variant = decode_variant(w[9]);
   return plan;
 }
 
@@ -420,6 +448,8 @@ FactorizeResult factorize(lin::ConstMatrixView a, const rt::Comm& world,
     out.plan.c = c;
     out.plan.d = d;
     out.plan.source = "heuristic";
+    out.kernel_variant =
+        lin::kernel::variant_name(lin::kernel::active_variant());
     return out;
   }
 
@@ -430,6 +460,8 @@ FactorizeResult factorize(lin::ConstMatrixView a, const rt::Comm& world,
                             : run_plan(a, world, opts, plan);
   out.plan = plan;
   if (out.plan.source.empty()) out.plan.source = "model";
+  out.kernel_variant =
+      lin::kernel::variant_name(lin::kernel::active_variant());
   return out;
 }
 

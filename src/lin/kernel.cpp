@@ -1,16 +1,137 @@
+/// \file kernel.cpp
+/// \brief The packed GEMM driver and the micro-kernel variant dispatcher.
+///
+/// Everything above the MR x NR register tile lives here exactly once --
+/// packing, MC/NC/KC cache blocking, the cooperative thread decomposition,
+/// and the persistent arenas -- parameterized by the active variant's
+/// MicroKernelImpl descriptor (kernel_impl.hpp).  The descriptor is read
+/// once per gemm_accumulate call, so a concurrent set_kernel_variant can
+/// never mix two geometries inside one product.
+///
+/// Dispatch resolves once per process (std::call_once): CACQR_KERNEL is
+/// parsed with parse_kernel_variant; a forced variant that this host cannot
+/// execute throws rather than silently falling back; `auto` picks the
+/// widest supported SIMD variant (avx512 > avx2 > neon > generic).  After
+/// resolution the only per-tile cost is one function-pointer call.
+
 #include "cacqr/lin/kernel.hpp"
 
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <new>
+#include <string>
 
 #include "cacqr/lin/parallel.hpp"
+#include "cacqr/support/error.hpp"
 #include "cacqr/support/math.hpp"
+#include "kernel_impl.hpp"
 
 namespace cacqr::lin::kernel {
 
+using detail::kMaxMr;
+using detail::kMaxNr;
+using detail::MicroKernelImpl;
+
 namespace {
+
+// ----------------------------------------------------- variant dispatch
+
+/// Descriptor lookup: nullptr when the variant's TU carries no code for
+/// this architecture.
+const MicroKernelImpl* impl_for(Variant v) noexcept {
+  switch (v) {
+    case Variant::generic:
+      return detail::generic_impl();
+    case Variant::avx2:
+      return detail::avx2_impl();
+    case Variant::avx512:
+      return detail::avx512_impl();
+    case Variant::neon:
+      return detail::neon_impl();
+  }
+  return nullptr;
+}
+
+/// Whether this host's CPU can execute the variant's instructions.  The
+/// descriptor being present only means the code exists in the binary; on
+/// x86 the cpuid probe decides executability.  NEON/ASIMD is part of the
+/// AArch64 baseline, so descriptor presence is sufficient there.
+bool cpu_can_run(Variant v) noexcept {
+  switch (v) {
+    case Variant::generic:
+      return true;
+    case Variant::avx2:
+#if defined(__x86_64__)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Variant::avx512:
+#if defined(__x86_64__)
+      return __builtin_cpu_supports("avx512f");
+#else
+      return false;
+#endif
+    case Variant::neon:
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::string supported_list() {
+  std::string out;
+  for (Variant v : supported_variants()) {
+    if (!out.empty()) out += ", ";
+    out += variant_name(v);
+  }
+  return out;
+}
+
+/// Resolves CACQR_KERNEL once; throwing from here propagates out of the
+/// first active_variant() call (std::call_once does not latch on throw, so
+/// a misconfigured environment fails every call, loudly).
+const MicroKernelImpl* resolve_from_env() {
+  const VariantChoice choice =
+      parse_kernel_variant(std::getenv("CACQR_KERNEL"));
+  ensure(choice != VariantChoice::invalid,
+         "CACQR_KERNEL: unrecognized kernel variant \"",
+         std::getenv("CACQR_KERNEL") ? std::getenv("CACQR_KERNEL") : "",
+         "\" (expected auto, generic, avx2, avx512, or neon)");
+  if (choice == VariantChoice::automatic) {
+    // Widest supported SIMD first; generic is the always-available floor.
+    for (Variant v :
+         {Variant::avx512, Variant::avx2, Variant::neon, Variant::generic}) {
+      if (variant_supported(v)) return impl_for(v);
+    }
+    return detail::generic_impl();
+  }
+  const Variant forced = choice == VariantChoice::generic  ? Variant::generic
+                         : choice == VariantChoice::avx2   ? Variant::avx2
+                         : choice == VariantChoice::avx512 ? Variant::avx512
+                                                           : Variant::neon;
+  ensure(variant_supported(forced), "CACQR_KERNEL=", variant_name(forced),
+         " is not executable on this host (supported: ", supported_list(),
+         ")");
+  return impl_for(forced);
+}
+
+std::atomic<const MicroKernelImpl*> g_active{nullptr};
+std::once_flag g_active_once;
+
+const MicroKernelImpl* active_impl() {
+  const MicroKernelImpl* impl = g_active.load(std::memory_order_acquire);
+  if (impl != nullptr) return impl;
+  std::call_once(g_active_once, [] {
+    g_active.store(resolve_from_env(), std::memory_order_release);
+  });
+  return g_active.load(std::memory_order_acquire);
+}
 
 // ------------------------------------------------------- packing arenas
 
@@ -87,36 +208,37 @@ inline double op_at(ConstMatrixView a, Trans t, i64 i, i64 k) noexcept {
   return t == Trans::N ? a(i, k) : a(k, i);
 }
 
-/// Packs MR-row panels [p_begin, p_end) of the mc x kc block of op(A)
-/// starting at (i0, k0): panel p holds rows [p*MR, p*MR + MR) stored
-/// k-major, so the micro-kernel reads MR contiguous doubles per k step.
+/// Packs tmr-row panels [p_begin, p_end) of the mc x kc block of op(A)
+/// starting at (i0, k0): panel p holds rows [p*tmr, p*tmr + tmr) stored
+/// k-major, so the micro-kernel reads tmr contiguous doubles per k step.
 /// Rows beyond mc are zero-padded, which lets the micro-kernel always run
-/// full MR x NR tiles.  The panel range lets a team pack one block
-/// cooperatively (each panel has exactly one packer).
+/// full tmr x tnr tiles.  The panel range lets a team pack one block
+/// cooperatively (each panel has exactly one packer).  tmr is the active
+/// variant's register-tile height.
 void pack_a(Trans ta, ConstMatrixView a, i64 i0, i64 k0, i64 mc, i64 kc,
-            double* __restrict buf, i64 p_begin, i64 p_end) {
+            i64 tmr, double* __restrict buf, i64 p_begin, i64 p_end) {
   for (i64 pi = p_begin; pi < p_end; ++pi) {
-    const i64 p = pi * MR;
-    const i64 mr = std::min(MR, mc - p);
+    const i64 p = pi * tmr;
+    const i64 mr = std::min(tmr, mc - p);
     double* panel = buf + p * kc;
-    if (ta == Trans::N && mr == MR) {
-      // Columns of A are contiguous: gather 8 strided rows per k.
+    if (ta == Trans::N && mr == tmr) {
+      // Columns of A are contiguous: gather tmr strided rows per k.
       const double* base = a.data + (i0 + p) + k0 * a.ld;
       for (i64 k = 0; k < kc; ++k) {
         const double* col = base + k * a.ld;
-        for (i64 i = 0; i < MR; ++i) panel[k * MR + i] = col[i];
+        for (i64 i = 0; i < tmr; ++i) panel[k * tmr + i] = col[i];
       }
-    } else if (ta == Trans::T && mr == MR) {
+    } else if (ta == Trans::T && mr == tmr) {
       // op(A)(i, k) = A(k, i): each packed panel row i is a contiguous
       // column i0+p+i of A.
-      for (i64 i = 0; i < MR; ++i) {
+      for (i64 i = 0; i < tmr; ++i) {
         const double* col = a.data + k0 + (i0 + p + i) * a.ld;
-        for (i64 k = 0; k < kc; ++k) panel[k * MR + i] = col[k];
+        for (i64 k = 0; k < kc; ++k) panel[k * tmr + i] = col[k];
       }
     } else {
       for (i64 k = 0; k < kc; ++k) {
-        for (i64 i = 0; i < MR; ++i) {
-          panel[k * MR + i] =
+        for (i64 i = 0; i < tmr; ++i) {
+          panel[k * tmr + i] =
               i < mr ? op_at(a, ta, i0 + p + i, k0 + k) : 0.0;
         }
       }
@@ -124,34 +246,35 @@ void pack_a(Trans ta, ConstMatrixView a, i64 i0, i64 k0, i64 mc, i64 kc,
   }
 }
 
-/// Packs NR-column panels [q_begin, q_end) of the kc x nc block of op(B)
-/// starting at (k0, j0): panel q holds columns [q*NR, q*NR + NR) stored
-/// k-major, so the micro-kernel reads NR contiguous doubles (one per
+/// Packs tnr-column panels [q_begin, q_end) of the kc x nc block of op(B)
+/// starting at (k0, j0): panel q holds columns [q*tnr, q*tnr + tnr) stored
+/// k-major, so the micro-kernel reads tnr contiguous doubles (one per
 /// register broadcast) per k step.  Columns beyond nc are zero-padded.
+/// tnr is the active variant's register-tile width.
 void pack_b(Trans tb, ConstMatrixView b, i64 k0, i64 j0, i64 kc, i64 nc,
-            double* __restrict buf, i64 q_begin, i64 q_end) {
+            i64 tnr, double* __restrict buf, i64 q_begin, i64 q_end) {
   for (i64 qi = q_begin; qi < q_end; ++qi) {
-    const i64 q = qi * NR;
-    const i64 nr = std::min(NR, nc - q);
+    const i64 q = qi * tnr;
+    const i64 nr = std::min(tnr, nc - q);
     double* panel = buf + q * kc;
-    if (tb == Trans::N && nr == NR) {
+    if (tb == Trans::N && nr == tnr) {
       // op(B)(k, j) = B(k, j): packed panel column j is a contiguous
       // column j0+q+j of B.
-      for (i64 j = 0; j < NR; ++j) {
+      for (i64 j = 0; j < tnr; ++j) {
         const double* col = b.data + k0 + (j0 + q + j) * b.ld;
-        for (i64 k = 0; k < kc; ++k) panel[k * NR + j] = col[k];
+        for (i64 k = 0; k < kc; ++k) panel[k * tnr + j] = col[k];
       }
-    } else if (tb == Trans::T && nr == NR) {
+    } else if (tb == Trans::T && nr == tnr) {
       const double* base = b.data + (j0 + q) + k0 * b.ld;
       for (i64 k = 0; k < kc; ++k) {
         const double* col = base + k * b.ld;
-        for (i64 j = 0; j < NR; ++j) panel[k * NR + j] = col[j];
+        for (i64 j = 0; j < tnr; ++j) panel[k * tnr + j] = col[j];
       }
     } else {
       // op(B)(k, j) = B(k, j) or B(j, k); columns beyond nc zero-pad.
       for (i64 k = 0; k < kc; ++k) {
-        for (i64 j = 0; j < NR; ++j) {
-          panel[k * NR + j] =
+        for (i64 j = 0; j < tnr; ++j) {
+          panel[k * tnr + j] =
               j < nr ? (tb == Trans::N ? b(k0 + k, j0 + q + j)
                                        : b(j0 + q + j, k0 + k))
                      : 0.0;
@@ -160,80 +283,6 @@ void pack_b(Trans tb, ConstMatrixView b, i64 k0, i64 j0, i64 kc, i64 nc,
     }
   }
 }
-
-#if defined(__GNUC__) || defined(__clang__)
-
-/// Four doubles in a SIMD lane (256-bit); aligned(8) keeps loads from the
-/// packed panels unaligned-safe.
-typedef double v4df __attribute__((vector_size(32), aligned(8)));
-
-inline v4df load4(const double* p) {
-  return *reinterpret_cast<const v4df*>(p);
-}
-inline void store4(double* p, v4df v) { *reinterpret_cast<v4df*>(p) = v; }
-
-/// The register micro-kernel: acc(MR x NR) = Ap(MR x kc) * Bp(kc x NR)
-/// over zero-padded packed panels.  The 8 x 6 block is held in 12 named
-/// 256-bit accumulators so the compiler has no freedom to spill or
-/// re-vectorize across the wrong axis; each k step is one two-vector
-/// column load of A and six scalar broadcasts of B feeding 12 FMAs.
-inline void micro_kernel(i64 kc, const double* __restrict ap,
-                         const double* __restrict bp,
-                         double* __restrict acc) {
-  static_assert(MR == 8 && NR == 6, "micro_kernel is specialized for 8x6");
-  v4df c0a{}, c0b{}, c1a{}, c1b{}, c2a{}, c2b{};
-  v4df c3a{}, c3b{}, c4a{}, c4b{}, c5a{}, c5b{};
-  for (i64 k = 0; k < kc; ++k) {
-    const v4df a0 = load4(ap);
-    const v4df a1 = load4(ap + 4);
-    c0a += a0 * bp[0];
-    c0b += a1 * bp[0];
-    c1a += a0 * bp[1];
-    c1b += a1 * bp[1];
-    c2a += a0 * bp[2];
-    c2b += a1 * bp[2];
-    c3a += a0 * bp[3];
-    c3b += a1 * bp[3];
-    c4a += a0 * bp[4];
-    c4b += a1 * bp[4];
-    c5a += a0 * bp[5];
-    c5b += a1 * bp[5];
-    ap += MR;
-    bp += NR;
-  }
-  store4(acc + 0 * MR, c0a);
-  store4(acc + 0 * MR + 4, c0b);
-  store4(acc + 1 * MR, c1a);
-  store4(acc + 1 * MR + 4, c1b);
-  store4(acc + 2 * MR, c2a);
-  store4(acc + 2 * MR + 4, c2b);
-  store4(acc + 3 * MR, c3a);
-  store4(acc + 3 * MR + 4, c3b);
-  store4(acc + 4 * MR, c4a);
-  store4(acc + 4 * MR + 4, c4b);
-  store4(acc + 5 * MR, c5a);
-  store4(acc + 5 * MR + 4, c5b);
-}
-
-#else
-
-/// Portable fallback: fixed trip counts over a local accumulator array.
-inline void micro_kernel(i64 kc, const double* __restrict ap,
-                         const double* __restrict bp,
-                         double* __restrict acc) {
-  for (i64 i = 0; i < MR * NR; ++i) acc[i] = 0.0;
-  for (i64 k = 0; k < kc; ++k) {
-    const double* __restrict av = ap + k * MR;
-    const double* __restrict bv = bp + k * NR;
-    for (i64 j = 0; j < NR; ++j) {
-      const double bj = bv[j];
-      double* __restrict accj = acc + j * MR;
-      for (i64 i = 0; i < MR; ++i) accj[i] += av[i] * bj;
-    }
-  }
-}
-
-#endif
 
 /// Whether the micro-tile with C-global origin (i, j) and extent mr x nr
 /// participates under the filter.
@@ -251,27 +300,30 @@ inline bool tile_selected(TileFilter f, i64 i, i64 j, i64 mr, i64 nr) {
 }
 
 /// The jr/ir micro-tile sweep over one packed (A block, B panel) pair,
-/// restricted to NR-panels [q_begin, q_end) of the jc step.  Each selected
-/// micro-tile runs the micro-kernel and clip-writes `alpha * acc` into its
-/// mr x nr rectangle of C.  Every tile is written by exactly one caller, so
-/// parallel sweeps over disjoint panel (or ic block) ranges stay race-free
-/// and bitwise deterministic.
-void sweep_tiles(double alpha, const double* __restrict abuf,
-                 const double* __restrict bbuf, MatrixView c,
-                 TileFilter filter, i64 ic, i64 mc, i64 jc, i64 nc, i64 kc,
-                 i64 q_begin, i64 q_end, double* __restrict acc) {
+/// restricted to tnr-panels [q_begin, q_end) of the jc step.  Each selected
+/// micro-tile runs the variant's tile function and clip-writes `alpha *
+/// acc` into its mr x nr rectangle of C.  Every tile is written by exactly
+/// one caller, so parallel sweeps over disjoint panel (or ic block) ranges
+/// stay race-free and bitwise deterministic.
+void sweep_tiles(const MicroKernelImpl& ki, double alpha,
+                 const double* __restrict abuf, const double* __restrict bbuf,
+                 MatrixView c, TileFilter filter, i64 ic, i64 mc, i64 jc,
+                 i64 nc, i64 kc, i64 q_begin, i64 q_end,
+                 double* __restrict acc) {
+  const i64 tmr = ki.mr;
+  const i64 tnr = ki.nr;
   for (i64 qi = q_begin; qi < q_end; ++qi) {
-    const i64 jr = qi * NR;
-    const i64 nr = std::min(NR, nc - jr);
+    const i64 jr = qi * tnr;
+    const i64 nr = std::min(tnr, nc - jr);
     const double* bp = bbuf + jr * kc;
-    for (i64 ir = 0; ir < mc; ir += MR) {
-      const i64 mr = std::min(MR, mc - ir);
+    for (i64 ir = 0; ir < mc; ir += tmr) {
+      const i64 mr = std::min(tmr, mc - ir);
       if (!tile_selected(filter, ic + ir, jc + jr, mr, nr)) continue;
-      micro_kernel(kc, abuf + ir * kc, bp, acc);
+      ki.tile(kc, abuf + ir * kc, bp, acc);
       double* ct = c.data + (ic + ir) + (jc + jr) * c.ld;
       for (i64 j = 0; j < nr; ++j) {
         double* __restrict cc = ct + j * c.ld;
-        const double* __restrict accj = acc + j * MR;
+        const double* __restrict accj = acc + j * tmr;
         for (i64 i = 0; i < mr; ++i) cc[i] += alpha * accj[i];
       }
     }
@@ -284,12 +336,67 @@ constexpr double kParallelMaddThreshold = 1 << 20;
 
 }  // namespace
 
+VariantChoice parse_kernel_variant(const char* spec) noexcept {
+  if (spec == nullptr) return VariantChoice::automatic;
+  const std::string_view s(spec);
+  if (s.empty() || s == "auto") return VariantChoice::automatic;
+  if (s == "generic") return VariantChoice::generic;
+  if (s == "avx2") return VariantChoice::avx2;
+  if (s == "avx512") return VariantChoice::avx512;
+  if (s == "neon") return VariantChoice::neon;
+  return VariantChoice::invalid;
+}
+
+const char* variant_name(Variant v) noexcept {
+  switch (v) {
+    case Variant::generic:
+      return "generic";
+    case Variant::avx2:
+      return "avx2";
+    case Variant::avx512:
+      return "avx512";
+    case Variant::neon:
+      return "neon";
+  }
+  return "generic";
+}
+
+bool variant_supported(Variant v) noexcept {
+  return impl_for(v) != nullptr && cpu_can_run(v);
+}
+
+std::vector<Variant> supported_variants() {
+  std::vector<Variant> out;
+  for (Variant v :
+       {Variant::generic, Variant::avx2, Variant::avx512, Variant::neon}) {
+    if (variant_supported(v)) out.push_back(v);
+  }
+  return out;
+}
+
+Variant active_variant() { return active_impl()->variant; }
+
+Variant set_kernel_variant(Variant v) {
+  ensure(variant_supported(v), "set_kernel_variant: ", variant_name(v),
+         " is not executable on this host (supported: ", supported_list(),
+         ")");
+  active_impl();  // resolve the env default first so `prev` is meaningful
+  const MicroKernelImpl* prev =
+      g_active.exchange(impl_for(v), std::memory_order_acq_rel);
+  return prev->variant;
+}
+
 void gemm_accumulate(Trans ta, Trans tb, double alpha, ConstMatrixView a,
                      ConstMatrixView b, MatrixView c, TileFilter filter) {
   const i64 m = c.rows;
   const i64 n = c.cols;
   const i64 k = ta == Trans::N ? a.cols : a.rows;
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+
+  // One descriptor read per product: geometry and tile function stay
+  // coherent even if set_kernel_variant races with this call.
+  const MicroKernelImpl ki = *active_impl();
+  const i64 TMR = ki.mr, TNR = ki.nr, TMC = ki.mc, TKC = ki.kc, TNC = ki.nc;
 
   const int budget = parallel::thread_budget();
   const bool threaded =
@@ -298,23 +405,23 @@ void gemm_accumulate(Trans ta, Trans tb, double alpha, ConstMatrixView a,
                         kParallelMaddThreshold;
 
   if (!threaded) {
-    alignas(64) double acc[MR * NR];
-    for (i64 jc = 0; jc < n; jc += NC) {
-      const i64 nc = std::min(NC, n - jc);
-      const i64 nc_pad = round_up(nc, NR);
-      for (i64 pc = 0; pc < k; pc += KC) {
-        const i64 kc = std::min(KC, k - pc);
+    alignas(64) double acc[kMaxMr * kMaxNr];
+    for (i64 jc = 0; jc < n; jc += TNC) {
+      const i64 nc = std::min(TNC, n - jc);
+      const i64 nc_pad = round_up(nc, TNR);
+      for (i64 pc = 0; pc < k; pc += TKC) {
+        const i64 kc = std::min(TKC, k - pc);
         double* bbuf =
             arena_b().get(static_cast<std::size_t>(nc_pad * kc));
-        pack_b(tb, b, pc, jc, kc, nc, bbuf, 0, ceil_div(nc, NR));
-        for (i64 ic = 0; ic < m; ic += MC) {
-          const i64 mc = std::min(MC, m - ic);
-          const i64 mc_pad = round_up(mc, MR);
+        pack_b(tb, b, pc, jc, kc, nc, TNR, bbuf, 0, ceil_div(nc, TNR));
+        for (i64 ic = 0; ic < m; ic += TMC) {
+          const i64 mc = std::min(TMC, m - ic);
+          const i64 mc_pad = round_up(mc, TMR);
           double* abuf =
               arena_a().get(static_cast<std::size_t>(mc_pad * kc));
-          pack_a(ta, a, ic, pc, mc, kc, abuf, 0, ceil_div(mc, MR));
-          sweep_tiles(alpha, abuf, bbuf, c, filter, ic, mc, jc, nc, kc, 0,
-                      ceil_div(nc, NR), acc);
+          pack_a(ta, a, ic, pc, mc, kc, TMR, abuf, 0, ceil_div(mc, TMR));
+          sweep_tiles(ki, alpha, abuf, bbuf, c, filter, ic, mc, jc, nc, kc,
+                      0, ceil_div(nc, TNR), acc);
         }
       }
     }
@@ -334,50 +441,51 @@ void gemm_accumulate(Trans ta, Trans tb, double alpha, ConstMatrixView a,
   //        buffer from the next block's repack.
   // Ownership of every C micro-tile is unique and the pc reduction is
   // never split, so the result is bitwise identical to the sequential
-  // driver for every thread count.
-  for (i64 jc = 0; jc < n; jc += NC) {
-    const i64 nc = std::min(NC, n - jc);
-    const i64 nc_pad = round_up(nc, NR);
-    const i64 q_total = ceil_div(nc, NR);
-    for (i64 pc = 0; pc < k; pc += KC) {
-      const i64 kc = std::min(KC, k - pc);
+  // driver for every thread count -- per variant.
+  for (i64 jc = 0; jc < n; jc += TNC) {
+    const i64 nc = std::min(TNC, n - jc);
+    const i64 nc_pad = round_up(nc, TNR);
+    const i64 q_total = ceil_div(nc, TNR);
+    for (i64 pc = 0; pc < k; pc += TKC) {
+      const i64 kc = std::min(TKC, k - pc);
       double* bbuf = arena_b().get(static_cast<std::size_t>(nc_pad * kc));
-      const i64 ic_total = ceil_div(m, MC);
+      const i64 ic_total = ceil_div(m, TMC);
       const int nt = static_cast<int>(
           std::min<i64>(budget, std::max(ic_total, q_total)));
       const bool split_ic = ic_total >= nt;
       double* shared_abuf = nullptr;
       if (!split_ic) {
-        const i64 mc_max = std::min(MC, m);
+        const i64 mc_max = std::min(TMC, m);
         shared_abuf = arena_a().get(
-            static_cast<std::size_t>(round_up(mc_max, MR) * kc));
+            static_cast<std::size_t>(round_up(mc_max, TMR) * kc));
       }
       parallel::run(nt, [&](parallel::Team& team) {
         const parallel::Range bq = team.chunk(q_total, 1);
-        pack_b(tb, b, pc, jc, kc, nc, bbuf, bq.begin, bq.end);
+        pack_b(tb, b, pc, jc, kc, nc, TNR, bbuf, bq.begin, bq.end);
         team.barrier();
-        alignas(64) double acc[MR * NR];
+        alignas(64) double acc[kMaxMr * kMaxNr];
         if (split_ic) {
           for (i64 blk = team.tid(); blk < ic_total; blk += team.size()) {
-            const i64 ic = blk * MC;
-            const i64 mc = std::min(MC, m - ic);
-            const i64 mc_pad = round_up(mc, MR);
+            const i64 ic = blk * TMC;
+            const i64 mc = std::min(TMC, m - ic);
+            const i64 mc_pad = round_up(mc, TMR);
             double* abuf =
                 arena_a().get(static_cast<std::size_t>(mc_pad * kc));
-            pack_a(ta, a, ic, pc, mc, kc, abuf, 0, ceil_div(mc, MR));
-            sweep_tiles(alpha, abuf, bbuf, c, filter, ic, mc, jc, nc, kc,
-                        0, q_total, acc);
+            pack_a(ta, a, ic, pc, mc, kc, TMR, abuf, 0, ceil_div(mc, TMR));
+            sweep_tiles(ki, alpha, abuf, bbuf, c, filter, ic, mc, jc, nc,
+                        kc, 0, q_total, acc);
           }
         } else {
           for (i64 blk = 0; blk < ic_total; ++blk) {
-            const i64 ic = blk * MC;
-            const i64 mc = std::min(MC, m - ic);
-            const parallel::Range ap = team.chunk(ceil_div(mc, MR), 1);
-            pack_a(ta, a, ic, pc, mc, kc, shared_abuf, ap.begin, ap.end);
+            const i64 ic = blk * TMC;
+            const i64 mc = std::min(TMC, m - ic);
+            const parallel::Range ap = team.chunk(ceil_div(mc, TMR), 1);
+            pack_a(ta, a, ic, pc, mc, kc, TMR, shared_abuf, ap.begin,
+                   ap.end);
             team.barrier();
             const parallel::Range qs = team.chunk(q_total, 1);
-            sweep_tiles(alpha, shared_abuf, bbuf, c, filter, ic, mc, jc,
-                        nc, kc, qs.begin, qs.end, acc);
+            sweep_tiles(ki, alpha, shared_abuf, bbuf, c, filter, ic, mc,
+                        jc, nc, kc, qs.begin, qs.end, acc);
             team.barrier();
           }
         }

@@ -1,0 +1,98 @@
+/// \file kernel_generic.cpp
+/// \brief The always-available generic micro-kernel: GCC/Clang vector
+///        extensions (8 x 6 in 12 named 256-bit accumulators) with a
+///        portable scalar fallback.  This is the PR 1 kernel body,
+///        unchanged -- CACQR_KERNEL=generic must stay bit-identical to
+///        the pre-dispatch library -- now owned by its own translation
+///        unit so it is compiled with the base flags only (no per-file
+///        ISA additions).
+
+#include "kernel_impl.hpp"
+
+namespace cacqr::lin::kernel::detail {
+
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+
+/// Four doubles in a SIMD lane (256-bit); aligned(8) keeps loads from the
+/// packed panels unaligned-safe.
+typedef double v4df __attribute__((vector_size(32), aligned(8)));
+
+inline v4df load4(const double* p) {
+  return *reinterpret_cast<const v4df*>(p);
+}
+inline void store4(double* p, v4df v) { *reinterpret_cast<v4df*>(p) = v; }
+
+/// The register micro-kernel: acc(MR x NR) = Ap(MR x kc) * Bp(kc x NR)
+/// over zero-padded packed panels.  The 8 x 6 block is held in 12 named
+/// 256-bit accumulators so the compiler has no freedom to spill or
+/// re-vectorize across the wrong axis; each k step is one two-vector
+/// column load of A and six scalar broadcasts of B feeding 12 FMAs.
+void micro_kernel(i64 kc, const double* __restrict ap,
+                  const double* __restrict bp, double* __restrict acc) {
+  static_assert(MR == 8 && NR == 6, "micro_kernel is specialized for 8x6");
+  v4df c0a{}, c0b{}, c1a{}, c1b{}, c2a{}, c2b{};
+  v4df c3a{}, c3b{}, c4a{}, c4b{}, c5a{}, c5b{};
+  for (i64 k = 0; k < kc; ++k) {
+    const v4df a0 = load4(ap);
+    const v4df a1 = load4(ap + 4);
+    c0a += a0 * bp[0];
+    c0b += a1 * bp[0];
+    c1a += a0 * bp[1];
+    c1b += a1 * bp[1];
+    c2a += a0 * bp[2];
+    c2b += a1 * bp[2];
+    c3a += a0 * bp[3];
+    c3b += a1 * bp[3];
+    c4a += a0 * bp[4];
+    c4b += a1 * bp[4];
+    c5a += a0 * bp[5];
+    c5b += a1 * bp[5];
+    ap += MR;
+    bp += NR;
+  }
+  store4(acc + 0 * MR, c0a);
+  store4(acc + 0 * MR + 4, c0b);
+  store4(acc + 1 * MR, c1a);
+  store4(acc + 1 * MR + 4, c1b);
+  store4(acc + 2 * MR, c2a);
+  store4(acc + 2 * MR + 4, c2b);
+  store4(acc + 3 * MR, c3a);
+  store4(acc + 3 * MR + 4, c3b);
+  store4(acc + 4 * MR, c4a);
+  store4(acc + 4 * MR + 4, c4b);
+  store4(acc + 5 * MR, c5a);
+  store4(acc + 5 * MR + 4, c5b);
+}
+
+#else
+
+/// Portable fallback: fixed trip counts over a local accumulator array.
+void micro_kernel(i64 kc, const double* __restrict ap,
+                  const double* __restrict bp, double* __restrict acc) {
+  for (i64 i = 0; i < MR * NR; ++i) acc[i] = 0.0;
+  for (i64 k = 0; k < kc; ++k) {
+    const double* __restrict av = ap + k * MR;
+    const double* __restrict bv = bp + k * NR;
+    for (i64 j = 0; j < NR; ++j) {
+      const double bj = bv[j];
+      double* __restrict accj = acc + j * MR;
+      for (i64 i = 0; i < MR; ++i) accj[i] += av[i] * bj;
+    }
+  }
+}
+
+#endif
+
+static_assert(MR <= kMaxMr && NR <= kMaxNr,
+              "generic geometry exceeds the driver's accumulator scratch");
+
+constexpr MicroKernelImpl kImpl{Variant::generic, MR, NR, MC, KC, NC,
+                                &micro_kernel};
+
+}  // namespace
+
+const MicroKernelImpl* generic_impl() noexcept { return &kImpl; }
+
+}  // namespace cacqr::lin::kernel::detail

@@ -1,0 +1,53 @@
+#pragma once
+/// \file kernel_impl.hpp
+/// \brief Internal contract between the packed driver (kernel.cpp) and the
+///        micro-kernel variant translation units.
+///
+/// Each variant TU (kernel_generic.cpp, kernel_avx2.cpp, kernel_avx512.cpp,
+/// kernel_neon.cpp) is compiled with per-file ISA flags and exports one
+/// MicroKernelImpl descriptor: its register-tile geometry, the cache block
+/// sizes tuned for it, and the tile function itself.  On architectures
+/// where a variant cannot be compiled, its accessor returns nullptr and the
+/// dispatcher treats the variant as absent.  Only the tile call is an
+/// indirect jump; everything above the MR x NR tile (packing, blocking,
+/// threading, arenas) lives once in kernel.cpp and is parameterized by this
+/// descriptor.
+
+#include "cacqr/lin/kernel.hpp"
+
+namespace cacqr::lin::kernel::detail {
+
+/// acc(mr x nr, column-major with leading dimension mr) = Ap(mr x kc) *
+/// Bp(kc x nr) over zero-padded packed panels.  The function OVERWRITES
+/// acc (no accumulation across calls); the driver clip-writes alpha * acc
+/// into C.
+using TileFn = void (*)(i64 kc, const double* __restrict ap,
+                        const double* __restrict bp, double* __restrict acc);
+
+/// Ceilings for the per-call accumulator scratch in the driver; every
+/// variant's geometry must fit (checked by static_asserts in the variant
+/// TUs).
+inline constexpr i64 kMaxMr = 16;
+inline constexpr i64 kMaxNr = 14;
+
+struct MicroKernelImpl {
+  Variant variant = Variant::generic;
+  i64 mr = 0;  ///< register-tile rows (packing panel height)
+  i64 nr = 0;  ///< register-tile columns (packing panel width)
+  i64 mc = 0;  ///< L2 block rows, multiple of mr
+  i64 kc = 0;  ///< L1/L2 contraction block
+  i64 nc = 0;  ///< L3 panel columns, multiple of nr
+  TileFn tile = nullptr;
+};
+
+/// Variant descriptors; nullptr when the TU was compiled for an
+/// architecture that cannot carry the variant.  generic_impl() is never
+/// nullptr.  CPU *capability* is the dispatcher's problem, not these
+/// accessors': a non-null descriptor only means the code exists in the
+/// binary.
+[[nodiscard]] const MicroKernelImpl* generic_impl() noexcept;
+[[nodiscard]] const MicroKernelImpl* avx2_impl() noexcept;
+[[nodiscard]] const MicroKernelImpl* avx512_impl() noexcept;
+[[nodiscard]] const MicroKernelImpl* neon_impl() noexcept;
+
+}  // namespace cacqr::lin::kernel::detail

@@ -5,6 +5,7 @@
 
 #include "cacqr/lin/blas.hpp"
 #include "cacqr/lin/generate.hpp"
+#include "cacqr/lin/kernel.hpp"
 #include "cacqr/lin/parallel.hpp"
 #include "cacqr/model/costs.hpp"
 #include "cacqr/rt/comm.hpp"
@@ -37,6 +38,17 @@ struct BudgetGuard {
   }
   ~BudgetGuard() { parallel::set_thread_budget(prev); }
   int prev;
+};
+
+/// RAII micro-kernel variant override so each sweep measures one specific
+/// variant regardless of CACQR_KERNEL; restores the prior dispatch on
+/// exit.  Only supported variants are ever swept, so this cannot throw in
+/// the loop below.
+struct VariantGuard {
+  explicit VariantGuard(lin::kernel::Variant v)
+      : prev(lin::kernel::set_kernel_variant(v)) {}
+  ~VariantGuard() { lin::kernel::set_kernel_variant(prev); }
+  lin::kernel::Variant prev;
 };
 
 /// One timed gemm C = A * B at worker budget `threads`; returns GFLOP/s.
@@ -119,45 +131,68 @@ MachineProfile calibrate(const CalibrateOptions& opts) {
   p.kernels.clear();
   const int reps = std::max(1, opts.quick ? opts.reps - 1 : opts.reps);
 
-  // ---- gamma: per-thread kernel rates.  Square gemm bounds the peak;
-  // the tall-skinny gemm and gram match CA-CQR2's local shapes.
+  // ---- gamma: per-thread kernel rates, swept once per host-executable
+  // micro-kernel variant (VariantGuard forces each in turn).  Square
+  // gemm bounds the peak; the tall-skinny gemm and gram match CA-CQR2's
+  // local shapes.  Each variant gets its own fitted gamma and thread
+  // scaling; the fastest variant backs the profile's top-level machine.
   const i64 sq = opts.quick ? 192 : 384;
   const i64 tall_m = opts.quick ? 2048 : 8192;
   const i64 tall_n = opts.quick ? 48 : 96;
-  double best_rate = 0.0;
-  {
-    const double gf = time_gemm(sq, sq, sq, 1, reps);
-    p.kernels.push_back({"gemm_nn", sq, sq, sq, gf});
-    best_rate = std::max(best_rate, gf);
-  }
-  {
-    const double gf = time_gemm(tall_m, tall_n, tall_n, 1, reps);
-    p.kernels.push_back({"gemm_nn", tall_m, tall_n, tall_n, gf});
-    best_rate = std::max(best_rate, gf);
-  }
-  {
-    const double gf = time_gram(tall_m, tall_n, reps);
-    p.kernels.push_back({"gram", tall_m, tall_n, 0, gf});
-    best_rate = std::max(best_rate, gf);
-  }
-  // The model charges flops at the sustained rate of the level-3 core;
-  // floor at 0.1 GF/s so a pathological measurement can't explode the
-  // fitted gamma.
-  p.machine.gamma_s = 1.0 / (std::max(best_rate, 0.1) * 1e9);
-  p.machine.peak_gflops_node = best_rate;
-
-  // ---- thread scaling: the square gemm at growing budgets.
-  p.scaling = {{1, 1.0}};
   const int hw = parallel::hardware_threads();
   const int max_t =
       std::min(opts.max_threads > 0 ? opts.max_threads : hw, hw);
-  const double base_gf = p.kernels.front().gflops;
-  for (int t = 2; t <= max_t; t *= 2) {
-    const double gf = time_gemm(sq, sq, sq, t, reps);
-    // Clamp to >= 1: a budget can't be modeled slower than sequential
-    // (the planner would otherwise prefer lying about thread counts).
-    p.scaling.push_back({t, std::max(1.0, gf / base_gf)});
+  p.variants.clear();
+  for (const lin::kernel::Variant v : lin::kernel::supported_variants()) {
+    const VariantGuard vguard(v);
+    const std::string vname = lin::kernel::variant_name(v);
+    VariantCalibration cal;
+    cal.variant = vname;
+    double best_rate = 0.0;
+    double base_gf = 0.0;
+    {
+      const double gf = time_gemm(sq, sq, sq, 1, reps);
+      p.kernels.push_back({"gemm_nn", sq, sq, sq, gf, vname});
+      best_rate = std::max(best_rate, gf);
+      base_gf = gf;
+    }
+    {
+      const double gf = time_gemm(tall_m, tall_n, tall_n, 1, reps);
+      p.kernels.push_back({"gemm_nn", tall_m, tall_n, tall_n, gf, vname});
+      best_rate = std::max(best_rate, gf);
+    }
+    {
+      const double gf = time_gram(tall_m, tall_n, reps);
+      p.kernels.push_back({"gram", tall_m, tall_n, 0, gf, vname});
+      best_rate = std::max(best_rate, gf);
+    }
+    // The model charges flops at the sustained rate of the level-3 core;
+    // floor at 0.1 GF/s so a pathological measurement can't explode the
+    // fitted gamma.
+    cal.gamma_s = 1.0 / (std::max(best_rate, 0.1) * 1e9);
+    cal.peak_gflops = best_rate;
+
+    // Per-variant thread scaling: the square gemm at growing budgets.
+    cal.scaling = {{1, 1.0}};
+    for (int t = 2; t <= max_t; t *= 2) {
+      const double gf = time_gemm(sq, sq, sq, t, reps);
+      // Clamp to >= 1: a budget can't be modeled slower than sequential
+      // (the planner would otherwise prefer lying about thread counts).
+      cal.scaling.push_back({t, std::max(1.0, gf / base_gf)});
+    }
+    p.variants.push_back(std::move(cal));
   }
+
+  // The profile's top-level machine is backed by the fastest variant --
+  // the one auto dispatch would want and the planner's default score.
+  const VariantCalibration* best = &p.variants.front();
+  for (const VariantCalibration& cal : p.variants) {
+    if (cal.peak_gflops > best->peak_gflops) best = &cal;
+  }
+  p.kernel_variant = best->variant;
+  p.machine.gamma_s = best->gamma_s;
+  p.machine.peak_gflops_node = best->peak_gflops;
+  p.scaling = best->scaling;
 
   // ---- alpha/beta: Allreduce timings vs payload size, affine fit.
   const std::vector<i64> sizes =

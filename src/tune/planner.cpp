@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cacqr/lin/kernel.hpp"
 #include "cacqr/model/sweep.hpp"
 #include "cacqr/support/error.hpp"
 
@@ -34,6 +35,7 @@ support::Json Plan::to_json() const {
   j.set("predicted_seconds", predicted_seconds);
   j.set("measured_seconds", measured_seconds);
   j.set("source", source);
+  j.set("kernel_variant", kernel_variant);
   return j;
 }
 
@@ -51,6 +53,7 @@ std::optional<Plan> Plan::from_json(const support::Json& j) {
   p.predicted_seconds = j["predicted_seconds"].as_number();
   p.measured_seconds = j["measured_seconds"].as_number();
   p.source = j["source"].as_string();
+  p.kernel_variant = j["kernel_variant"].as_string();
   // A cached plan must name a variant and a sane configuration; anything
   // else is treated as corruption (ignored by the loader).
   if (p.algo == "cqr_1d") {
@@ -74,7 +77,12 @@ std::vector<Plan> Planner::candidates(const ProblemKey& key) const {
   ensure(key.m >= key.n && key.n >= 1, "Planner: requires m >= n >= 1");
   ensure(key.p >= 1 && key.threads >= 1,
          "Planner: ranks and threads must be positive");
-  const model::Machine mach = profile_.machine_at(key.threads);
+  // Score with the gamma of the micro-kernel the driver will actually
+  // dispatch to: the planner's flop rate must describe the engine that
+  // runs the plan, not whichever variant calibrated fastest.
+  const std::string kv =
+      lin::kernel::variant_name(lin::kernel::active_variant());
+  const model::Machine mach = profile_.machine_for(kv, key.threads);
   const double m = static_cast<double>(key.m);
   const double n = static_cast<double>(key.n);
   // The model costs are for the 2-pass (CQR2) forms; a 1-pass or
@@ -136,6 +144,8 @@ std::vector<Plan> Planner::candidates(const ProblemKey& key) const {
       out.push_back(std::move(p));
     }
   }
+
+  for (Plan& p : out) p.kernel_variant = kv;
 
   // Deterministic order: predicted time ascending; ties broken by the
   // enumeration order above (stable sort), which is itself fixed.

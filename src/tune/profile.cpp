@@ -81,6 +81,24 @@ model::Machine MachineProfile::machine_at(int threads) const {
   return m;
 }
 
+model::Machine MachineProfile::machine_for(std::string_view variant,
+                                           int threads) const {
+  for (const VariantCalibration& v : variants) {
+    if (v.variant != variant || !usable(v.gamma_s)) continue;
+    model::Machine m = machine;
+    m.gamma_s = v.gamma_s;
+    if (usable(v.peak_gflops)) m.peak_gflops_node = v.peak_gflops;
+    double speedup = 1.0;
+    for (const ThreadScaling& s : v.scaling) {
+      if (s.threads <= threads && usable(s.speedup)) speedup = s.speedup;
+      if (s.threads > threads) break;  // sorted by threads
+    }
+    m.gamma_s /= speedup;
+    return m;
+  }
+  return machine_at(threads);
+}
+
 std::string MachineProfile::fingerprint() const {
   // Digest every parameter that influences planning, so two profiles
   // that would ever score a candidate differently get distinct keys.
@@ -93,6 +111,16 @@ std::string MachineProfile::fingerprint() const {
     std::snprintf(buf, sizeof buf, "|t%d=%.17g", s.threads, s.speedup);
     params += buf;
   }
+  for (const VariantCalibration& v : variants) {
+    params += "|kv:" + v.variant;
+    std::snprintf(buf, sizeof buf, "=%.17g", v.gamma_s);
+    params += buf;
+    for (const ThreadScaling& s : v.scaling) {
+      std::snprintf(buf, sizeof buf, ",t%d=%.17g", s.threads, s.speedup);
+      params += buf;
+    }
+  }
+  if (!kernel_variant.empty()) params += "|sel:" + kernel_variant;
   return host + "|prof:" + fnv1a_hex(params);
 }
 
@@ -106,10 +134,12 @@ support::Json MachineProfile::to_json() const {
   j.set("alpha_s", machine.alpha_s);
   j.set("beta_s", machine.beta_s);
   j.set("gamma_s", machine.gamma_s);
+  j.set("kernel_variant", kernel_variant);
   support::Json ks = support::Json::array();
   for (const KernelSample& s : kernels) {
     support::Json e = support::Json::object();
     e.set("kernel", s.kernel);
+    e.set("variant", s.variant);
     e.set("m", s.m);
     e.set("n", s.n);
     e.set("k", s.k);
@@ -125,6 +155,23 @@ support::Json MachineProfile::to_json() const {
     sc.push_back(std::move(e));
   }
   j.set("scaling", std::move(sc));
+  support::Json vs = support::Json::array();
+  for (const VariantCalibration& v : variants) {
+    support::Json e = support::Json::object();
+    e.set("variant", v.variant);
+    e.set("gamma_s", v.gamma_s);
+    e.set("peak_gflops", v.peak_gflops);
+    support::Json vsc = support::Json::array();
+    for (const ThreadScaling& s : v.scaling) {
+      support::Json t = support::Json::object();
+      t.set("threads", s.threads);
+      t.set("speedup", s.speedup);
+      vsc.push_back(std::move(t));
+    }
+    e.set("scaling", std::move(vsc));
+    vs.push_back(std::move(e));
+  }
+  j.set("variants", std::move(vs));
   return j;
 }
 
@@ -144,12 +191,14 @@ std::optional<MachineProfile> MachineProfile::from_json(
       !usable(p.machine.gamma_s) || p.host.empty()) {
     return std::nullopt;
   }
+  p.kernel_variant = j["kernel_variant"].as_string();
   const support::Json& ks = j["kernels"];
   for (std::size_t i = 0; i < ks.size(); ++i) {
     const support::Json& e = ks.at(i);
     p.kernels.push_back({e["kernel"].as_string(), e["m"].as_int(),
                          e["n"].as_int(), e["k"].as_int(),
-                         e["gflops"].as_number()});
+                         e["gflops"].as_number(),
+                         e["variant"].as_string()});
   }
   const support::Json& sc = j["scaling"];
   for (std::size_t i = 0; i < sc.size(); ++i) {
@@ -163,6 +212,28 @@ std::optional<MachineProfile> MachineProfile::from_json(
             [](const ThreadScaling& a, const ThreadScaling& b) {
               return a.threads < b.threads;
             });
+  const support::Json& vs = j["variants"];
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    const support::Json& e = vs.at(i);
+    VariantCalibration v;
+    v.variant = e["variant"].as_string();
+    v.gamma_s = e["gamma_s"].as_number();
+    v.peak_gflops = e["peak_gflops"].as_number();
+    if (v.variant.empty() || !usable(v.gamma_s)) return std::nullopt;
+    const support::Json& vsc = e["scaling"];
+    for (std::size_t q = 0; q < vsc.size(); ++q) {
+      const support::Json& t = vsc.at(q);
+      const int th = static_cast<int>(t["threads"].as_int());
+      const double sp = t["speedup"].as_number();
+      if (th < 1 || !usable(sp)) return std::nullopt;
+      v.scaling.push_back({th, sp});
+    }
+    std::sort(v.scaling.begin(), v.scaling.end(),
+              [](const ThreadScaling& a, const ThreadScaling& b) {
+                return a.threads < b.threads;
+              });
+    p.variants.push_back(std::move(v));
+  }
   return p;
 }
 
@@ -181,6 +252,12 @@ MachineProfile generic_profile() {
   p.machine.beta_s = 8.0 / 5e9;
   p.machine.alpha_s = 2.0e-6;
   p.scaling = {{1, 1.0}};
+  // Nominal single-variant table: the fallback has measured nothing, so
+  // every variant the planner might ask about resolves to the same
+  // machine via the machine_for fallback; only "generic" is listed.
+  p.kernel_variant = "generic";
+  p.variants = {{"generic", p.machine.gamma_s, p.machine.peak_gflops_node,
+                 {{1, 1.0}}}};
   return p;
 }
 

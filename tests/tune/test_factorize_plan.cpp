@@ -5,6 +5,7 @@
 
 #include "cacqr/core/factorize.hpp"
 #include "cacqr/lin/generate.hpp"
+#include "cacqr/lin/kernel.hpp"
 #include "cacqr/lin/util.hpp"
 #include "cacqr/tune/cache.hpp"
 
@@ -125,6 +126,52 @@ TEST(FactorizePlanTest, AllVariantsDispatchCorrectly) {
       EXPECT_TRUE(lin::is_upper_triangular(res.r));
     });
   }
+
+  if (orig != nullptr) {
+    ::setenv("CACQR_TUNE_DIR", saved.c_str(), 1);
+  } else {
+    ::unsetenv("CACQR_TUNE_DIR");
+  }
+  fs::remove_all(dir);
+}
+
+TEST(FactorizePlanTest, CachedPlanForOtherKernelVariantIsAMiss) {
+  // A cached plan was scored (and possibly trial-timed) under one
+  // micro-kernel variant; if the dispatcher now runs a different one the
+  // plan describes a different compute engine and must be re-planned.
+  const std::string dir =
+      (fs::temp_directory_path() / "cacqr_variant_gate_test").string();
+  fs::remove_all(dir);
+  const char* orig = std::getenv("CACQR_TUNE_DIR");
+  const std::string saved = orig != nullptr ? orig : "";
+  ::setenv("CACQR_TUNE_DIR", dir.c_str(), 1);
+
+  const tune::MachineProfile profile = tune::generic_profile();
+  const tune::PlanCache cache(dir);
+  const std::string active =
+      lin::kernel::variant_name(lin::kernel::active_variant());
+
+  // A valid plan stamped with a variant that is NOT the active one.
+  tune::Plan stale;
+  stale.algo = "cqr_1d";
+  stale.d = 4;
+  stale.source = "measured";
+  stale.measured_seconds = 1.0;
+  stale.kernel_variant = active == "generic" ? "avx2" : "generic";
+  cache.store(profile.fingerprint(), tune::ProblemKey{256, 16, 4, 1}, stale);
+
+  rt::Runtime::run(4, [&](rt::Comm& world) {
+    const lin::Matrix a = lin::hashed_matrix(308, 256, 16);
+    FactorizeOptions opts;
+    opts.plan_mode = PlanMode::model;
+    opts.profile = &profile;
+    const FactorizeResult res = factorize(a, world, opts);
+    // The stale-variant entry must not serve the plan; the planner re-ran
+    // and stamped the active variant on both the plan and the result.
+    EXPECT_EQ(res.plan.source, "model");
+    EXPECT_EQ(res.plan.kernel_variant, active);
+    EXPECT_EQ(res.kernel_variant, active);
+  });
 
   if (orig != nullptr) {
     ::setenv("CACQR_TUNE_DIR", saved.c_str(), 1);

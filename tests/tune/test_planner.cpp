@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "cacqr/grid/grid.hpp"
+#include "cacqr/lin/kernel.hpp"
 #include "cacqr/model/sweep.hpp"
 #include "cacqr/tune/planner.hpp"
 
@@ -74,6 +75,46 @@ TEST(PlanTest, JsonRoundTripRejectsNonsense) {
   j = p.to_json();
   j.set("schema", Plan::kSchemaVersion + 1);
   EXPECT_FALSE(Plan::from_json(j).has_value());
+}
+
+TEST(PlanTest, JsonRoundTripsKernelVariant) {
+  Plan p;
+  p.algo = "cqr_1d";
+  p.d = 8;
+  p.source = "model";
+  p.kernel_variant = "avx2";
+  auto back = Plan::from_json(p.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->kernel_variant, "avx2");
+  // Variant-less plans (heuristic source, pre-v2 semantics) stay valid.
+  p.kernel_variant.clear();
+  back = Plan::from_json(p.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->kernel_variant.empty());
+}
+
+TEST(PlannerTest, CandidatesCarryActiveKernelVariant) {
+  const Planner planner(profile());
+  const std::string active =
+      lin::kernel::variant_name(lin::kernel::active_variant());
+  for (const Plan& p : planner.candidates({8192, 128, 8, 1})) {
+    EXPECT_EQ(p.kernel_variant, active) << p.algo << " " << p.grid();
+  }
+}
+
+TEST(ProfileTest, MachineForSelectsVariantCalibration) {
+  MachineProfile p = generic_profile();
+  p.variants.push_back({"avx2", p.machine.gamma_s / 2.0,
+                        p.machine.peak_gflops_node * 2.0, {{1, 1.0}}});
+  const model::Machine base = p.machine_at(1);
+  const model::Machine fast = p.machine_for("avx2", 1);
+  EXPECT_DOUBLE_EQ(fast.gamma_s, base.gamma_s / 2.0);
+  // alpha/beta are variant-independent (network terms).
+  EXPECT_DOUBLE_EQ(fast.alpha_s, base.alpha_s);
+  EXPECT_DOUBLE_EQ(fast.beta_s, base.beta_s);
+  // Unknown variants fall back to the profile's headline machine.
+  const model::Machine fallback = p.machine_for("neon", 1);
+  EXPECT_DOUBLE_EQ(fallback.gamma_s, base.gamma_s);
 }
 
 TEST(PlannerTest, EnumeratesAllThreeVariantFamilies) {
