@@ -71,6 +71,7 @@
 #include "cacqr/core/cqr_1d.hpp"
 #include "cacqr/core/factorize.hpp"
 #include "cacqr/lin/generate.hpp"
+#include "cacqr/lin/kernel.hpp"
 #include "cacqr/lin/parallel.hpp"
 #include "cacqr/tune/calibrate.hpp"
 
@@ -116,6 +117,8 @@ struct Config {
 struct Point {
   std::string algo;
   std::string grid;
+  std::string precision;       ///< Gram-stage precision of this row
+  std::string kernel_variant;  ///< micro-kernel variant dispatched
   i64 m = 0;
   i64 n = 0;
   int p = 0;
@@ -212,6 +215,8 @@ Point measure(const Config& cfg, i64 m, i64 n, int threads, int reps,
   Point out;
   out.algo = cfg.algo;
   out.grid = cfg.grid();
+  out.kernel_variant =
+      lin::kernel::variant_name(lin::kernel::active_variant());
   out.m = m;
   out.n = n;
   out.p = cfg.p;
@@ -235,6 +240,8 @@ struct PlanPoint {
   std::string algo;       ///< variant the policy picked
   std::string grid;
   std::string source;     ///< plan provenance ("heuristic"/"model"/...)
+  std::string precision;       ///< requested Gram-stage precision
+  std::string kernel_variant;  ///< variant the factorization dispatched to
   i64 m = 0;
   i64 n = 0;
   int p = 0;
@@ -250,6 +257,7 @@ struct PlanPoint {
 /// off: plan policies are compared under one fixed schedule.
 PlanPoint measure_factorize(i64 m, i64 n, int p, int threads, int reps,
                             core::PlanMode mode, const char* mode_name,
+                            Precision precision,
                             const tune::MachineProfile* profile) {
   const bool prev_overlap = rt::overlap_enabled();
   rt::set_overlap_enabled(false);
@@ -261,6 +269,7 @@ PlanPoint measure_factorize(i64 m, i64 n, int p, int threads, int reps,
         const lin::Matrix a = lin::hashed_matrix(1789, m, n);
         core::FactorizeOptions opts;
         opts.plan_mode = mode;
+        opts.precision = precision;
         opts.profile = profile;
         for (int rep = 0; rep <= reps; ++rep) {
           world.barrier();
@@ -276,6 +285,7 @@ PlanPoint measure_factorize(i64 m, i64 n, int p, int threads, int reps,
             out.algo = res.algo;
             out.grid = res.plan.grid();
             out.source = res.plan.source;
+            out.kernel_variant = res.kernel_variant;
             out.predicted = res.plan.predicted_seconds;
           }
         }
@@ -284,6 +294,7 @@ PlanPoint measure_factorize(i64 m, i64 n, int p, int threads, int reps,
   rt::set_overlap_enabled(prev_overlap);
 
   out.plan_mode = mode_name;
+  out.precision = precision_name(precision);
   out.m = m;
   out.n = n;
   out.p = p;
@@ -406,62 +417,81 @@ int main(int argc, char** argv) {
   for (const int t : thread_counts) std::printf(" %d", t);
   std::printf(")\n");
   std::printf(
-      "%-10s %-8s %8s %5s %3s %3s %10s %10s %10s %10s %10s %12s %12s\n",
-      "algo", "grid", "m", "n", "P", "t", "seconds", "sec_ovl", "GF/s",
-      "GF/s_ovl", "msgs", "words", "flops");
+      "%-10s %-8s %-5s %8s %5s %3s %3s %10s %10s %10s %10s %10s %12s "
+      "%12s\n",
+      "algo", "grid", "prec", "m", "n", "P", "t", "seconds", "sec_ovl",
+      "GF/s", "GF/s_ovl", "msgs", "words", "flops");
 
   std::vector<Point> points;
   for (const auto& [m, n] : shapes) {
     for (const Config& cfg : configs) {
       if (!cfg.fits(m, n)) continue;
+      // The precision sweep: the single-pass CholeskyQR kernels time
+      // their Gram stage in both lanes (a one-pass driver maps `mixed`
+      // onto the same fp32 Gram, so only the endpoints are distinct
+      // rows here; the factorize-driver sweep below covers `mixed` on
+      // the two-pass product surface).  pgeqrf_2d has no fp32 lane.
+      const std::vector<Precision> precisions =
+          cfg.algo == "pgeqrf_2d"
+              ? std::vector<Precision>{Precision::fp64}
+              : std::vector<Precision>{Precision::fp64, Precision::fp32};
       for (const int t : thread_counts) {
-        Point pt;
-        if (cfg.algo == "cqr_1d") {
-          pt = measure(
-              cfg, m, n, t, reps,
-              [&](rt::Comm& world, const lin::Matrix& a)
-                  -> std::function<void()> {
-                auto da = std::make_shared<dist::DistMatrix>(
-                    dist::DistMatrix::from_global(a, world.size(), 1,
-                                                  world.rank(), 0));
-                return [da, &world] { (void)core::cqr_1d(*da, world); };
-              });
-        } else if (cfg.algo == "ca_cqr") {
-          pt = measure(
-              cfg, m, n, t, reps,
-              [&, c = cfg.c, d = cfg.d](rt::Comm& world, const lin::Matrix& a)
-                  -> std::function<void()> {
-                auto g = std::make_shared<grid::TunableGrid>(world, c, d);
-                auto da = std::make_shared<dist::DistMatrix>(
-                    dist::DistMatrix::from_global_on_tunable(a, *g));
-                return [g, da] { (void)core::ca_cqr(*da, *g); };
-              });
-        } else {
-          pt = measure(
-              cfg, m, n, t, reps,
-              [&, pr = cfg.pr, pc = cfg.pc, b = cfg.block](
-                  rt::Comm& world, const lin::Matrix& a)
-                  -> std::function<void()> {
-                auto g = std::make_shared<baseline::ProcGrid2d>(world, pr, pc);
-                auto da = std::make_shared<baseline::BlockCyclicMatrix>(
-                    baseline::BlockCyclicMatrix::from_global(a, b, *g));
-                return [g, da] {
-                  (void)baseline::pgeqrf_2d(*da, *g,
-                                            {.normalize_signs = false});
-                };
-              });
+        for (const Precision prec : precisions) {
+          Point pt;
+          if (cfg.algo == "cqr_1d") {
+            pt = measure(
+                cfg, m, n, t, reps,
+                [&](rt::Comm& world, const lin::Matrix& a)
+                    -> std::function<void()> {
+                  auto da = std::make_shared<dist::DistMatrix>(
+                      dist::DistMatrix::from_global(a, world.size(), 1,
+                                                    world.rank(), 0));
+                  return [da, &world, prec] {
+                    (void)core::cqr_1d(*da, world, prec);
+                  };
+                });
+          } else if (cfg.algo == "ca_cqr") {
+            pt = measure(
+                cfg, m, n, t, reps,
+                [&, c = cfg.c,
+                 d = cfg.d](rt::Comm& world, const lin::Matrix& a)
+                    -> std::function<void()> {
+                  auto g = std::make_shared<grid::TunableGrid>(world, c, d);
+                  auto da = std::make_shared<dist::DistMatrix>(
+                      dist::DistMatrix::from_global_on_tunable(a, *g));
+                  return [g, da, prec] {
+                    (void)core::ca_cqr(*da, *g, {.precision = prec});
+                  };
+                });
+          } else {
+            pt = measure(
+                cfg, m, n, t, reps,
+                [&, pr = cfg.pr, pc = cfg.pc, b = cfg.block](
+                    rt::Comm& world, const lin::Matrix& a)
+                    -> std::function<void()> {
+                  auto g =
+                      std::make_shared<baseline::ProcGrid2d>(world, pr, pc);
+                  auto da = std::make_shared<baseline::BlockCyclicMatrix>(
+                      baseline::BlockCyclicMatrix::from_global(a, b, *g));
+                  return [g, da] {
+                    (void)baseline::pgeqrf_2d(*da, *g,
+                                              {.normalize_signs = false});
+                  };
+                });
+          }
+          pt.precision = precision_name(prec);
+          points.push_back(pt);
+          std::printf(
+              "%-10s %-8s %-5s %8lld %5lld %3d %3d %10.4f %10.4f %10.2f "
+              "%10.2f %10lld %12lld %12lld\n",
+              pt.algo.c_str(), pt.grid.c_str(), pt.precision.c_str(),
+              static_cast<long long>(pt.m), static_cast<long long>(pt.n),
+              pt.p, pt.threads, pt.seconds, pt.seconds_overlap, pt.gflops,
+              pt.gflops_overlap, static_cast<long long>(pt.msgs),
+              static_cast<long long>(pt.words),
+              static_cast<long long>(pt.flops));
+          std::fflush(stdout);
         }
-        points.push_back(pt);
-        std::printf(
-            "%-10s %-8s %8lld %5lld %3d %3d %10.4f %10.4f %10.2f %10.2f "
-            "%10lld %12lld %12lld\n",
-            pt.algo.c_str(), pt.grid.c_str(), static_cast<long long>(pt.m),
-            static_cast<long long>(pt.n), pt.p, pt.threads, pt.seconds,
-            pt.seconds_overlap, pt.gflops, pt.gflops_overlap,
-            static_cast<long long>(pt.msgs),
-            static_cast<long long>(pt.words),
-            static_cast<long long>(pt.flops));
-        std::fflush(stdout);
       }
     }
   }
@@ -482,9 +512,9 @@ int main(int argc, char** argv) {
     }
     std::printf("\nfactorize driver sweep (whole driver timed; overlap "
                 "off):\n");
-    std::printf("%-10s %8s %5s %3s %3s  %-10s %-8s %10s %10s %12s\n",
-                "plan_mode", "m", "n", "P", "t", "algo", "grid", "seconds",
-                "GF/s", "predicted_s");
+    std::printf("%-10s %-5s %8s %5s %3s %3s  %-10s %-8s %10s %10s %12s\n",
+                "plan_mode", "prec", "m", "n", "P", "t", "algo", "grid",
+                "seconds", "GF/s", "predicted_s");
     for (const auto& [m, n] : shapes) {
       for (const int p : {4, 8}) {
         for (const int t : thread_counts) {
@@ -494,18 +524,25 @@ int main(int argc, char** argv) {
                                       : mode == "model"
                                           ? core::PlanMode::model
                                           : core::PlanMode::measured;
-            const PlanPoint pt = measure_factorize(
-                m, n, p, t, reps, pm, mode.c_str(),
-                have_profile ? &profile : nullptr);
-            plan_points.push_back(pt);
-            std::printf(
-                "%-10s %8lld %5lld %3d %3d  %-10s %-8s %10.4f %10.2f "
-                "%12.6f\n",
-                pt.plan_mode.c_str(), static_cast<long long>(pt.m),
-                static_cast<long long>(pt.n), pt.p, pt.threads,
-                pt.algo.c_str(), pt.grid.c_str(), pt.seconds, pt.gflops,
-                pt.predicted);
-            std::fflush(stdout);
+            // The driver runs CholeskyQR2 (two passes), so `mixed` is
+            // the interesting mixed-precision point: fp32 first-pass
+            // Gram, fp64 correction pass.
+            for (const Precision prec :
+                 {Precision::fp64, Precision::mixed}) {
+              const PlanPoint pt = measure_factorize(
+                  m, n, p, t, reps, pm, mode.c_str(), prec,
+                  have_profile ? &profile : nullptr);
+              plan_points.push_back(pt);
+              std::printf(
+                  "%-10s %-5s %8lld %5lld %3d %3d  %-10s %-8s %10.4f "
+                  "%10.2f %12.6f\n",
+                  pt.plan_mode.c_str(), pt.precision.c_str(),
+                  static_cast<long long>(pt.m),
+                  static_cast<long long>(pt.n), pt.p, pt.threads,
+                  pt.algo.c_str(), pt.grid.c_str(), pt.seconds, pt.gflops,
+                  pt.predicted);
+              std::fflush(stdout);
+            }
           }
         }
       }
@@ -527,6 +564,9 @@ int main(int argc, char** argv) {
     out << "{\n  \"bench\": \"bench_cacqr\",\n  \"unit\": \"seconds\",\n"
         << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
         << "  \"hw_threads\": " << hw_threads << ",\n"
+        << "  \"kernel_variant\": \""
+        << lin::kernel::variant_name(lin::kernel::active_variant())
+        << "\",\n"
         << "  \"threads_list\": [";
     for (std::size_t i = 0; i < thread_counts.size(); ++i) {
       out << (i ? ", " : "") << thread_counts[i];
@@ -537,6 +577,8 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < points.size(); ++i) {
       const Point& pt = points[i];
       out << "    {\"algo\": \"" << pt.algo << "\", \"grid\": \"" << pt.grid
+          << "\", \"precision\": \"" << pt.precision
+          << "\", \"kernel_variant\": \"" << pt.kernel_variant
           << "\", \"m\": " << pt.m << ", \"n\": " << pt.n
           << ", \"p\": " << pt.p << ", \"threads\": " << pt.threads
           << ", \"seconds\": " << pt.seconds
@@ -552,7 +594,9 @@ int main(int argc, char** argv) {
       const PlanPoint& pt = plan_points[i];
       out << "    {\"plan_mode\": \"" << pt.plan_mode << "\", \"algo\": \""
           << pt.algo << "\", \"grid\": \"" << pt.grid << "\", \"source\": \""
-          << pt.source << "\", \"m\": " << pt.m << ", \"n\": " << pt.n
+          << pt.source << "\", \"precision\": \"" << pt.precision
+          << "\", \"kernel_variant\": \"" << pt.kernel_variant
+          << "\", \"m\": " << pt.m << ", \"n\": " << pt.n
           << ", \"p\": " << pt.p << ", \"threads\": " << pt.threads
           << ", \"seconds\": " << pt.seconds << ", \"gflops\": " << pt.gflops
           << ", \"predicted_seconds\": " << pt.predicted << "}"

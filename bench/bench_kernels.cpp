@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/blas_f.hpp"
 #include "cacqr/lin/factor.hpp"
 #include "cacqr/lin/generate.hpp"
 #include "cacqr/lin/kernel.hpp"
@@ -234,6 +235,22 @@ struct ScalePoint {
   double gflops = 0.0;
 };
 
+/// One fp32-lane row: the packed fp32 kernel against its packed fp64 twin
+/// under the SAME variant and shape (both charge the fp64 closed-form
+/// flop count, so the GF/s ratio is the per-operation rate gain the
+/// mixed-precision Gram stage buys).
+struct F32Result {
+  std::string kernel;
+  std::string variant;
+  i64 m = 0;
+  i64 n = 0;
+  double fp64_gflops = 0.0;
+  double fp32_gflops = 0.0;
+  [[nodiscard]] double speedup() const {
+    return fp64_gflops > 0.0 ? fp32_gflops / fp64_gflops : 0.0;
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -281,6 +298,7 @@ int main(int argc, char** argv) {
   const lin::kernel::Variant entry_variant = lin::kernel::active_variant();
 
   std::vector<Result> results;
+  std::vector<F32Result> f32_results;
   std::printf("threads=%d (host hardware threads: %d)\n", threads,
               lin::parallel::hardware_threads());
   std::printf("variants:");
@@ -291,6 +309,8 @@ int main(int argc, char** argv) {
               lin::kernel::variant_name(entry_variant));
   std::printf("%-10s %-8s %8s %5s %12s %12s %9s\n", "kernel", "variant",
               "m", "n", "seed GF/s", "new GF/s", "speedup");
+  std::printf("(*_f32 rows compare lanes, not the seed: columns are packed "
+              "fp64 GF/s, packed fp32 GF/s, fp32/fp64)\n");
 
   for (const i64 m : ms) {
     for (const i64 n : ns) {
@@ -318,6 +338,17 @@ int main(int argc, char** argv) {
         lin::copy(t0, t);
       }
       lin::copy(lin::gaussian(rng, n, n), xs);
+
+      // fp32-lane operands: narrowed images of the same A and B.  MatrixF
+      // carries its own double-backed (8-byte-aligned) storage; the
+      // fp32 kernels pack operands before touching them, so the slab's
+      // alignment discipline is not needed here.
+      lin::MatrixF af = lin::MatrixF::uninit(m, n);
+      lin::MatrixF bf = lin::MatrixF::uninit(m, n);
+      lin::narrow(a, af);
+      lin::narrow(b, bf);
+      lin::MatrixF cf(n, n);
+      lin::MatrixF gf(n, n);
 
       // Seed loops are variant-independent: time them once per shape.
       const double flops_gemm = 2.0 * static_cast<double>(m) *
@@ -365,17 +396,21 @@ int main(int argc, char** argv) {
           std::fflush(stdout);
         };
 
+        double t_tn_f64 = 0.0;   // fp64 twins of the fp32-lane rows below
+        double t_gram_f64 = 0.0;
         {  // C = A^T B: the c > 1 Gram path of CA-CQR (Algorithm 8 line 2).
           const double tn = time_best(
               [&] {
                 lin::gemm(lin::Trans::T, lin::Trans::N, 1.0, a, b, 0.0, c);
               },
               target);
+          t_tn_f64 = tn;
           record("gemm_tn", flops_gemm, ts_tn, tn);
         }
         {  // G = A^T A: the c == 1 Gram path (Algorithms 4/6).
           const double tn =
               time_best([&] { lin::gram(1.0, a, 0.0, g); }, target);
+          t_gram_f64 = tn;
           record("gram", flops_tri, ts_gram, tn);
         }
         {  // C = A X: panel times a square n x n factor.
@@ -402,6 +437,41 @@ int main(int argc, char** argv) {
               },
               target);
           record("trsm_r", flops_tri, ts_trsm, tn);
+        }
+
+        // ---- the fp32 lane of the same variant: the two Gram-path
+        // kernels the mixed-precision driver dispatches, measured against
+        // the packed fp64 twins just timed (same shapes, same closed-form
+        // flop counts, so the ratio is a pure per-operation rate gain).
+        auto record_f32 = [&](const char* kernel, double flops,
+                              double t_f64, double t_f32) {
+          F32Result r;
+          r.kernel = kernel;
+          r.variant = vname;
+          r.m = m;
+          r.n = n;
+          r.fp64_gflops = flops / t_f64 * 1e-9;
+          r.fp32_gflops = flops / t_f32 * 1e-9;
+          f32_results.push_back(r);
+          std::printf("%-10s %-8s %8lld %5lld %12.2f %12.2f %8.2fx\n",
+                      kernel, vname, static_cast<long long>(m),
+                      static_cast<long long>(n), r.fp64_gflops,
+                      r.fp32_gflops, r.speedup());
+          std::fflush(stdout);
+        };
+        {
+          const double tf = time_best(
+              [&] {
+                lin::gemm_f32(lin::Trans::T, lin::Trans::N, 1.0f, af, bf,
+                              0.0f, cf);
+              },
+              target);
+          record_f32("gemm_tn_f32", flops_gemm, t_tn_f64, tf);
+        }
+        {
+          const double tf =
+              time_best([&] { lin::gram_f32(1.0f, af, 0.0f, gf); }, target);
+          record_f32("gram_f32", flops_tri, t_gram_f64, tf);
         }
       }
       lin::kernel::set_kernel_variant(entry_variant);
@@ -483,6 +553,16 @@ int main(int argc, char** argv) {
           << ", \"new_gflops\": " << r.new_gflops
           << ", \"speedup\": " << r.speedup() << "}"
           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"f32_results\": [\n";
+    for (std::size_t i = 0; i < f32_results.size(); ++i) {
+      const F32Result& r = f32_results[i];
+      out << "    {\"kernel\": \"" << r.kernel << "\", \"kernel_variant\": \""
+          << r.variant << "\", \"m\": " << r.m << ", \"n\": " << r.n
+          << ", \"fp64_gflops\": " << r.fp64_gflops
+          << ", \"fp32_gflops\": " << r.fp32_gflops
+          << ", \"speedup\": " << r.speedup() << "}"
+          << (i + 1 < f32_results.size() ? "," : "") << "\n";
     }
     out << "  ],\n  \"thread_scaling\": [\n";
     for (std::size_t i = 0; i < scaling.size(); ++i) {

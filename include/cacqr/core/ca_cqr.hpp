@@ -22,6 +22,7 @@
 /// gamma ~ mn^2/(dc^2) + n^3/c^3, memory ~ mn/(dc) + n^2/c^2.
 
 #include "cacqr/dist/dist_matrix.hpp"
+#include "cacqr/support/precision.hpp"
 
 namespace cacqr::core {
 
@@ -40,6 +41,15 @@ struct CaCqrOptions {
   /// (at c == 1 the local triangular multiply already exploits
   /// structure).  Clamped to the available recursion depth.
   int inverse_depth = 0;
+  /// Gram-stage precision.  fp64 (default) is bit-identical to the
+  /// historical path.  Anything else runs the whole Gram assembly
+  /// (lines 1-5) in fp32 -- narrowed panel broadcast, fp32 kernel-lane
+  /// product, half-width reduce/allreduce/bcast payloads -- then widens
+  /// the agreed sum; Cholesky and the Q update stay fp64.  In ca_cqr2,
+  /// `mixed` applies the fp32 Gram to the FIRST pass only (the fp64
+  /// second pass restores fp64-level orthogonality) while `fp32` keeps
+  /// it for both passes.
+  Precision precision = Precision::fp64;
 };
 
 /// CA-CQR output.
@@ -59,8 +69,13 @@ struct CaCqrResult {
 /// the whole grid.  Charge: Bcast(mn/(dc), c) + Reduce(n^2/c^2, c) +
 /// Allreduce(n^2/c^2, d/c) + Bcast(n^2/c^2, c) (the corrected line-5
 /// operand; DESIGN.md section 8) plus the local Gram/gemm gamma.
-[[nodiscard]] dist::DistMatrix ca_gram(const dist::DistMatrix& a,
-                                       const grid::TunableGrid& g);
+/// `gram_precision` != fp64 runs the whole stage in fp32: every payload
+/// above ships half the words (fp32 pairs riding whole 8-byte words) and
+/// the local product uses the fp32 kernel lane; the returned Z is the
+/// widened fp64 image of the fp32 sum.
+[[nodiscard]] dist::DistMatrix ca_gram(
+    const dist::DistMatrix& a, const grid::TunableGrid& g,
+    Precision gram_precision = Precision::fp64);
 
 /// Algorithm 8: one CA-CholeskyQR pass.  Throws NotSpdError when the
 /// (shifted) Gram matrix is not numerically SPD; every rank throws

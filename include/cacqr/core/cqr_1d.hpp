@@ -11,6 +11,7 @@
 /// this variant to very overdetermined matrices and what CA-CQR2 removes.
 
 #include "cacqr/dist/dist_matrix.hpp"
+#include "cacqr/support/precision.hpp"
 
 namespace cacqr::core {
 
@@ -27,12 +28,27 @@ struct Cqr1dResult {
 /// (local Gram, redundant CholInv, local triangular multiply).  Throws
 /// NotSpdError consistently on every rank (the factorization input is
 /// replicated by the Allreduce).
+///
+/// `gram_precision` != fp64 runs the Gram stage in fp32: the local panel
+/// is narrowed, the Gram product runs through the fp32 kernel lane, and
+/// the Allreduce ships a half-width payload (n^2 beta instead of 2 n^2),
+/// after which the sum is widened and everything downstream (CholInv,
+/// the triangular multiply) stays fp64.  The rounding is elementwise and
+/// the collective schedule unchanged, so the result is still bitwise
+/// deterministic across thread budgets and overlap settings.
 [[nodiscard]] Cqr1dResult cqr_1d(const dist::DistMatrix& a,
-                                 const rt::Comm& comm);
+                                 const rt::Comm& comm,
+                                 Precision gram_precision = Precision::fp64);
 
 /// Algorithm 7: 1D-CholeskyQR2: twice the cqr_1d charge plus the
-/// redundant sequential compose R = R2 * R1 on every rank.
+/// redundant sequential compose R = R2 * R1 on every rank.  `precision`
+/// maps onto the two passes: fp64 keeps both Grams in fp64 (bit-identical
+/// to the historical driver), `mixed` runs the FIRST pass's Gram in fp32
+/// and lets the full-precision second pass restore fp64-level
+/// orthogonality (the CholeskyQR2 correction argument), `fp32` runs both
+/// Grams in fp32.
 [[nodiscard]] Cqr1dResult cqr2_1d(const dist::DistMatrix& a,
-                                  const rt::Comm& comm);
+                                  const rt::Comm& comm,
+                                  Precision precision = Precision::fp64);
 
 }  // namespace cacqr::core

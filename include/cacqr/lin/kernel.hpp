@@ -47,6 +47,7 @@
 
 #include "cacqr/lin/blas.hpp"
 #include "cacqr/lin/matrix.hpp"
+#include "cacqr/lin/matrix_f.hpp"
 
 namespace cacqr::lin::kernel {
 
@@ -70,6 +71,19 @@ inline constexpr i64 NR = 6;
 inline constexpr i64 MC = 144;  // multiple of MR
 inline constexpr i64 KC = 256;
 inline constexpr i64 NC = 3072;  // multiple of NR
+
+// fp32 lane geometry of the generic (and AVX2/NEON) variant: twice the
+// register-tile rows at the same register count (each SIMD lane carries
+// eight floats instead of four doubles) and the same cache-block BYTE
+// budgets as the fp64 geometry -- MC32 x KC32 floats occupies exactly the
+// bytes MC x KC doubles does, so both lanes share the packing arenas and
+// the DESIGN.md section 7 working-set math.  The AVX-512 fp32 variant
+// carries its own 32 x 14 geometry in its translation unit.
+inline constexpr i64 MR32 = 16;
+inline constexpr i64 NR32 = 6;
+inline constexpr i64 MC32 = 288;   // multiple of MR32
+inline constexpr i64 KC32 = 256;
+inline constexpr i64 NC32 = 6144;  // multiple of NR32
 
 // ------------------------------------------------------- kernel variants
 
@@ -136,6 +150,17 @@ enum class TileFilter { Full, Lower, Upper };
 void gemm_accumulate(Trans ta, Trans tb, double alpha, ConstMatrixView a,
                      ConstMatrixView b, MatrixView c,
                      TileFilter filter = TileFilter::Full);
+
+/// The fp32 lane of the same driver: identical packing/blocking/threading
+/// machinery instantiated at float width, dispatching to the active
+/// variant's fp32 micro-kernel (every variant carries one; the fp32 twin
+/// of a variant is executable exactly when the variant is).  Shares the
+/// per-thread packing arenas with the fp64 lane (they are byte pools) and
+/// obeys the same one-owner determinism rule: results are bitwise
+/// identical across thread budgets, per variant.
+void gemm_accumulate_f32(Trans ta, Trans tb, float alpha, ConstMatrixFView a,
+                         ConstMatrixFView b, MatrixFView c,
+                         TileFilter filter = TileFilter::Full);
 
 /// Process-wide statistics over every thread's packing arenas.  Arenas are
 /// thread-local and grow-only, so `allocations` advancing between two

@@ -72,6 +72,15 @@ struct Cost {
 [[nodiscard]] Cost cost_cfr3d(double n, double g, double n0 = 0.0,
                               int inverse_depth = 0);
 
+/// Lines 1-5 of one CA-CQR pass (Algorithm 8): the Gram assembly -- the
+/// panel broadcast, the local Gram/gemm, and the reduce / allreduce /
+/// broadcast of the n^2/c^2 block.  Exposed separately because this is
+/// exactly the phase the mixed-precision driver can run in fp32: the
+/// planner re-scores it with half the beta words and the fp32 gamma rate
+/// (the alpha term, and everything outside this stage, is unchanged).
+/// With c == 1 this is 1D-CQR's local Gram + Allreduce(n^2, d).
+[[nodiscard]] Cost cost_gram_stage(double m, double n, double c, double d);
+
 /// One CA-CQR pass (Algorithm 8) of m x n on a c x d x c grid.
 [[nodiscard]] Cost cost_ca_cqr(double m, double n, double c, double d,
                                double n0 = 0.0, int inverse_depth = 0);

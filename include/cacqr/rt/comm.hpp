@@ -186,6 +186,18 @@ class Comm {
   /// Collective: elementwise sum; result only meaningful on root (costed
   /// identically to allreduce, as in the paper's tables).
   void reduce_sum(std::span<double> data, int root) const;
+  /// Collective: elementwise fp32 sum.  `words` is an fp32 payload viewed
+  /// as whole 8-byte words, two floats per word (lin::MatrixF::wire();
+  /// odd tails ride a zero pad lane).  Same Rabenseifner schedule as
+  /// allreduce_sum with the combine applied float-wise, so the message
+  /// count and the word (beta) charges are those of an fp64 allreduce of
+  /// HALF the element count -- the halved-beta Gram term the planner
+  /// scores.  Bcast/allgather/send need no fp32 flavor: they move bytes,
+  /// so an fp32 payload just uses the word-level calls directly.
+  void allreduce_sum_f32(std::span<double> words) const;
+  /// Collective: fp32 sum costed as allreduce_sum_f32 (reduce == allreduce
+  /// in the paper's tables), result meaningful everywhere.
+  void reduce_sum_f32(std::span<double> words, int root) const;
   /// Collective: concatenation of equal-size contributions, rank order.
   void allgather(std::span<const double> mine, std::span<double> all) const;
 
@@ -205,6 +217,10 @@ class Comm {
   [[nodiscard]] Request start_bcast(std::span<double> data, int root) const;
   /// Nonblocking allreduce; same schedule and cost as allreduce_sum().
   [[nodiscard]] Request start_allreduce_sum(std::span<double> data) const;
+  /// Nonblocking fp32 allreduce; same schedule and cost as
+  /// allreduce_sum_f32().
+  [[nodiscard]] Request start_allreduce_sum_f32(
+      std::span<double> words) const;
   /// Nonblocking reduce (costed as allreduce, like reduce_sum()).
   [[nodiscard]] Request start_reduce_sum(std::span<double> data,
                                          int root) const;

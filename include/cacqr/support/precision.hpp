@@ -1,0 +1,52 @@
+#pragma once
+/// \file precision.hpp
+/// \brief The arithmetic-precision axis of a factorization.
+///
+/// CholeskyQR2's second pass reorthogonalizes whatever the first pass
+/// produced, which makes the algorithm a natural host for mixed
+/// precision: compute the expensive first-pass Gram (the only O(mn^2)
+/// stage) in fp32 and let the fp64 correction sweep restore
+/// orthogonality to working precision (the stability argument mirrors
+/// the TSQR discussion in Demmel, Grigori, Hoemmen & Langou,
+/// arXiv:0806.2159).  fp32 doubles the SIMD lane width of every
+/// micro-kernel variant and halves the word count of the Gram
+/// Allreduce, attacking the gamma and beta terms of the cost model at
+/// once.
+///
+/// Lives in support/ (not core/) because every layer consumes it:
+/// lin/ carries the fp32 kernel lane, rt/ the element-width-aware
+/// collectives, tune/ the per-precision calibration and plan axis.
+
+#include <optional>
+#include <string_view>
+
+namespace cacqr {
+
+/// Which precision the Gram/update lane of a factorization runs in.
+enum class Precision {
+  fp64,   ///< everything in double (default; bit-identical legacy path)
+  mixed,  ///< first-pass Gram in fp32, Cholesky/update/second pass in fp64
+  fp32,   ///< every Gram pass in fp32 (fastest; fp32-level accuracy only
+          ///< where the correction sweep cannot recover it)
+};
+
+[[nodiscard]] constexpr const char* precision_name(Precision p) noexcept {
+  switch (p) {
+    case Precision::mixed: return "mixed";
+    case Precision::fp32: return "fp32";
+    case Precision::fp64: break;
+  }
+  return "fp64";
+}
+
+/// Parses a precision name ("fp64" | "mixed" | "fp32"); nullopt on
+/// anything else (callers decide whether that is an error or a default).
+[[nodiscard]] constexpr std::optional<Precision> parse_precision(
+    std::string_view s) noexcept {
+  if (s == "fp64" || s == "double") return Precision::fp64;
+  if (s == "mixed") return Precision::mixed;
+  if (s == "fp32" || s == "single" || s == "float") return Precision::fp32;
+  return std::nullopt;
+}
+
+}  // namespace cacqr

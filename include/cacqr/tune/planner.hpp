@@ -42,8 +42,13 @@ struct ProblemKey {
   int threads = 1;  ///< per-rank worker budget
   int passes = 2;   ///< FactorizeOptions::passes (CholeskyQR families)
   i64 base_case = 0;  ///< FactorizeOptions::base_case (CFR3D knob)
+  /// FactorizeOptions::precision: which passes run the fp32 Gram lane.
+  /// Part of the key because it changes both the executed arithmetic and
+  /// the candidate scores (halved Gram beta, fp32 gamma) -- a plan scored
+  /// for one precision must never be served for another.
+  Precision precision = Precision::fp64;
 
-  /// Canonical cache-key text, e.g. "m8192_n128_p8_t1_s2_bc0".
+  /// Canonical cache-key text, e.g. "m8192_n128_p8_t1_s2_bc0_fp64".
   [[nodiscard]] std::string text() const;
 };
 
@@ -52,7 +57,9 @@ struct ProblemKey {
 struct Plan {
   /// v2: kernel_variant field (which micro-kernel the plan was scored
   /// for); v1 cache files are ignored by the loader.
-  static constexpr int kSchemaVersion = 2;
+  /// v3: precision field (which Gram-precision mode the plan was scored
+  /// under); v2 cache files are ignored by the loader.
+  static constexpr int kSchemaVersion = 3;
 
   std::string algo;     ///< "cqr_1d" | "ca_cqr2" | "pgeqrf_2d"
   int c = 0, d = 0;     ///< ca_cqr2 tunable grid
@@ -67,6 +74,11 @@ struct Plan {
   /// its gamma -- and in measured mode its trial timings -- belong to a
   /// different compute engine.
   std::string kernel_variant;
+  /// Gram-precision mode the plan was scored/measured under
+  /// (FactorizeOptions::precision).  Like kernel_variant, a cached plan
+  /// whose precision differs from the request is a miss: its scores
+  /// describe different payload widths and a different compute rate.
+  Precision precision = Precision::fp64;
 
   /// Human-readable grid tag matching bench_cacqr's convention
   /// ("p8", "c2d2", "4x2b16").

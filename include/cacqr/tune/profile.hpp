@@ -25,6 +25,7 @@
 
 #include "cacqr/model/machine.hpp"
 #include "cacqr/support/json.hpp"
+#include "cacqr/support/precision.hpp"
 
 namespace cacqr::tune {
 
@@ -56,6 +57,16 @@ struct VariantCalibration {
   std::string variant;   ///< lin::kernel variant name ("generic", ...)
   double gamma_s = 0.0;  ///< fitted seconds per flop at worker budget 1
   double peak_gflops = 0.0;  ///< best measured rate across the sweeps
+  /// fp32-lane rate of the same variant: seconds per (closed-form) flop
+  /// through the fp32 micro-kernel at worker budget 1.  The fp32 kernels
+  /// charge the same flop counts as their fp64 twins, so this is directly
+  /// comparable to gamma_s (roughly gamma_s / 2 on SIMD variants whose
+  /// registers hold twice the lanes).  0 = never measured; machine_for
+  /// then falls back to gamma_s, i.e. the planner models fp32 compute as
+  /// no faster than fp64 and any mixed-precision win comes from the
+  /// halved collective payloads alone.
+  double gamma32_s = 0.0;
+  double peak_gflops32 = 0.0;  ///< best measured fp32-lane rate
   std::vector<ThreadScaling> scaling;  ///< sorted, includes {1, 1}
 };
 
@@ -64,7 +75,8 @@ struct MachineProfile {
   /// Loaders ignore files whose version differs (never fatal).
   /// v2: per-variant kernel table (variants / kernel_variant fields,
   /// variant-tagged kernel samples).
-  static constexpr int kSchemaVersion = 2;
+  /// v3: per-precision gamma (gamma32_s / peak_gflops32 per variant).
+  static constexpr int kSchemaVersion = 3;
 
   model::Machine machine;  ///< fitted alpha_s / beta_s / gamma_s
   std::vector<KernelSample> kernels;
@@ -93,8 +105,12 @@ struct MachineProfile {
   /// come from that variant's calibration entry.  Falls back to
   /// machine_at(threads) when the variant was never calibrated (empty
   /// name, hand-built profile, or a variant this profile predates).
-  [[nodiscard]] model::Machine machine_for(std::string_view variant,
-                                           int threads) const;
+  /// `precision` != fp64 substitutes the variant's fp32-lane gamma
+  /// (gamma32_s) when it was measured; an unmeasured fp32 lane falls back
+  /// to the fp64 gamma of the same variant, never to another variant.
+  [[nodiscard]] model::Machine machine_for(
+      std::string_view variant, int threads,
+      Precision precision = Precision::fp64) const;
 
   /// Cache key component: host fingerprint plus an FNV-1a digest of the
   /// fitted parameters, so differently-calibrated profiles on one host

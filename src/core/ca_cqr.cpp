@@ -4,6 +4,7 @@
 
 #include "cacqr/chol/cfr3d.hpp"
 #include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/blas_f.hpp"
 
 namespace cacqr::core {
 
@@ -24,10 +25,63 @@ void check_tunable_layout(const DistMatrix& a, const grid::TunableGrid& g) {
   ensure_dim(a.rows() >= a.cols(), "ca_cqr: requires m >= n");
 }
 
+/// The fp32 lane of ca_gram: same five lines, same peers, half the words
+/// on every wire (fp32 pairs riding whole 8-byte words via
+/// lin::MatrixF::wire()).  The fp64 panel is narrowed once per rank; the
+/// returned Z is the widened image of the fp32 sum, so everything
+/// downstream runs fp64 on fp32-rounded data -- the CholeskyQR2 second
+/// pass absorbs that rounding.
+DistMatrix ca_gram_f32(const DistMatrix& a, const grid::TunableGrid& g) {
+  const int c = g.c();
+  const auto [x, y, z] = g.coords();
+  const i64 n = a.cols();
+
+  // Line 1: Bcast(narrow(A) -> W, root x == z, Pi[:, y, z]).  The root
+  // narrows its panel (threaded, elementwise); everyone else receives
+  // into uninitialized storage the Bcast fully overwrites.
+  lin::MatrixF w = lin::MatrixF::uninit(a.local().rows(), a.local().cols());
+  if (x == z) lin::narrow(a.local(), w);
+  g.row().bcast(w.wire(), z);
+
+  // Line 2: X = W^T * narrow(A_local) through the fp32 kernel lane; with
+  // c == 1 W already is the narrowed local panel (the bcast above was the
+  // size-1 no-op), so the symmetric rank-k form needs no second narrow.
+  lin::MatrixF xbuf = lin::MatrixF::uninit(n / c, n / c);
+  if (c == 1) {
+    lin::gram_f32(1.0f, w, 0.0f, xbuf);
+  } else {
+    lin::MatrixF al = lin::MatrixF::uninit(a.local().rows(),
+                                           a.local().cols());
+    lin::narrow(a.local(), al);
+    lin::gemm_f32(lin::Trans::T, lin::Trans::N, 1.0f, w, al, 0.0f, xbuf);
+  }
+
+  // Line 3: Reduce within the contiguous y-group (half-width payload).
+  g.ygroup_contig().reduce_sum_f32(xbuf.wire(),
+                                   z % g.ygroup_contig().size());
+
+  // Line 4: Allreduce across the strided y-group, overlapped with the
+  // line-5 staging allocation exactly like the fp64 path.
+  rt::Request gram_sum =
+      g.ygroup_strided().start_allreduce_sum_f32(xbuf.wire());
+  const auto& sub = g.subcube();
+  DistMatrix zmat = DistMatrix::uninit(n, n, sub.g(), sub.g(),
+                                       sub.coords().y, sub.coords().x);
+  gram_sum.wait();
+
+  // Line 5: Bcast along depth from root z == y mod c.
+  g.depth().bcast(xbuf.wire(), y % c);
+
+  lin::widen(xbuf, zmat.local());
+  return zmat;
+}
+
 }  // namespace
 
-DistMatrix ca_gram(const DistMatrix& a, const grid::TunableGrid& g) {
+DistMatrix ca_gram(const DistMatrix& a, const grid::TunableGrid& g,
+                   Precision gram_precision) {
   check_tunable_layout(a, g);
+  if (gram_precision != Precision::fp64) return ca_gram_f32(a, g);
   const int c = g.c();
   const auto [x, y, z] = g.coords();
   const i64 n = a.cols();
@@ -87,8 +141,10 @@ CaCqrResult ca_cqr(const DistMatrix& a, const grid::TunableGrid& g,
   const i64 m = a.rows();
   const i64 n = a.cols();
 
-  // Lines 1-5: Gram matrix on the subcube slice.
-  DistMatrix zmat = ca_gram(a, g);
+  // Lines 1-5: Gram matrix on the subcube slice (fp32 lane when this
+  // pass's options ask for it; Cholesky and the Q update below are
+  // always fp64).
+  DistMatrix zmat = ca_gram(a, g, opts.precision);
 
   // Optional diagonal shift (shifted CholeskyQR): global entry (i, i)
   // lives on the subcube rank with row class == column class.
@@ -154,12 +210,18 @@ DistMatrix compose_r(const DistMatrix& r2, const DistMatrix& r1,
 CaCqrResult ca_cqr2(const DistMatrix& a, const grid::TunableGrid& g,
                     CaCqrOptions opts) {
   // Lines 1-2: two CA-CQR passes (the shift, if any, applies to the first
-  // pass only; the second factors an already well-conditioned Q1).
+  // pass only; the second factors an already well-conditioned Q1).  An
+  // fp32 Gram follows the same pattern: `mixed` confines it to the first
+  // pass -- the fp64 second pass is the correction sweep that restores
+  // fp64-level orthogonality -- while `fp32` keeps it for both.
   CaCqrResult first = ca_cqr(a, g, opts);
   CaCqrResult second =
       ca_cqr(first.q, g,
              {.base_case = opts.base_case, .shift = 0.0,
-              .inverse_depth = opts.inverse_depth});
+              .inverse_depth = opts.inverse_depth,
+              .precision = opts.precision == Precision::fp32
+                               ? Precision::fp32
+                               : Precision::fp64});
   // Line 4: R = R2 * R1.
   CaCqrResult out;
   out.q = std::move(second.q);

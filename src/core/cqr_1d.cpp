@@ -1,6 +1,7 @@
 #include "cacqr/core/cqr_1d.hpp"
 
 #include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/blas_f.hpp"
 #include "cacqr/lin/factor.hpp"
 
 namespace cacqr::core {
@@ -19,22 +20,38 @@ void check_1d_layout(const DistMatrix& a, const rt::Comm& comm) {
 
 }  // namespace
 
-Cqr1dResult cqr_1d(const DistMatrix& a, const rt::Comm& comm) {
+Cqr1dResult cqr_1d(const DistMatrix& a, const rt::Comm& comm,
+                   Precision gram_precision) {
   check_1d_layout(a, comm);
   const i64 n = a.cols();
+  const bool f32_gram = gram_precision != Precision::fp64;
 
   // Line 1: local symmetric rank-(m/P) update X = A_p^T A_p (beta == 0
   // overwrites the whole buffer, so the Gram staging is uninitialized).
+  // The fp32 lane narrows the local panel first and forms the Gram
+  // contribution through the fp32 micro-kernel; `z` then stays untouched
+  // until the widen after the Allreduce.
   lin::Matrix z = lin::Matrix::uninit(n, n);
-  lin::gram(1.0, a.local(), 0.0, z);
+  lin::MatrixF zf;
+  if (f32_gram) {
+    lin::MatrixF af = lin::MatrixF::uninit(a.local().rows(), n);
+    lin::narrow(a.local(), af);
+    zf = lin::MatrixF::uninit(n, n);
+    lin::gram_f32(1.0f, af, 0.0f, zf);
+  } else {
+    lin::gram(1.0, a.local(), 0.0, z);
+  }
 
-  // Line 2: Allreduce the n x n Gram contributions.  With overlap on, it
-  // is started here and the Q staging panel (the copy of A_p that line 4
-  // multiplies in place) is materialized while it flies, the copy chunks
-  // polling progress; overlap off completes it immediately, the blocking
-  // order.
+  // Line 2: Allreduce the n x n Gram contributions (half-width payload on
+  // the fp32 lane).  With overlap on, it is started here and the Q
+  // staging panel (the copy of A_p that line 4 multiplies in place) is
+  // materialized while it flies, the copy chunks polling progress;
+  // overlap off completes it immediately, the blocking order.
   rt::Request gram_sum =
-      comm.start_allreduce_sum({z.data(), static_cast<std::size_t>(z.size())});
+      f32_gram
+          ? comm.start_allreduce_sum_f32(zf.wire())
+          : comm.start_allreduce_sum(
+                {z.data(), static_cast<std::size_t>(z.size())});
   Cqr1dResult out;
   if (rt::overlap_enabled()) {
     out = {DistMatrix::uninit(a.rows(), n, comm.size(), 1, comm.rank(), 0),
@@ -46,6 +63,7 @@ Cqr1dResult cqr_1d(const DistMatrix& a, const rt::Comm& comm) {
     out = {a, lin::Matrix(n, n)};
   }
   gram_sum.wait();
+  if (f32_gram) lin::widen(zf, z);
 
   // Line 3: redundant CholInv: R^T = chol(Z), R^{-T} = L^{-1}.
   auto li = lin::cholinv(z);
@@ -64,10 +82,15 @@ Cqr1dResult cqr_1d(const DistMatrix& a, const rt::Comm& comm) {
   return out;
 }
 
-Cqr1dResult cqr2_1d(const DistMatrix& a, const rt::Comm& comm) {
+Cqr1dResult cqr2_1d(const DistMatrix& a, const rt::Comm& comm,
+                    Precision precision) {
   // Algorithm 7: two passes, then R = R2 * R1 sequentially on every rank.
-  Cqr1dResult first = cqr_1d(a, comm);
-  Cqr1dResult second = cqr_1d(first.q, comm);
+  // mixed runs only the first Gram in fp32 (the fp64 second pass is the
+  // correction sweep); fp32 keeps both Grams in fp32.
+  Cqr1dResult first = cqr_1d(a, comm, precision);
+  Cqr1dResult second =
+      cqr_1d(first.q, comm,
+             precision == Precision::fp32 ? Precision::fp32 : Precision::fp64);
   lin::trmm(lin::Side::Left, lin::Uplo::Upper, lin::Trans::N,
             lin::Diag::NonUnit, 1.0, second.r, first.r);
   return {std::move(second.q), std::move(first.r)};

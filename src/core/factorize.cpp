@@ -1,4 +1,5 @@
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <numeric>
@@ -19,6 +20,18 @@
 namespace cacqr::core {
 
 using dist::DistMatrix;
+
+Precision default_precision() {
+  // Not latched through call_once: parse_precision is cheap, and
+  // re-resolving keeps a misconfigured environment failing on every
+  // call (the CACQR_KERNEL contract) instead of only the first.
+  const char* s = std::getenv("CACQR_PRECISION");
+  if (s == nullptr || *s == '\0') return Precision::fp64;
+  const std::optional<Precision> p = parse_precision(s);
+  ensure(p.has_value(), "CACQR_PRECISION: unrecognized precision \"", s,
+         "\" (expected fp64, mixed, or fp32)");
+  return *p;
+}
 
 std::pair<int, int> choose_grid(int nranks, i64 m, i64 n) {
   ensure_dim(nranks >= 1 && m >= n && n >= 1, "choose_grid: bad arguments");
@@ -93,7 +106,11 @@ FactorizeResult run_ca_cqr(lin::ConstMatrixView a, const rt::Comm& world,
   out.algo = "ca_cqr";
   out.c = c;
   out.d = d;
-  const CaCqrOptions run_opts{.base_case = opts.base_case, .shift = 0.0};
+  // The shifted fallback below always runs full fp64 (ca_cqr3 rebuilds
+  // its per-pass options), so opts.precision only reaches the plain
+  // CQR/CQR2 passes.
+  const CaCqrOptions run_opts{.base_case = opts.base_case, .shift = 0.0,
+                              .precision = opts.precision};
 
   CaCqrResult fact;
   if (opts.passes == 3) {
@@ -137,8 +154,12 @@ FactorizeResult run_cqr_1d(lin::ConstMatrixView a, const rt::Comm& world,
     DistMatrix da =
         DistMatrix::from_global(padded.a, p, 1, world.rank(), 0);
     try {
-      Cqr1dResult fact =
-          opts.passes == 1 ? cqr_1d(da, world) : cqr2_1d(da, world);
+      // A single pass has no correction sweep, so `mixed` degenerates to
+      // the fp32 Gram on that one pass (cqr_1d treats any non-fp64 mode
+      // as the fp32 lane).
+      Cqr1dResult fact = opts.passes == 1
+                             ? cqr_1d(da, world, opts.precision)
+                             : cqr2_1d(da, world, opts.precision);
       lin::Matrix q_full = dist::gather(fact.q, world);
       out.q = lin::materialize(q_full.sub(0, 0, padded.m, padded.n));
       out.r = std::move(fact.r);
@@ -237,14 +258,18 @@ bool plan_acceptable(const tune::Plan& plan, const tune::ProblemKey& key,
           lin::kernel::variant_name(lin::kernel::active_variant())) {
     return false;
   }
+  // Same gate for precision: a plan scored (or trialed) under another
+  // Gram-precision mode describes different payload widths and compute
+  // rates -- and in measured mode, different executed arithmetic.
+  if (plan.precision != key.precision) return false;
   return plan_fits(plan, key) &&
          (mode != PlanMode::measured || plan.measured_seconds > 0.0);
 }
 
-/// Fixed-width wire form of one Plan (10 doubles): rank 0 resolves
+/// Fixed-width wire form of one Plan (11 doubles): rank 0 resolves
 /// memo/cache/planner and broadcasts, so ranks can never diverge on
 /// what a file or the process memo said.
-constexpr std::size_t kPlanWords = 10;
+constexpr std::size_t kPlanWords = 11;
 
 double encode_variant(const std::string& name) {
   if (name == "generic") return 1.0;
@@ -276,6 +301,9 @@ void encode_plan(const tune::Plan& plan, double* w) {
   w[8] = plan.source == "cache" ? 1.0 : plan.source == "measured" ? 2.0
                                                                   : 0.0;
   w[9] = encode_variant(plan.kernel_variant);
+  w[10] = plan.precision == Precision::fp64    ? 0.0
+          : plan.precision == Precision::mixed ? 1.0
+                                               : 2.0;
 }
 
 tune::Plan decode_plan(const double* w) {
@@ -290,6 +318,9 @@ tune::Plan decode_plan(const double* w) {
   plan.measured_seconds = w[7];
   plan.source = w[8] == 1.0 ? "cache" : w[8] == 2.0 ? "measured" : "model";
   plan.kernel_variant = decode_variant(w[9]);
+  plan.precision = w[10] == 1.0   ? Precision::mixed
+                   : w[10] == 2.0 ? Precision::fp32
+                                  : Precision::fp64;
   return plan;
 }
 
@@ -329,7 +360,7 @@ tune::Plan resolve_plan(lin::ConstMatrixView a, const rt::Comm& world,
                         std::optional<FactorizeResult>* trial_result) {
   const tune::ProblemKey key{a.rows,  a.cols,     world.size(),
                              lin::parallel::thread_budget(),
-                             opts.passes, opts.base_case};
+                             opts.passes, opts.base_case, opts.precision};
   const std::size_t top_k =
       static_cast<std::size_t>(std::max(1, opts.plan_top_k));
   // Wire: w[0] = -1 followed by one final plan, or the candidate count
@@ -448,6 +479,7 @@ FactorizeResult factorize(lin::ConstMatrixView a, const rt::Comm& world,
     out.plan.c = c;
     out.plan.d = d;
     out.plan.source = "heuristic";
+    out.plan.precision = opts.precision;
     out.kernel_variant =
         lin::kernel::variant_name(lin::kernel::active_variant());
     return out;

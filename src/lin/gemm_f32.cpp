@@ -1,0 +1,119 @@
+/// \file gemm_f32.cpp
+/// \brief The fp32 lane of gemm/gram and the narrow/widen conversions --
+///        float twins of the corresponding pieces of gemm.cpp, with the
+///        same column-granularity one-owner threading.
+
+#include <algorithm>
+
+#include "cacqr/lin/blas_f.hpp"
+#include "cacqr/lin/flops.hpp"
+#include "cacqr/lin/kernel.hpp"
+#include "cacqr/lin/parallel.hpp"
+
+namespace cacqr::lin {
+
+namespace {
+
+/// Same chunking contract as gemm.cpp's scale/mirror passes: column
+/// granularity, ~32K element touches per chunk, one owner per column.
+constexpr i64 kScaleChunkElems = i64{1} << 15;
+
+void scale_full_f32(float beta, MatrixFView c) {
+  if (beta == 1.0f) return;
+  parallel::parallel_for_cols(c.rows, c.cols, kScaleChunkElems,
+                              [&](i64 j0, i64 j1) {
+    for (i64 j = j0; j < j1; ++j) {
+      float* cc = c.data + j * c.ld;
+      if (beta == 0.0f) {
+        for (i64 i = 0; i < c.rows; ++i) cc[i] = 0.0f;
+      } else {
+        for (i64 i = 0; i < c.rows; ++i) cc[i] *= beta;
+      }
+    }
+  });
+}
+
+void scale_lower_f32(float beta, MatrixFView c) {
+  if (beta == 1.0f) return;
+  parallel::parallel_for_cols(c.rows, c.cols, kScaleChunkElems,
+                              [&](i64 j0, i64 j1) {
+    for (i64 j = j0; j < j1; ++j) {
+      float* cc = c.data + j * c.ld;
+      if (beta == 0.0f) {
+        for (i64 i = j; i < c.rows; ++i) cc[i] = 0.0f;
+      } else {
+        for (i64 i = j; i < c.rows; ++i) cc[i] *= beta;
+      }
+    }
+  });
+}
+
+void mirror_lower_f32(MatrixFView c) {
+  parallel::parallel_for_cols(c.rows, c.cols, kScaleChunkElems,
+                              [&](i64 j0, i64 j1) {
+    for (i64 j = j0; j < j1; ++j) {
+      float* cj = c.data + j * c.ld;
+      for (i64 i = 0; i < j; ++i) cj[i] = c(j, i);
+    }
+  });
+}
+
+}  // namespace
+
+void narrow(ConstMatrixView a, MatrixFView b) {
+  ensure_dim(a.rows == b.rows && a.cols == b.cols,
+             "narrow: shape mismatch");
+  parallel::parallel_for_cols(a.rows, a.cols, parallel::kMemoryBoundGrain,
+                              [&](i64 j0, i64 j1) {
+    for (i64 j = j0; j < j1; ++j) {
+      const double* src = a.data + j * a.ld;
+      float* dst = b.data + j * b.ld;
+      for (i64 i = 0; i < a.rows; ++i) dst[i] = static_cast<float>(src[i]);
+    }
+  });
+}
+
+void widen(ConstMatrixFView a, MatrixView b) {
+  ensure_dim(a.rows == b.rows && a.cols == b.cols, "widen: shape mismatch");
+  parallel::parallel_for_cols(a.rows, a.cols, parallel::kMemoryBoundGrain,
+                              [&](i64 j0, i64 j1) {
+    for (i64 j = j0; j < j1; ++j) {
+      const float* src = a.data + j * a.ld;
+      double* dst = b.data + j * b.ld;
+      for (i64 i = 0; i < a.rows; ++i) dst[i] = static_cast<double>(src[i]);
+    }
+  });
+}
+
+void gemm_f32(Trans ta, Trans tb, float alpha, ConstMatrixFView a,
+              ConstMatrixFView b, float beta, MatrixFView c) {
+  const i64 m = ta == Trans::N ? a.rows : a.cols;
+  const i64 ka = ta == Trans::N ? a.cols : a.rows;
+  const i64 kb_dim = tb == Trans::N ? b.rows : b.cols;
+  const i64 n = tb == Trans::N ? b.cols : b.rows;
+  ensure_dim(ka == kb_dim, "gemm_f32: inner dimensions differ (", ka,
+             " vs ", kb_dim, ")");
+  ensure_dim(c.rows == m && c.cols == n, "gemm_f32: output shape mismatch");
+  const i64 k = ka;
+
+  scale_full_f32(beta, c);
+  if (k == 0 || m == 0 || n == 0 || alpha == 0.0f) return;
+
+  kernel::gemm_accumulate_f32(ta, tb, alpha, a, b, c);
+  flops::add(2 * m * n * k);
+}
+
+void gram_f32(float alpha, ConstMatrixFView a, float beta, MatrixFView c) {
+  const i64 n = a.cols;
+  const i64 m = a.rows;
+  ensure_dim(c.rows == n && c.cols == n, "gram_f32: C must be n x n");
+  scale_lower_f32(beta, c);
+  if (alpha != 0.0f) {
+    kernel::gemm_accumulate_f32(Trans::T, Trans::N, alpha, a, a, c,
+                                kernel::TileFilter::Lower);
+  }
+  mirror_lower_f32(c);
+  flops::add(m * n * (n + 1));  // same closed-form charge as lin::gram
+}
+
+}  // namespace cacqr::lin

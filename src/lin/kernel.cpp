@@ -33,6 +33,7 @@ namespace cacqr::lin::kernel {
 using detail::kMaxMr;
 using detail::kMaxNr;
 using detail::MicroKernelImpl;
+using detail::MicroKernelImplF;
 
 namespace {
 
@@ -50,6 +51,23 @@ const MicroKernelImpl* impl_for(Variant v) noexcept {
       return detail::avx512_impl();
     case Variant::neon:
       return detail::neon_impl();
+  }
+  return nullptr;
+}
+
+/// The fp32 twin of impl_for: every variant TU pair shares one
+/// architecture guard, so the f32 descriptor is present exactly when the
+/// f64 one is.
+const MicroKernelImplF* impl_for_f32(Variant v) noexcept {
+  switch (v) {
+    case Variant::generic:
+      return detail::generic_impl_f32();
+    case Variant::avx2:
+      return detail::avx2_impl_f32();
+    case Variant::avx512:
+      return detail::avx512_impl_f32();
+    case Variant::neon:
+      return detail::neon_impl_f32();
   }
   return nullptr;
 }
@@ -141,9 +159,12 @@ std::atomic<i64> g_arena_high_water{0};
 
 /// Grow-only aligned buffer, one per thread per operand.  Growth is the
 /// only allocation the kernel layer ever performs; steady-state calls of a
-/// given shape reuse the high-water buffer.  Stats are process-wide
-/// atomics so tests can assert the no-allocation contract and benches can
-/// report the high-water footprint across worker threads.
+/// given shape reuse the high-water buffer.  Capacity is tracked in BYTES
+/// so the fp64 and fp32 kernel lanes share one pool per thread (their
+/// cache-block geometries are chosen to occupy the same byte budget).
+/// Stats are process-wide atomics so tests can assert the no-allocation
+/// contract and benches can report the high-water footprint across worker
+/// threads.
 class PackArena {
  public:
   PackArena() = default;
@@ -153,30 +174,31 @@ class PackArena {
   ~PackArena() {
     if (buf_ != nullptr) {
       std::free(buf_);
-      g_arena_bytes.fetch_sub(static_cast<i64>(cap_ * sizeof(double)),
+      g_arena_bytes.fetch_sub(static_cast<i64>(cap_),
                               std::memory_order_relaxed);
     }
   }
 
-  double* get(std::size_t doubles) {
-    if (doubles > cap_) grow(doubles);
-    return buf_;
+  template <class T>
+  T* get(std::size_t count) {
+    const std::size_t bytes = count * sizeof(T);
+    if (bytes > cap_) grow(bytes);
+    return static_cast<T*>(buf_);
   }
 
  private:
-  void grow(std::size_t doubles) {
+  void grow(std::size_t want_bytes) {
     // Geometric growth bounds the number of grow events for ramping shapes;
     // 64-byte alignment keeps packed panels cache-line aligned.
-    const std::size_t want = std::max(doubles, cap_ + cap_ / 2);
-    const std::size_t bytes = static_cast<std::size_t>(
-        round_up(static_cast<i64>(want * sizeof(double)), 64));
-    double* fresh = static_cast<double*>(std::aligned_alloc(64, bytes));
+    const std::size_t want = std::max(want_bytes, cap_ + cap_ / 2);
+    const std::size_t bytes =
+        static_cast<std::size_t>(round_up(static_cast<i64>(want), 64));
+    void* fresh = std::aligned_alloc(64, bytes);
     if (fresh == nullptr) throw std::bad_alloc();
     std::free(buf_);
     buf_ = fresh;
-    const i64 delta =
-        static_cast<i64>(bytes) - static_cast<i64>(cap_ * sizeof(double));
-    cap_ = bytes / sizeof(double);
+    const i64 delta = static_cast<i64>(bytes) - static_cast<i64>(cap_);
+    cap_ = bytes;
     g_arena_allocations.fetch_add(1, std::memory_order_relaxed);
     const i64 now =
         g_arena_bytes.fetch_add(delta, std::memory_order_relaxed) + delta;
@@ -186,8 +208,8 @@ class PackArena {
     }
   }
 
-  double* buf_ = nullptr;
-  std::size_t cap_ = 0;  // in doubles
+  void* buf_ = nullptr;
+  std::size_t cap_ = 0;  // in bytes
 };
 
 PackArena& arena_a() {
@@ -201,45 +223,53 @@ PackArena& arena_b() {
 }
 
 // ------------------------------------------------------------- packing
+//
+// Packing, the tile sweep, and the driver body below are templates over
+// the element type: instantiated at double they are token-for-token the
+// pre-fp32 driver (same statements, same operation order, so the fp64
+// lane stays bitwise identical), and at float they carry the fp32 lane
+// through identical machinery.
 
 /// Element of op(A) at (i, k) in the *operated* (post-transpose) index
 /// space.
-inline double op_at(ConstMatrixView a, Trans t, i64 i, i64 k) noexcept {
+template <class View>
+inline auto op_at(const View& a, Trans t, i64 i, i64 k) noexcept {
   return t == Trans::N ? a(i, k) : a(k, i);
 }
 
 /// Packs tmr-row panels [p_begin, p_end) of the mc x kc block of op(A)
 /// starting at (i0, k0): panel p holds rows [p*tmr, p*tmr + tmr) stored
-/// k-major, so the micro-kernel reads tmr contiguous doubles per k step.
+/// k-major, so the micro-kernel reads tmr contiguous elements per k step.
 /// Rows beyond mc are zero-padded, which lets the micro-kernel always run
 /// full tmr x tnr tiles.  The panel range lets a team pack one block
 /// cooperatively (each panel has exactly one packer).  tmr is the active
 /// variant's register-tile height.
-void pack_a(Trans ta, ConstMatrixView a, i64 i0, i64 k0, i64 mc, i64 kc,
-            i64 tmr, double* __restrict buf, i64 p_begin, i64 p_end) {
+template <class T, class View>
+void pack_a(Trans ta, const View& a, i64 i0, i64 k0, i64 mc, i64 kc,
+            i64 tmr, T* __restrict buf, i64 p_begin, i64 p_end) {
   for (i64 pi = p_begin; pi < p_end; ++pi) {
     const i64 p = pi * tmr;
     const i64 mr = std::min(tmr, mc - p);
-    double* panel = buf + p * kc;
+    T* panel = buf + p * kc;
     if (ta == Trans::N && mr == tmr) {
       // Columns of A are contiguous: gather tmr strided rows per k.
-      const double* base = a.data + (i0 + p) + k0 * a.ld;
+      const T* base = a.data + (i0 + p) + k0 * a.ld;
       for (i64 k = 0; k < kc; ++k) {
-        const double* col = base + k * a.ld;
+        const T* col = base + k * a.ld;
         for (i64 i = 0; i < tmr; ++i) panel[k * tmr + i] = col[i];
       }
     } else if (ta == Trans::T && mr == tmr) {
       // op(A)(i, k) = A(k, i): each packed panel row i is a contiguous
       // column i0+p+i of A.
       for (i64 i = 0; i < tmr; ++i) {
-        const double* col = a.data + k0 + (i0 + p + i) * a.ld;
+        const T* col = a.data + k0 + (i0 + p + i) * a.ld;
         for (i64 k = 0; k < kc; ++k) panel[k * tmr + i] = col[k];
       }
     } else {
       for (i64 k = 0; k < kc; ++k) {
         for (i64 i = 0; i < tmr; ++i) {
           panel[k * tmr + i] =
-              i < mr ? op_at(a, ta, i0 + p + i, k0 + k) : 0.0;
+              i < mr ? op_at(a, ta, i0 + p + i, k0 + k) : T(0);
         }
       }
     }
@@ -248,26 +278,27 @@ void pack_a(Trans ta, ConstMatrixView a, i64 i0, i64 k0, i64 mc, i64 kc,
 
 /// Packs tnr-column panels [q_begin, q_end) of the kc x nc block of op(B)
 /// starting at (k0, j0): panel q holds columns [q*tnr, q*tnr + tnr) stored
-/// k-major, so the micro-kernel reads tnr contiguous doubles (one per
+/// k-major, so the micro-kernel reads tnr contiguous elements (one per
 /// register broadcast) per k step.  Columns beyond nc are zero-padded.
 /// tnr is the active variant's register-tile width.
-void pack_b(Trans tb, ConstMatrixView b, i64 k0, i64 j0, i64 kc, i64 nc,
-            i64 tnr, double* __restrict buf, i64 q_begin, i64 q_end) {
+template <class T, class View>
+void pack_b(Trans tb, const View& b, i64 k0, i64 j0, i64 kc, i64 nc,
+            i64 tnr, T* __restrict buf, i64 q_begin, i64 q_end) {
   for (i64 qi = q_begin; qi < q_end; ++qi) {
     const i64 q = qi * tnr;
     const i64 nr = std::min(tnr, nc - q);
-    double* panel = buf + q * kc;
+    T* panel = buf + q * kc;
     if (tb == Trans::N && nr == tnr) {
       // op(B)(k, j) = B(k, j): packed panel column j is a contiguous
       // column j0+q+j of B.
       for (i64 j = 0; j < tnr; ++j) {
-        const double* col = b.data + k0 + (j0 + q + j) * b.ld;
+        const T* col = b.data + k0 + (j0 + q + j) * b.ld;
         for (i64 k = 0; k < kc; ++k) panel[k * tnr + j] = col[k];
       }
     } else if (tb == Trans::T && nr == tnr) {
-      const double* base = b.data + (j0 + q) + k0 * b.ld;
+      const T* base = b.data + (j0 + q) + k0 * b.ld;
       for (i64 k = 0; k < kc; ++k) {
-        const double* col = base + k * b.ld;
+        const T* col = base + k * b.ld;
         for (i64 j = 0; j < tnr; ++j) panel[k * tnr + j] = col[j];
       }
     } else {
@@ -277,7 +308,7 @@ void pack_b(Trans tb, ConstMatrixView b, i64 k0, i64 j0, i64 kc, i64 nc,
           panel[k * tnr + j] =
               j < nr ? (tb == Trans::N ? b(k0 + k, j0 + q + j)
                                        : b(j0 + q + j, k0 + k))
-                     : 0.0;
+                     : T(0);
         }
       }
     }
@@ -305,25 +336,25 @@ inline bool tile_selected(TileFilter f, i64 i, i64 j, i64 mr, i64 nr) {
 /// acc` into its mr x nr rectangle of C.  Every tile is written by exactly
 /// one caller, so parallel sweeps over disjoint panel (or ic block) ranges
 /// stay race-free and bitwise deterministic.
-void sweep_tiles(const MicroKernelImpl& ki, double alpha,
-                 const double* __restrict abuf, const double* __restrict bbuf,
-                 MatrixView c, TileFilter filter, i64 ic, i64 mc, i64 jc,
-                 i64 nc, i64 kc, i64 q_begin, i64 q_end,
-                 double* __restrict acc) {
+template <class T, class Impl, class CMView>
+void sweep_tiles(const Impl& ki, T alpha, const T* __restrict abuf,
+                 const T* __restrict bbuf, CMView c, TileFilter filter,
+                 i64 ic, i64 mc, i64 jc, i64 nc, i64 kc, i64 q_begin,
+                 i64 q_end, T* __restrict acc) {
   const i64 tmr = ki.mr;
   const i64 tnr = ki.nr;
   for (i64 qi = q_begin; qi < q_end; ++qi) {
     const i64 jr = qi * tnr;
     const i64 nr = std::min(tnr, nc - jr);
-    const double* bp = bbuf + jr * kc;
+    const T* bp = bbuf + jr * kc;
     for (i64 ir = 0; ir < mc; ir += tmr) {
       const i64 mr = std::min(tmr, mc - ir);
       if (!tile_selected(filter, ic + ir, jc + jr, mr, nr)) continue;
       ki.tile(kc, abuf + ir * kc, bp, acc);
-      double* ct = c.data + (ic + ir) + (jc + jr) * c.ld;
+      T* ct = c.data + (ic + ir) + (jc + jr) * c.ld;
       for (i64 j = 0; j < nr; ++j) {
-        double* __restrict cc = ct + j * c.ld;
-        const double* __restrict accj = acc + j * tmr;
+        T* __restrict cc = ct + j * c.ld;
+        const T* __restrict accj = acc + j * tmr;
         for (i64 i = 0; i < mr; ++i) cc[i] += alpha * accj[i];
       }
     }
@@ -333,6 +364,14 @@ void sweep_tiles(const MicroKernelImpl& ki, double alpha,
 /// Minimum madd count before a product is worth a parallel region (~100us
 /// of single-thread work); below it, dispatch overhead dominates.
 constexpr double kParallelMaddThreshold = 1 << 20;
+
+/// Per-element-type accumulator-scratch ceiling for the driver body.
+template <class T>
+inline constexpr i64 kMaxAcc = 0;
+template <>
+inline constexpr i64 kMaxAcc<double> = kMaxMr * kMaxNr;
+template <>
+inline constexpr i64 kMaxAcc<float> = detail::kMaxMr32 * detail::kMaxNr32;
 
 }  // namespace
 
@@ -386,16 +425,19 @@ Variant set_kernel_variant(Variant v) {
   return prev->variant;
 }
 
-void gemm_accumulate(Trans ta, Trans tb, double alpha, ConstMatrixView a,
-                     ConstMatrixView b, MatrixView c, TileFilter filter) {
+namespace {
+
+/// The driver body, shared verbatim by the fp64 and fp32 lanes (the
+/// double instantiation is token-for-token the pre-fp32 driver, so
+/// fp64 results stay bitwise identical).
+template <class T, class Impl, class CView, class MView>
+void gemm_accumulate_body(const Impl& ki, Trans ta, Trans tb, T alpha,
+                          CView a, CView b, MView c, TileFilter filter) {
   const i64 m = c.rows;
   const i64 n = c.cols;
   const i64 k = ta == Trans::N ? a.cols : a.rows;
-  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+  if (m == 0 || n == 0 || k == 0 || alpha == T(0)) return;
 
-  // One descriptor read per product: geometry and tile function stay
-  // coherent even if set_kernel_variant races with this call.
-  const MicroKernelImpl ki = *active_impl();
   const i64 TMR = ki.mr, TNR = ki.nr, TMC = ki.mc, TKC = ki.kc, TNC = ki.nc;
 
   const int budget = parallel::thread_budget();
@@ -405,20 +447,20 @@ void gemm_accumulate(Trans ta, Trans tb, double alpha, ConstMatrixView a,
                         kParallelMaddThreshold;
 
   if (!threaded) {
-    alignas(64) double acc[kMaxMr * kMaxNr];
+    alignas(64) T acc[kMaxAcc<T>];
     for (i64 jc = 0; jc < n; jc += TNC) {
       const i64 nc = std::min(TNC, n - jc);
       const i64 nc_pad = round_up(nc, TNR);
       for (i64 pc = 0; pc < k; pc += TKC) {
         const i64 kc = std::min(TKC, k - pc);
-        double* bbuf =
-            arena_b().get(static_cast<std::size_t>(nc_pad * kc));
+        T* bbuf =
+            arena_b().get<T>(static_cast<std::size_t>(nc_pad * kc));
         pack_b(tb, b, pc, jc, kc, nc, TNR, bbuf, 0, ceil_div(nc, TNR));
         for (i64 ic = 0; ic < m; ic += TMC) {
           const i64 mc = std::min(TMC, m - ic);
           const i64 mc_pad = round_up(mc, TMR);
-          double* abuf =
-              arena_a().get(static_cast<std::size_t>(mc_pad * kc));
+          T* abuf =
+              arena_a().get<T>(static_cast<std::size_t>(mc_pad * kc));
           pack_a(ta, a, ic, pc, mc, kc, TMR, abuf, 0, ceil_div(mc, TMR));
           sweep_tiles(ki, alpha, abuf, bbuf, c, filter, ic, mc, jc, nc, kc,
                       0, ceil_div(nc, TNR), acc);
@@ -441,36 +483,36 @@ void gemm_accumulate(Trans ta, Trans tb, double alpha, ConstMatrixView a,
   //        buffer from the next block's repack.
   // Ownership of every C micro-tile is unique and the pc reduction is
   // never split, so the result is bitwise identical to the sequential
-  // driver for every thread count -- per variant.
+  // driver for every thread count -- per variant and per precision.
   for (i64 jc = 0; jc < n; jc += TNC) {
     const i64 nc = std::min(TNC, n - jc);
     const i64 nc_pad = round_up(nc, TNR);
     const i64 q_total = ceil_div(nc, TNR);
     for (i64 pc = 0; pc < k; pc += TKC) {
       const i64 kc = std::min(TKC, k - pc);
-      double* bbuf = arena_b().get(static_cast<std::size_t>(nc_pad * kc));
+      T* bbuf = arena_b().get<T>(static_cast<std::size_t>(nc_pad * kc));
       const i64 ic_total = ceil_div(m, TMC);
       const int nt = static_cast<int>(
           std::min<i64>(budget, std::max(ic_total, q_total)));
       const bool split_ic = ic_total >= nt;
-      double* shared_abuf = nullptr;
+      T* shared_abuf = nullptr;
       if (!split_ic) {
         const i64 mc_max = std::min(TMC, m);
-        shared_abuf = arena_a().get(
+        shared_abuf = arena_a().get<T>(
             static_cast<std::size_t>(round_up(mc_max, TMR) * kc));
       }
       parallel::run(nt, [&](parallel::Team& team) {
         const parallel::Range bq = team.chunk(q_total, 1);
         pack_b(tb, b, pc, jc, kc, nc, TNR, bbuf, bq.begin, bq.end);
         team.barrier();
-        alignas(64) double acc[kMaxMr * kMaxNr];
+        alignas(64) T acc[kMaxAcc<T>];
         if (split_ic) {
           for (i64 blk = team.tid(); blk < ic_total; blk += team.size()) {
             const i64 ic = blk * TMC;
             const i64 mc = std::min(TMC, m - ic);
             const i64 mc_pad = round_up(mc, TMR);
-            double* abuf =
-                arena_a().get(static_cast<std::size_t>(mc_pad * kc));
+            T* abuf =
+                arena_a().get<T>(static_cast<std::size_t>(mc_pad * kc));
             pack_a(ta, a, ic, pc, mc, kc, TMR, abuf, 0, ceil_div(mc, TMR));
             sweep_tiles(ki, alpha, abuf, bbuf, c, filter, ic, mc, jc, nc,
                         kc, 0, q_total, acc);
@@ -492,6 +534,28 @@ void gemm_accumulate(Trans ta, Trans tb, double alpha, ConstMatrixView a,
       });
     }
   }
+}
+
+}  // namespace
+
+void gemm_accumulate(Trans ta, Trans tb, double alpha, ConstMatrixView a,
+                     ConstMatrixView b, MatrixView c, TileFilter filter) {
+  // One descriptor read per product: geometry and tile function stay
+  // coherent even if set_kernel_variant races with this call.
+  const MicroKernelImpl ki = *active_impl();
+  gemm_accumulate_body<double>(ki, ta, tb, alpha, a, b, c, filter);
+}
+
+void gemm_accumulate_f32(Trans ta, Trans tb, float alpha, ConstMatrixFView a,
+                         ConstMatrixFView b, MatrixFView c,
+                         TileFilter filter) {
+  // The fp32 twin of the active variant's descriptor; present exactly
+  // when the variant itself is (same TU, same architecture guard).
+  const MicroKernelImplF* impl = impl_for_f32(active_impl()->variant);
+  ensure(impl != nullptr, "gemm_accumulate_f32: active variant carries no "
+                          "fp32 micro-kernel");
+  const MicroKernelImplF ki = *impl;
+  gemm_accumulate_body<float>(ki, ta, tb, alpha, a, b, c, filter);
 }
 
 ArenaStats arena_stats() noexcept {

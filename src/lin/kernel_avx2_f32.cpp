@@ -1,0 +1,92 @@
+/// \file kernel_avx2_f32.cpp
+/// \brief AVX2+FMA fp32 micro-kernel variant: the fp32 twin of
+///        kernel_avx2.cpp.  A 16 x 6 register tile in 12 ymm accumulators
+///        -- each ymm now carries eight floats -- one two-vector column
+///        load of packed A and six scalar broadcasts of packed B feeding
+///        12 vfmadd231ps per k step.
+///
+/// Compiled with -mavx2 -mfma via the same per-file COMPILE_OPTIONS as the
+/// fp64 twin, behind the same architecture guard: the fp32 descriptor for
+/// the variant exists exactly when the fp64 one does, and the same cpuid
+/// probe gates execution of both.
+
+#include "kernel_impl.hpp"
+
+#if defined(__x86_64__) && defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace cacqr::lin::kernel::detail {
+
+namespace {
+
+void micro_kernel_avx2_f32(i64 kc, const float* __restrict ap,
+                           const float* __restrict bp,
+                           float* __restrict acc) {
+  __m256 c0a = _mm256_setzero_ps(), c0b = _mm256_setzero_ps();
+  __m256 c1a = _mm256_setzero_ps(), c1b = _mm256_setzero_ps();
+  __m256 c2a = _mm256_setzero_ps(), c2b = _mm256_setzero_ps();
+  __m256 c3a = _mm256_setzero_ps(), c3b = _mm256_setzero_ps();
+  __m256 c4a = _mm256_setzero_ps(), c4b = _mm256_setzero_ps();
+  __m256 c5a = _mm256_setzero_ps(), c5b = _mm256_setzero_ps();
+  for (i64 k = 0; k < kc; ++k) {
+    const __m256 a0 = _mm256_loadu_ps(ap);
+    const __m256 a1 = _mm256_loadu_ps(ap + 8);
+    __m256 b = _mm256_broadcast_ss(bp + 0);
+    c0a = _mm256_fmadd_ps(a0, b, c0a);
+    c0b = _mm256_fmadd_ps(a1, b, c0b);
+    b = _mm256_broadcast_ss(bp + 1);
+    c1a = _mm256_fmadd_ps(a0, b, c1a);
+    c1b = _mm256_fmadd_ps(a1, b, c1b);
+    b = _mm256_broadcast_ss(bp + 2);
+    c2a = _mm256_fmadd_ps(a0, b, c2a);
+    c2b = _mm256_fmadd_ps(a1, b, c2b);
+    b = _mm256_broadcast_ss(bp + 3);
+    c3a = _mm256_fmadd_ps(a0, b, c3a);
+    c3b = _mm256_fmadd_ps(a1, b, c3b);
+    b = _mm256_broadcast_ss(bp + 4);
+    c4a = _mm256_fmadd_ps(a0, b, c4a);
+    c4b = _mm256_fmadd_ps(a1, b, c4b);
+    b = _mm256_broadcast_ss(bp + 5);
+    c5a = _mm256_fmadd_ps(a0, b, c5a);
+    c5b = _mm256_fmadd_ps(a1, b, c5b);
+    ap += 16;
+    bp += 6;
+  }
+  _mm256_storeu_ps(acc + 0, c0a);
+  _mm256_storeu_ps(acc + 8, c0b);
+  _mm256_storeu_ps(acc + 16, c1a);
+  _mm256_storeu_ps(acc + 24, c1b);
+  _mm256_storeu_ps(acc + 32, c2a);
+  _mm256_storeu_ps(acc + 40, c2b);
+  _mm256_storeu_ps(acc + 48, c3a);
+  _mm256_storeu_ps(acc + 56, c3b);
+  _mm256_storeu_ps(acc + 64, c4a);
+  _mm256_storeu_ps(acc + 72, c4b);
+  _mm256_storeu_ps(acc + 80, c5a);
+  _mm256_storeu_ps(acc + 88, c5b);
+}
+
+// Same tile register count and cache-block byte budgets as the fp64 avx2
+// kernel: 16 x 6 floats is the 8 x 6-doubles tile at fp32 lane width.
+static_assert(MR32 == 16 && NR32 == 6,
+              "avx2 f32 kernel shares the generic 16x6 geometry");
+
+constexpr MicroKernelImplF kImpl{Variant::avx2, MR32, NR32, MC32, KC32,
+                                 NC32,          &micro_kernel_avx2_f32};
+
+}  // namespace
+
+const MicroKernelImplF* avx2_impl_f32() noexcept { return &kImpl; }
+
+}  // namespace cacqr::lin::kernel::detail
+
+#else  // not an AVX2-capable compilation target
+
+namespace cacqr::lin::kernel::detail {
+
+const MicroKernelImplF* avx2_impl_f32() noexcept { return nullptr; }
+
+}  // namespace cacqr::lin::kernel::detail
+
+#endif

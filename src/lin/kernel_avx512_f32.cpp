@@ -1,0 +1,145 @@
+/// \file kernel_avx512_f32.cpp
+/// \brief AVX-512F fp32 micro-kernel variant: the fp32 twin of
+///        kernel_avx512.cpp.  A 32 x 14 register tile in 28 zmm
+///        accumulators (two 16-wide column vectors x 14 broadcast
+///        columns), the 16 x 14-doubles tile at fp32 lane width.
+///
+/// Compiled with -mavx512f via the same per-file COMPILE_OPTIONS as the
+/// fp64 twin; the same cpuid probe gates execution.  Block geometry keeps
+/// the fp64 variant's byte budgets: KC = 192 holds the KC x 14 packed-B
+/// sliver (10.5 KB of floats) L1-resident, MC = 320 (multiple of 32) puts
+/// the MC x KC packed-A block at ~240 KB for L2, NC = 6160 (multiple of
+/// 14) bounds the packed-B panel at the fp64 variant's byte size.
+
+#include "kernel_impl.hpp"
+
+#if defined(__x86_64__) && defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace cacqr::lin::kernel::detail {
+
+namespace {
+
+inline constexpr i64 kMr = 32;
+inline constexpr i64 kNr = 14;
+
+void micro_kernel_avx512_f32(i64 kc, const float* __restrict ap,
+                             const float* __restrict bp,
+                             float* __restrict acc) {
+  __m512 c0a = _mm512_setzero_ps(), c0b = _mm512_setzero_ps();
+  __m512 c1a = _mm512_setzero_ps(), c1b = _mm512_setzero_ps();
+  __m512 c2a = _mm512_setzero_ps(), c2b = _mm512_setzero_ps();
+  __m512 c3a = _mm512_setzero_ps(), c3b = _mm512_setzero_ps();
+  __m512 c4a = _mm512_setzero_ps(), c4b = _mm512_setzero_ps();
+  __m512 c5a = _mm512_setzero_ps(), c5b = _mm512_setzero_ps();
+  __m512 c6a = _mm512_setzero_ps(), c6b = _mm512_setzero_ps();
+  __m512 c7a = _mm512_setzero_ps(), c7b = _mm512_setzero_ps();
+  __m512 c8a = _mm512_setzero_ps(), c8b = _mm512_setzero_ps();
+  __m512 c9a = _mm512_setzero_ps(), c9b = _mm512_setzero_ps();
+  __m512 caa = _mm512_setzero_ps(), cab = _mm512_setzero_ps();
+  __m512 cba = _mm512_setzero_ps(), cbb = _mm512_setzero_ps();
+  __m512 cca = _mm512_setzero_ps(), ccb = _mm512_setzero_ps();
+  __m512 cda = _mm512_setzero_ps(), cdb = _mm512_setzero_ps();
+  for (i64 k = 0; k < kc; ++k) {
+    const __m512 a0 = _mm512_loadu_ps(ap);
+    const __m512 a1 = _mm512_loadu_ps(ap + 16);
+    __m512 b = _mm512_set1_ps(bp[0]);
+    c0a = _mm512_fmadd_ps(a0, b, c0a);
+    c0b = _mm512_fmadd_ps(a1, b, c0b);
+    b = _mm512_set1_ps(bp[1]);
+    c1a = _mm512_fmadd_ps(a0, b, c1a);
+    c1b = _mm512_fmadd_ps(a1, b, c1b);
+    b = _mm512_set1_ps(bp[2]);
+    c2a = _mm512_fmadd_ps(a0, b, c2a);
+    c2b = _mm512_fmadd_ps(a1, b, c2b);
+    b = _mm512_set1_ps(bp[3]);
+    c3a = _mm512_fmadd_ps(a0, b, c3a);
+    c3b = _mm512_fmadd_ps(a1, b, c3b);
+    b = _mm512_set1_ps(bp[4]);
+    c4a = _mm512_fmadd_ps(a0, b, c4a);
+    c4b = _mm512_fmadd_ps(a1, b, c4b);
+    b = _mm512_set1_ps(bp[5]);
+    c5a = _mm512_fmadd_ps(a0, b, c5a);
+    c5b = _mm512_fmadd_ps(a1, b, c5b);
+    b = _mm512_set1_ps(bp[6]);
+    c6a = _mm512_fmadd_ps(a0, b, c6a);
+    c6b = _mm512_fmadd_ps(a1, b, c6b);
+    b = _mm512_set1_ps(bp[7]);
+    c7a = _mm512_fmadd_ps(a0, b, c7a);
+    c7b = _mm512_fmadd_ps(a1, b, c7b);
+    b = _mm512_set1_ps(bp[8]);
+    c8a = _mm512_fmadd_ps(a0, b, c8a);
+    c8b = _mm512_fmadd_ps(a1, b, c8b);
+    b = _mm512_set1_ps(bp[9]);
+    c9a = _mm512_fmadd_ps(a0, b, c9a);
+    c9b = _mm512_fmadd_ps(a1, b, c9b);
+    b = _mm512_set1_ps(bp[10]);
+    caa = _mm512_fmadd_ps(a0, b, caa);
+    cab = _mm512_fmadd_ps(a1, b, cab);
+    b = _mm512_set1_ps(bp[11]);
+    cba = _mm512_fmadd_ps(a0, b, cba);
+    cbb = _mm512_fmadd_ps(a1, b, cbb);
+    b = _mm512_set1_ps(bp[12]);
+    cca = _mm512_fmadd_ps(a0, b, cca);
+    ccb = _mm512_fmadd_ps(a1, b, ccb);
+    b = _mm512_set1_ps(bp[13]);
+    cda = _mm512_fmadd_ps(a0, b, cda);
+    cdb = _mm512_fmadd_ps(a1, b, cdb);
+    ap += kMr;
+    bp += kNr;
+  }
+  _mm512_storeu_ps(acc + 0 * kMr, c0a);
+  _mm512_storeu_ps(acc + 0 * kMr + 16, c0b);
+  _mm512_storeu_ps(acc + 1 * kMr, c1a);
+  _mm512_storeu_ps(acc + 1 * kMr + 16, c1b);
+  _mm512_storeu_ps(acc + 2 * kMr, c2a);
+  _mm512_storeu_ps(acc + 2 * kMr + 16, c2b);
+  _mm512_storeu_ps(acc + 3 * kMr, c3a);
+  _mm512_storeu_ps(acc + 3 * kMr + 16, c3b);
+  _mm512_storeu_ps(acc + 4 * kMr, c4a);
+  _mm512_storeu_ps(acc + 4 * kMr + 16, c4b);
+  _mm512_storeu_ps(acc + 5 * kMr, c5a);
+  _mm512_storeu_ps(acc + 5 * kMr + 16, c5b);
+  _mm512_storeu_ps(acc + 6 * kMr, c6a);
+  _mm512_storeu_ps(acc + 6 * kMr + 16, c6b);
+  _mm512_storeu_ps(acc + 7 * kMr, c7a);
+  _mm512_storeu_ps(acc + 7 * kMr + 16, c7b);
+  _mm512_storeu_ps(acc + 8 * kMr, c8a);
+  _mm512_storeu_ps(acc + 8 * kMr + 16, c8b);
+  _mm512_storeu_ps(acc + 9 * kMr, c9a);
+  _mm512_storeu_ps(acc + 9 * kMr + 16, c9b);
+  _mm512_storeu_ps(acc + 10 * kMr, caa);
+  _mm512_storeu_ps(acc + 10 * kMr + 16, cab);
+  _mm512_storeu_ps(acc + 11 * kMr, cba);
+  _mm512_storeu_ps(acc + 11 * kMr + 16, cbb);
+  _mm512_storeu_ps(acc + 12 * kMr, cca);
+  _mm512_storeu_ps(acc + 12 * kMr + 16, ccb);
+  _mm512_storeu_ps(acc + 13 * kMr, cda);
+  _mm512_storeu_ps(acc + 13 * kMr + 16, cdb);
+}
+
+static_assert(kMr <= kMaxMr32 && kNr <= kMaxNr32,
+              "avx512 f32 geometry exceeds the driver's accumulator scratch");
+
+constexpr MicroKernelImplF kImpl{Variant::avx512, kMr,  kNr, 320, 192,
+                                 6160,            &micro_kernel_avx512_f32};
+
+static_assert(kImpl.mc % kImpl.mr == 0 && kImpl.nc % kImpl.nr == 0,
+              "block sizes must be multiples of the register tile");
+
+}  // namespace
+
+const MicroKernelImplF* avx512_impl_f32() noexcept { return &kImpl; }
+
+}  // namespace cacqr::lin::kernel::detail
+
+#else  // not an AVX-512-capable compilation target
+
+namespace cacqr::lin::kernel::detail {
+
+const MicroKernelImplF* avx512_impl_f32() noexcept { return nullptr; }
+
+}  // namespace cacqr::lin::kernel::detail
+
+#endif

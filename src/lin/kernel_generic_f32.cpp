@@ -1,0 +1,100 @@
+/// \file kernel_generic_f32.cpp
+/// \brief The always-available generic fp32 micro-kernel: the fp32 twin of
+///        kernel_generic.cpp -- 16 x 6 in 12 named 256-bit accumulators
+///        (eight floats per lane where the fp64 kernel holds four doubles)
+///        with a portable scalar fallback.  Compiled with the base flags
+///        only, like its fp64 twin.
+
+#include "kernel_impl.hpp"
+
+namespace cacqr::lin::kernel::detail {
+
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+
+/// Eight floats in a SIMD lane (256-bit); aligned(4) keeps loads from the
+/// packed panels unaligned-safe.
+typedef float v8sf __attribute__((vector_size(32), aligned(4)));
+
+inline v8sf load8(const float* p) {
+  return *reinterpret_cast<const v8sf*>(p);
+}
+inline void store8(float* p, v8sf v) { *reinterpret_cast<v8sf*>(p) = v; }
+
+/// acc(MR32 x NR32) = Ap(MR32 x kc) * Bp(kc x NR32) over zero-padded
+/// packed panels: each k step is one two-vector column load of A and six
+/// scalar broadcasts of B feeding 12 FMAs, exactly the fp64 kernel's
+/// schedule at twice the lane width.
+void micro_kernel_f32(i64 kc, const float* __restrict ap,
+                      const float* __restrict bp, float* __restrict acc) {
+  static_assert(MR32 == 16 && NR32 == 6,
+                "micro_kernel_f32 is specialized for 16x6");
+  v8sf c0a{}, c0b{}, c1a{}, c1b{}, c2a{}, c2b{};
+  v8sf c3a{}, c3b{}, c4a{}, c4b{}, c5a{}, c5b{};
+  for (i64 k = 0; k < kc; ++k) {
+    const v8sf a0 = load8(ap);
+    const v8sf a1 = load8(ap + 8);
+    c0a += a0 * bp[0];
+    c0b += a1 * bp[0];
+    c1a += a0 * bp[1];
+    c1b += a1 * bp[1];
+    c2a += a0 * bp[2];
+    c2b += a1 * bp[2];
+    c3a += a0 * bp[3];
+    c3b += a1 * bp[3];
+    c4a += a0 * bp[4];
+    c4b += a1 * bp[4];
+    c5a += a0 * bp[5];
+    c5b += a1 * bp[5];
+    ap += MR32;
+    bp += NR32;
+  }
+  store8(acc + 0 * MR32, c0a);
+  store8(acc + 0 * MR32 + 8, c0b);
+  store8(acc + 1 * MR32, c1a);
+  store8(acc + 1 * MR32 + 8, c1b);
+  store8(acc + 2 * MR32, c2a);
+  store8(acc + 2 * MR32 + 8, c2b);
+  store8(acc + 3 * MR32, c3a);
+  store8(acc + 3 * MR32 + 8, c3b);
+  store8(acc + 4 * MR32, c4a);
+  store8(acc + 4 * MR32 + 8, c4b);
+  store8(acc + 5 * MR32, c5a);
+  store8(acc + 5 * MR32 + 8, c5b);
+}
+
+#else
+
+/// Portable fallback: fixed trip counts over a local accumulator array.
+void micro_kernel_f32(i64 kc, const float* __restrict ap,
+                      const float* __restrict bp, float* __restrict acc) {
+  for (i64 i = 0; i < MR32 * NR32; ++i) acc[i] = 0.0f;
+  for (i64 k = 0; k < kc; ++k) {
+    const float* __restrict av = ap + k * MR32;
+    const float* __restrict bv = bp + k * NR32;
+    for (i64 j = 0; j < NR32; ++j) {
+      const float bj = bv[j];
+      float* __restrict accj = acc + j * MR32;
+      for (i64 i = 0; i < MR32; ++i) accj[i] += av[i] * bj;
+    }
+  }
+}
+
+#endif
+
+static_assert(MR32 <= kMaxMr32 && NR32 <= kMaxNr32,
+              "generic f32 geometry exceeds the driver's accumulator scratch");
+
+constexpr MicroKernelImplF kImpl{Variant::generic, MR32, NR32,
+                                 MC32,             KC32, NC32,
+                                 &micro_kernel_f32};
+
+static_assert(kImpl.mc % kImpl.mr == 0 && kImpl.nc % kImpl.nr == 0,
+              "block sizes must be multiples of the register tile");
+
+}  // namespace
+
+const MicroKernelImplF* generic_impl_f32() noexcept { return &kImpl; }
+
+}  // namespace cacqr::lin::kernel::detail

@@ -50,4 +50,36 @@ struct MicroKernelImpl {
 [[nodiscard]] const MicroKernelImpl* avx512_impl() noexcept;
 [[nodiscard]] const MicroKernelImpl* neon_impl() noexcept;
 
+// ------------------------------------------------------------ fp32 lane
+//
+// Each variant TU has an fp32 twin (kernel_*_f32.cpp) compiled with the
+// same per-file ISA flags and the same architecture guard, exporting the
+// same descriptor shape at twice the SIMD lane width.  The f32 descriptor
+// for a variant is present exactly when the f64 one is, so a single
+// runtime probe/dispatch decision covers both precisions.
+
+/// fp32 tile contract; identical semantics to TileFn at float width.
+using TileFnF = void (*)(i64 kc, const float* __restrict ap,
+                         const float* __restrict bp, float* __restrict acc);
+
+/// Accumulator-scratch ceilings for the fp32 driver instantiation
+/// (avx512 f32 runs a 32 x 14 tile).
+inline constexpr i64 kMaxMr32 = 32;
+inline constexpr i64 kMaxNr32 = 14;
+
+struct MicroKernelImplF {
+  Variant variant = Variant::generic;
+  i64 mr = 0;
+  i64 nr = 0;
+  i64 mc = 0;
+  i64 kc = 0;
+  i64 nc = 0;
+  TileFnF tile = nullptr;
+};
+
+[[nodiscard]] const MicroKernelImplF* generic_impl_f32() noexcept;
+[[nodiscard]] const MicroKernelImplF* avx2_impl_f32() noexcept;
+[[nodiscard]] const MicroKernelImplF* avx512_impl_f32() noexcept;
+[[nodiscard]] const MicroKernelImplF* neon_impl_f32() noexcept;
+
 }  // namespace cacqr::lin::kernel::detail

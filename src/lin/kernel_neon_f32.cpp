@@ -1,0 +1,102 @@
+/// \file kernel_neon_f32.cpp
+/// \brief AArch64 NEON (ASIMD) fp32 micro-kernel variant: the fp32 twin of
+///        kernel_neon.cpp.  The 16 x 6 tile held in 24 float32x4_t
+///        accumulators, one four-vector column load of packed A and six
+///        lane-broadcast FMAs of packed B per k step -- the fp64 kernel's
+///        schedule with each q register carrying four floats instead of
+///        two doubles.  Executable wherever it compiles, like the fp64
+///        twin.
+
+#include "kernel_impl.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace cacqr::lin::kernel::detail {
+
+namespace {
+
+void micro_kernel_neon_f32(i64 kc, const float* __restrict ap,
+                           const float* __restrict bp,
+                           float* __restrict acc) {
+  static_assert(MR32 == 16 && NR32 == 6,
+                "neon f32 kernel shares the 16x6 geometry");
+  float32x4_t c0[4] = {vdupq_n_f32(0.0f), vdupq_n_f32(0.0f),
+                       vdupq_n_f32(0.0f), vdupq_n_f32(0.0f)};
+  float32x4_t c1[4] = {vdupq_n_f32(0.0f), vdupq_n_f32(0.0f),
+                       vdupq_n_f32(0.0f), vdupq_n_f32(0.0f)};
+  float32x4_t c2[4] = {vdupq_n_f32(0.0f), vdupq_n_f32(0.0f),
+                       vdupq_n_f32(0.0f), vdupq_n_f32(0.0f)};
+  float32x4_t c3[4] = {vdupq_n_f32(0.0f), vdupq_n_f32(0.0f),
+                       vdupq_n_f32(0.0f), vdupq_n_f32(0.0f)};
+  float32x4_t c4[4] = {vdupq_n_f32(0.0f), vdupq_n_f32(0.0f),
+                       vdupq_n_f32(0.0f), vdupq_n_f32(0.0f)};
+  float32x4_t c5[4] = {vdupq_n_f32(0.0f), vdupq_n_f32(0.0f),
+                       vdupq_n_f32(0.0f), vdupq_n_f32(0.0f)};
+  for (i64 k = 0; k < kc; ++k) {
+    const float32x4_t a0 = vld1q_f32(ap);
+    const float32x4_t a1 = vld1q_f32(ap + 4);
+    const float32x4_t a2 = vld1q_f32(ap + 8);
+    const float32x4_t a3 = vld1q_f32(ap + 12);
+    float b = bp[0];
+    c0[0] = vfmaq_n_f32(c0[0], a0, b);
+    c0[1] = vfmaq_n_f32(c0[1], a1, b);
+    c0[2] = vfmaq_n_f32(c0[2], a2, b);
+    c0[3] = vfmaq_n_f32(c0[3], a3, b);
+    b = bp[1];
+    c1[0] = vfmaq_n_f32(c1[0], a0, b);
+    c1[1] = vfmaq_n_f32(c1[1], a1, b);
+    c1[2] = vfmaq_n_f32(c1[2], a2, b);
+    c1[3] = vfmaq_n_f32(c1[3], a3, b);
+    b = bp[2];
+    c2[0] = vfmaq_n_f32(c2[0], a0, b);
+    c2[1] = vfmaq_n_f32(c2[1], a1, b);
+    c2[2] = vfmaq_n_f32(c2[2], a2, b);
+    c2[3] = vfmaq_n_f32(c2[3], a3, b);
+    b = bp[3];
+    c3[0] = vfmaq_n_f32(c3[0], a0, b);
+    c3[1] = vfmaq_n_f32(c3[1], a1, b);
+    c3[2] = vfmaq_n_f32(c3[2], a2, b);
+    c3[3] = vfmaq_n_f32(c3[3], a3, b);
+    b = bp[4];
+    c4[0] = vfmaq_n_f32(c4[0], a0, b);
+    c4[1] = vfmaq_n_f32(c4[1], a1, b);
+    c4[2] = vfmaq_n_f32(c4[2], a2, b);
+    c4[3] = vfmaq_n_f32(c4[3], a3, b);
+    b = bp[5];
+    c5[0] = vfmaq_n_f32(c5[0], a0, b);
+    c5[1] = vfmaq_n_f32(c5[1], a1, b);
+    c5[2] = vfmaq_n_f32(c5[2], a2, b);
+    c5[3] = vfmaq_n_f32(c5[3], a3, b);
+    ap += MR32;
+    bp += NR32;
+  }
+  for (i64 h = 0; h < 4; ++h) {
+    vst1q_f32(acc + 0 * MR32 + 4 * h, c0[h]);
+    vst1q_f32(acc + 1 * MR32 + 4 * h, c1[h]);
+    vst1q_f32(acc + 2 * MR32 + 4 * h, c2[h]);
+    vst1q_f32(acc + 3 * MR32 + 4 * h, c3[h]);
+    vst1q_f32(acc + 4 * MR32 + 4 * h, c4[h]);
+    vst1q_f32(acc + 5 * MR32 + 4 * h, c5[h]);
+  }
+}
+
+constexpr MicroKernelImplF kImpl{Variant::neon, MR32, NR32, MC32, KC32,
+                                 NC32,          &micro_kernel_neon_f32};
+
+}  // namespace
+
+const MicroKernelImplF* neon_impl_f32() noexcept { return &kImpl; }
+
+}  // namespace cacqr::lin::kernel::detail
+
+#else  // not an AArch64 compilation target
+
+namespace cacqr::lin::kernel::detail {
+
+const MicroKernelImplF* neon_impl_f32() noexcept { return nullptr; }
+
+}  // namespace cacqr::lin::kernel::detail
+
+#endif

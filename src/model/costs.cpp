@@ -134,8 +134,7 @@ Cost cost_cfr3d(double n, double g, double n0, int inverse_depth) {
   return c;
 }
 
-Cost cost_ca_cqr(double m, double n, double c, double d, double n0,
-                 int inverse_depth) {
+Cost cost_gram_stage(double m, double n, double c, double d) {
   Cost t;
   const double local_a = m * n / (d * c);      // words of the local block
   const double gram_blk = n * n / (c * c);     // Gram block on the subcube
@@ -147,6 +146,15 @@ Cost cost_ca_cqr(double m, double n, double c, double d, double n0,
   t += cost_reduce(gram_blk, c);
   t += cost_allreduce(gram_blk, d / c);
   t += cost_bcast(gram_blk, c);
+  return t;
+}
+
+Cost cost_ca_cqr(double m, double n, double c, double d, double n0,
+                 int inverse_depth) {
+  const double local_a = m * n / (d * c);      // words of the local block
+  const double gram_blk = n * n / (c * c);     // Gram block on the subcube
+  // Lines 1-5: the Gram assembly.
+  Cost t = cost_gram_stage(m, n, c, d);
   const int depth = c <= 1.0 ? 0 : inverse_depth;
   // Lines 6-7: CFR3D on the subcube.
   t += cost_cfr3d(n, c, n0, depth);

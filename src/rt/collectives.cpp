@@ -159,7 +159,37 @@ void build_bcast(RequestState& r, std::span<double> data, int root) {
   build_bruck_allgather(r, data.data(), off, p, v, vrank_to_rank);
 }
 
-void build_allreduce(RequestState& r, std::span<double> data) {
+namespace {
+
+/// dst[0..words) += src[0..words), double-wise: the combine of the fp64
+/// allreduce, verbatim (both accumulate sites below reduce to this loop,
+/// so the fp64 instantiation of build_allreduce_impl is bit-identical to
+/// the historical hand-written schedule).
+struct AddWordsF64 {
+  void operator()(double* dst, const double* src, i64 words) const {
+    for (i64 i = 0; i < words; ++i) dst[i] += src[i];
+  }
+};
+
+/// Float-wise combine over the same word extent: each 8-byte word carries
+/// two fp32 lanes (lin::MatrixF::wire() layout; an odd tail rides a
+/// zeroed pad lane, and 0.0f + 0.0f keeps the pad zero through every
+/// stage).  Charged words are unchanged -- that is the point.
+struct AddWordsF32 {
+  void operator()(double* dst, const double* src, i64 words) const {
+    float* d = reinterpret_cast<float*>(dst);
+    const float* s = reinterpret_cast<const float*>(src);
+    const i64 n = 2 * words;
+    for (i64 i = 0; i < n; ++i) d[i] += s[i];
+  }
+};
+
+/// Rabenseifner allreduce schedule, parameterized only on the combine:
+/// the peers, payload extents, and step order are precision-independent
+/// (words in, words out).
+template <class Combine>
+void build_allreduce_impl(RequestState& r, std::span<double> data,
+                          Combine combine) {
   const int p = static_cast<int>(r.comm->members.size());
   if (p == 1 || data.empty()) return;
   const int me = r.comm->myrank;
@@ -179,9 +209,8 @@ void build_allreduce(RequestState& r, std::span<double> data) {
   r.tmp.resize(data.size());
   double* tmp = r.tmp.data();
   if (me < extras) {
-    r.steps.push_back({Step::Kind::Recv, me + p2, tmp, n, [d, tmp, n] {
-                         for (i64 i = 0; i < n; ++i) d[i] += tmp[i];
-                       }});
+    r.steps.push_back({Step::Kind::Recv, me + p2, tmp, n,
+                       [combine, d, tmp, n] { combine(d, tmp, n); }});
   }
 
   // Recursive-halving reduce-scatter among the pow2 set [0, p2).
@@ -202,11 +231,9 @@ void build_allreduce(RequestState& r, std::span<double> data) {
     const i64 ko = off[static_cast<std::size_t>(k0)];
     const i64 kn = off[static_cast<std::size_t>(k1)] - ko;
     r.steps.push_back({Step::Kind::Send, partner, d + so, sn, {}});
-    r.steps.push_back({Step::Kind::Recv, partner, tmp, kn, [d, tmp, ko, kn] {
-                         for (i64 i = 0; i < kn; ++i) {
-                           d[ko + i] += tmp[static_cast<std::size_t>(i)];
-                         }
-                       }});
+    r.steps.push_back(
+        {Step::Kind::Recv, partner, tmp, kn,
+         [combine, d, tmp, ko, kn] { combine(d + ko, tmp, kn); }});
     if (lower) {
       hi = mid;
     } else {
@@ -221,6 +248,16 @@ void build_allreduce(RequestState& r, std::span<double> data) {
   if (me < extras) {
     r.steps.push_back({Step::Kind::Send, me + p2, d, n, {}});
   }
+}
+
+}  // namespace
+
+void build_allreduce(RequestState& r, std::span<double> data) {
+  build_allreduce_impl(r, data, AddWordsF64{});
+}
+
+void build_allreduce_f32(RequestState& r, std::span<double> words) {
+  build_allreduce_impl(r, words, AddWordsF32{});
 }
 
 void build_allgather(RequestState& r, std::span<const double> mine,
@@ -266,6 +303,14 @@ Request Comm::start_allreduce_sum(std::span<double> data) const {
   auto st = std::make_unique<detail::RequestState>();
   st->comm = state_;
   detail::build_allreduce(*st, data);
+  detail::start_request(*st);
+  return Request(std::move(st));
+}
+
+Request Comm::start_allreduce_sum_f32(std::span<double> words) const {
+  auto st = std::make_unique<detail::RequestState>();
+  st->comm = state_;
+  detail::build_allreduce_f32(*st, words);
   detail::start_request(*st);
   return Request(std::move(st));
 }
@@ -323,6 +368,19 @@ void Comm::allreduce_sum(std::span<double> data) const {
 
 void Comm::reduce_sum(std::span<double> data, int root) const {
   Request r = start_reduce_sum(data, root);
+  r.wait();
+}
+
+void Comm::allreduce_sum_f32(std::span<double> words) const {
+  Request r = start_allreduce_sum_f32(words);
+  r.wait();
+}
+
+void Comm::reduce_sum_f32(std::span<double> words, int root) const {
+  ensure<CommError>(root >= 0 && root < size(),
+                    "reduce_sum_f32: bad root ", root);
+  // Reduce == Allreduce in the paper's cost table; see start_reduce_sum.
+  Request r = start_allreduce_sum_f32(words);
   r.wait();
 }
 

@@ -160,6 +160,12 @@ void unregister_request(RequestState& r);
 
 void build_bcast(RequestState& r, std::span<double> data, int root);
 void build_allreduce(RequestState& r, std::span<double> data);
+/// Allreduce of an fp32 payload riding in whole 8-byte words (two floats
+/// per word, lin::MatrixF::wire()).  Same schedule, peers, and word
+/// counts as build_allreduce on `words`; only the combine differs (it
+/// adds float-wise).  chunk partitioning is word-granular, so float
+/// pairs never split across chunks.
+void build_allreduce_f32(RequestState& r, std::span<double> words);
 void build_allgather(RequestState& r, std::span<const double> mine,
                      std::span<double> all);
 void build_sendrecv_swap(RequestState& r, int partner,

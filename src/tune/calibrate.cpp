@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "cacqr/lin/blas.hpp"
+#include "cacqr/lin/blas_f.hpp"
 #include "cacqr/lin/generate.hpp"
 #include "cacqr/lin/kernel.hpp"
 #include "cacqr/lin/parallel.hpp"
@@ -72,6 +73,36 @@ double time_gram(i64 m, i64 n, int reps) {
   lin::Matrix c(n, n);
   const double secs =
       best_seconds(reps, [&] { lin::gram(1.0, a, 0.0, c); });
+  return model::flops_gram(static_cast<double>(m), static_cast<double>(n)) /
+         secs * 1e-9;
+}
+
+/// fp32-lane twin of time_gemm: same shapes, same closed-form flop count
+/// (the fp32 kernels charge fp64 flop counts -- gamma counts operations),
+/// so the returned GFLOP/s is directly comparable to the fp64 rate.
+double time_gemm_f32(i64 m, i64 k, i64 n, int threads, int reps) {
+  BudgetGuard guard(threads);
+  lin::MatrixF a = lin::MatrixF::uninit(m, k);
+  lin::MatrixF b = lin::MatrixF::uninit(k, n);
+  lin::narrow(lin::hashed_matrix(11, m, k), a);
+  lin::narrow(lin::hashed_matrix(12, k, n), b);
+  lin::MatrixF c(m, n);
+  const double secs = best_seconds(reps, [&] {
+    lin::gemm_f32(lin::Trans::N, lin::Trans::N, 1.0f, a, b, 0.0f, c);
+  });
+  return model::flops_gemm(static_cast<double>(m), static_cast<double>(k),
+                           static_cast<double>(n)) /
+         secs * 1e-9;
+}
+
+/// fp32-lane twin of time_gram.
+double time_gram_f32(i64 m, i64 n, int reps) {
+  BudgetGuard guard(1);
+  lin::MatrixF a = lin::MatrixF::uninit(m, n);
+  lin::narrow(lin::hashed_matrix(13, m, n), a);
+  lin::MatrixF c(n, n);
+  const double secs =
+      best_seconds(reps, [&] { lin::gram_f32(1.0f, a, 0.0f, c); });
   return model::flops_gram(static_cast<double>(m), static_cast<double>(n)) /
          secs * 1e-9;
 }
@@ -171,6 +202,28 @@ MachineProfile calibrate(const CalibrateOptions& opts) {
     // fitted gamma.
     cal.gamma_s = 1.0 / (std::max(best_rate, 0.1) * 1e9);
     cal.peak_gflops = best_rate;
+
+    // The fp32 lane of the same variant: identical shapes, closed-form
+    // flop counts, and forced dispatch, so gamma32 is the per-precision
+    // rate the planner's mixed-precision scoring needs.
+    double best32 = 0.0;
+    {
+      const double gf = time_gemm_f32(sq, sq, sq, 1, reps);
+      p.kernels.push_back({"gemm_nn_f32", sq, sq, sq, gf, vname});
+      best32 = std::max(best32, gf);
+    }
+    {
+      const double gf = time_gemm_f32(tall_m, tall_n, tall_n, 1, reps);
+      p.kernels.push_back({"gemm_nn_f32", tall_m, tall_n, tall_n, gf, vname});
+      best32 = std::max(best32, gf);
+    }
+    {
+      const double gf = time_gram_f32(tall_m, tall_n, reps);
+      p.kernels.push_back({"gram_f32", tall_m, tall_n, 0, gf, vname});
+      best32 = std::max(best32, gf);
+    }
+    cal.gamma32_s = 1.0 / (std::max(best32, 0.1) * 1e9);
+    cal.peak_gflops32 = best32;
 
     // Per-variant thread scaling: the square gemm at growing budgets.
     cal.scaling = {{1, 1.0}};

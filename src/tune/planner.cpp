@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cacqr/lin/kernel.hpp"
+#include "cacqr/model/costs.hpp"
 #include "cacqr/model/sweep.hpp"
 #include "cacqr/support/error.hpp"
 
@@ -11,7 +12,8 @@ namespace cacqr::tune {
 std::string ProblemKey::text() const {
   return "m" + std::to_string(m) + "_n" + std::to_string(n) + "_p" +
          std::to_string(p) + "_t" + std::to_string(threads) + "_s" +
-         std::to_string(passes) + "_bc" + std::to_string(base_case);
+         std::to_string(passes) + "_bc" + std::to_string(base_case) + "_" +
+         precision_name(precision);
 }
 
 std::string Plan::grid() const {
@@ -36,6 +38,7 @@ support::Json Plan::to_json() const {
   j.set("measured_seconds", measured_seconds);
   j.set("source", source);
   j.set("kernel_variant", kernel_variant);
+  j.set("precision", precision_name(precision));
   return j;
 }
 
@@ -54,6 +57,9 @@ std::optional<Plan> Plan::from_json(const support::Json& j) {
   p.measured_seconds = j["measured_seconds"].as_number();
   p.source = j["source"].as_string();
   p.kernel_variant = j["kernel_variant"].as_string();
+  const auto prec = parse_precision(j["precision"].as_string());
+  if (!prec) return std::nullopt;
+  p.precision = *prec;
   // A cached plan must name a variant and a sane configuration; anything
   // else is treated as corruption (ignored by the loader).
   if (p.algo == "cqr_1d") {
@@ -90,6 +96,27 @@ std::vector<Plan> Planner::candidates(const ProblemKey& key) const {
   // linearly in passes (pgeqrf ignores the knob).
   const double pass_factor =
       std::max(1, key.passes) / 2.0;
+  // The precision axis: how many CholeskyQR passes run their Gram stage
+  // in fp32 under this key, mirroring the driver exactly -- `mixed`
+  // confines it to the first pass, `fp32` keeps it for every pass, and
+  // the 3-pass shifted fallback ignores the knob (always fp64).  For
+  // each affected pass the re-scored Gram stage keeps its alpha, ships
+  // half the beta words (fp32 pairs riding whole 8-byte wire words), and
+  // charges its flops at the variant's measured fp32-lane gamma.
+  const double f32_passes =
+      key.precision == Precision::fp64 || key.passes == 3 ? 0.0
+      : key.precision == Precision::mixed
+          ? 1.0
+          : static_cast<double>(std::min(key.passes, 2));
+  const model::Machine mach32 =
+      profile_.machine_for(kv, key.threads, Precision::fp32);
+  const auto precision_adjust = [&](double c, double d) {
+    if (f32_passes == 0.0) return 0.0;
+    const model::Cost gram = model::cost_gram_stage(m, n, c, d);
+    const model::Cost gram32{gram.alpha, gram.beta * 0.5, gram.gamma,
+                             gram.mem};
+    return f32_passes * (gram32.time(mach32) - gram.time(mach));
+  };
   std::vector<Plan> out;
 
   // Variant 1: 1D-CQR2 on all P ranks (always valid; the driver pads m
@@ -100,7 +127,8 @@ std::vector<Plan> Planner::candidates(const ProblemKey& key) const {
     p.d = key.p;
     p.predicted_seconds =
         model::cost_cqr2_1d(m, n, static_cast<double>(key.p)).time(mach) *
-        pass_factor;
+            pass_factor +
+        precision_adjust(1.0, static_cast<double>(key.p));
     p.source = "model";
     out.push_back(std::move(p));
   }
@@ -120,7 +148,8 @@ std::vector<Plan> Planner::candidates(const ProblemKey& key) const {
     p.c = static_cast<int>(c);
     p.d = static_cast<int>(d);
     p.predicted_seconds =
-        model::eval_cacqr2(m, n, c, d, mach).seconds * pass_factor;
+        model::eval_cacqr2(m, n, c, d, mach).seconds * pass_factor +
+        precision_adjust(static_cast<double>(c), static_cast<double>(d));
     p.source = "model";
     out.push_back(std::move(p));
   }
@@ -145,7 +174,13 @@ std::vector<Plan> Planner::candidates(const ProblemKey& key) const {
     }
   }
 
-  for (Plan& p : out) p.kernel_variant = kv;
+  // Every plan records the precision it was scored under (pgeqrf_2d has
+  // no fp32 lane and its score is precision-independent, but the tag
+  // still gates cache reuse uniformly).
+  for (Plan& p : out) {
+    p.kernel_variant = kv;
+    p.precision = key.precision;
+  }
 
   // Deterministic order: predicted time ascending; ties broken by the
   // enumeration order above (stable sort), which is itself fixed.

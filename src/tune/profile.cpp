@@ -82,12 +82,20 @@ model::Machine MachineProfile::machine_at(int threads) const {
 }
 
 model::Machine MachineProfile::machine_for(std::string_view variant,
-                                           int threads) const {
+                                           int threads,
+                                           Precision precision) const {
+  const bool f32 = precision != Precision::fp64;
   for (const VariantCalibration& v : variants) {
     if (v.variant != variant || !usable(v.gamma_s)) continue;
     model::Machine m = machine;
-    m.gamma_s = v.gamma_s;
-    if (usable(v.peak_gflops)) m.peak_gflops_node = v.peak_gflops;
+    // An unmeasured fp32 lane (gamma32_s == 0, e.g. a hand-built or
+    // pre-v3 in-memory profile) conservatively reuses the fp64 rate.
+    m.gamma_s = f32 && usable(v.gamma32_s) ? v.gamma32_s : v.gamma_s;
+    if (f32 && usable(v.peak_gflops32)) {
+      m.peak_gflops_node = v.peak_gflops32;
+    } else if (usable(v.peak_gflops)) {
+      m.peak_gflops_node = v.peak_gflops;
+    }
     double speedup = 1.0;
     for (const ThreadScaling& s : v.scaling) {
       if (s.threads <= threads && usable(s.speedup)) speedup = s.speedup;
@@ -113,7 +121,8 @@ std::string MachineProfile::fingerprint() const {
   }
   for (const VariantCalibration& v : variants) {
     params += "|kv:" + v.variant;
-    std::snprintf(buf, sizeof buf, "=%.17g", v.gamma_s);
+    std::snprintf(buf, sizeof buf, "=%.17g,g32=%.17g", v.gamma_s,
+                  v.gamma32_s);
     params += buf;
     for (const ThreadScaling& s : v.scaling) {
       std::snprintf(buf, sizeof buf, ",t%d=%.17g", s.threads, s.speedup);
@@ -161,6 +170,8 @@ support::Json MachineProfile::to_json() const {
     e.set("variant", v.variant);
     e.set("gamma_s", v.gamma_s);
     e.set("peak_gflops", v.peak_gflops);
+    e.set("gamma32_s", v.gamma32_s);
+    e.set("peak_gflops32", v.peak_gflops32);
     support::Json vsc = support::Json::array();
     for (const ThreadScaling& s : v.scaling) {
       support::Json t = support::Json::object();
@@ -219,6 +230,10 @@ std::optional<MachineProfile> MachineProfile::from_json(
     v.variant = e["variant"].as_string();
     v.gamma_s = e["gamma_s"].as_number();
     v.peak_gflops = e["peak_gflops"].as_number();
+    // 0 is a legal "never measured" marker for the fp32 lane; only the
+    // fp64 gamma is mandatory.
+    v.gamma32_s = e["gamma32_s"].as_number();
+    v.peak_gflops32 = e["peak_gflops32"].as_number();
     if (v.variant.empty() || !usable(v.gamma_s)) return std::nullopt;
     const support::Json& vsc = e["scaling"];
     for (std::size_t q = 0; q < vsc.size(); ++q) {
@@ -254,9 +269,12 @@ MachineProfile generic_profile() {
   p.scaling = {{1, 1.0}};
   // Nominal single-variant table: the fallback has measured nothing, so
   // every variant the planner might ask about resolves to the same
-  // machine via the machine_for fallback; only "generic" is listed.
+  // machine via the machine_for fallback; only "generic" is listed.  The
+  // nominal fp32 lane assumes the textbook 2x rate (twice the SIMD lanes
+  // per register) -- calibrate() replaces it with a measurement.
   p.kernel_variant = "generic";
   p.variants = {{"generic", p.machine.gamma_s, p.machine.peak_gflops_node,
+                 p.machine.gamma_s / 2.0, 2.0 * p.machine.peak_gflops_node,
                  {{1, 1.0}}}};
   return p;
 }

@@ -181,6 +181,70 @@ TEST(FactorizePlanTest, CachedPlanForOtherKernelVariantIsAMiss) {
   fs::remove_all(dir);
 }
 
+TEST(FactorizePlanTest, CachedPlanForOtherPrecisionIsAMiss) {
+  // The precision twin of the kernel-variant gate: a cached plan scored
+  // under one precision describes different arithmetic and different
+  // collective payloads, so it must not serve a request for another.
+  const std::string dir =
+      (fs::temp_directory_path() / "cacqr_precision_gate_test").string();
+  fs::remove_all(dir);
+  const char* orig = std::getenv("CACQR_TUNE_DIR");
+  const std::string saved = orig != nullptr ? orig : "";
+  ::setenv("CACQR_TUNE_DIR", dir.c_str(), 1);
+
+  const tune::MachineProfile profile = tune::generic_profile();
+  const tune::PlanCache cache(dir);
+  const std::string active =
+      lin::kernel::variant_name(lin::kernel::active_variant());
+
+  // A valid measured plan whose variant matches the dispatcher but whose
+  // precision does NOT match the (default fp64) request.
+  tune::Plan stale;
+  stale.algo = "cqr_1d";
+  stale.d = 4;
+  stale.source = "measured";
+  stale.measured_seconds = 1.0;
+  stale.kernel_variant = active;
+  stale.precision = Precision::mixed;
+  cache.store(profile.fingerprint(), tune::ProblemKey{288, 16, 4, 1}, stale);
+
+  // Control: the same plan stamped fp64 under a different shape IS
+  // served -- proving the lookup machinery hits under these keys and the
+  // precision mismatch alone forces the re-plan above.
+  tune::Plan good = stale;
+  good.precision = Precision::fp64;
+  cache.store(profile.fingerprint(), tune::ProblemKey{320, 16, 4, 1}, good);
+
+  rt::Runtime::run(4, [&](rt::Comm& world) {
+    const lin::Matrix a = lin::hashed_matrix(309, 288, 16);
+    FactorizeOptions opts;
+    opts.plan_mode = PlanMode::model;
+    opts.profile = &profile;
+    const FactorizeResult res = factorize(a, world, opts);
+    EXPECT_EQ(res.plan.source, "model");
+    EXPECT_EQ(res.plan.precision, Precision::fp64);
+
+    const lin::Matrix b = lin::hashed_matrix(310, 320, 16);
+    const FactorizeResult hit = factorize(b, world, opts);
+    EXPECT_EQ(hit.plan.source, "cache");
+    EXPECT_DOUBLE_EQ(hit.plan.measured_seconds, 1.0);
+
+    // A mixed-precision request keys separately (the precision is part
+    // of the problem key), so neither entry above can serve it either.
+    opts.precision = Precision::mixed;
+    const FactorizeResult mixed = factorize(a, world, opts);
+    EXPECT_EQ(mixed.plan.source, "model");
+    EXPECT_EQ(mixed.plan.precision, Precision::mixed);
+  });
+
+  if (orig != nullptr) {
+    ::setenv("CACQR_TUNE_DIR", saved.c_str(), 1);
+  } else {
+    ::unsetenv("CACQR_TUNE_DIR");
+  }
+  fs::remove_all(dir);
+}
+
 TEST(FactorizePlanTest, MeasuredModeAgreesAcrossRanksAndCaches) {
   const std::string dir =
       (fs::temp_directory_path() / "cacqr_measured_test").string();

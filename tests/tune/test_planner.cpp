@@ -12,8 +12,12 @@ MachineProfile profile() { return generic_profile(); }
 
 TEST(ProblemKeyTest, CanonicalText) {
   EXPECT_EQ((ProblemKey{8192, 128, 8, 1}.text()),
-            "m8192_n128_p8_t1_s2_bc0");
-  EXPECT_EQ((ProblemKey{1, 1, 1, 4, 3, 64}.text()), "m1_n1_p1_t4_s3_bc64");
+            "m8192_n128_p8_t1_s2_bc0_fp64");
+  EXPECT_EQ((ProblemKey{1, 1, 1, 4, 3, 64}.text()),
+            "m1_n1_p1_t4_s3_bc64_fp64");
+  EXPECT_EQ(
+      (ProblemKey{8192, 128, 8, 1, 2, 0, Precision::mixed}.text()),
+      "m8192_n128_p8_t1_s2_bc0_mixed");
 }
 
 TEST(PlannerTest, PassesScaleCholeskyFamilies) {
@@ -105,7 +109,9 @@ TEST(PlannerTest, CandidatesCarryActiveKernelVariant) {
 TEST(ProfileTest, MachineForSelectsVariantCalibration) {
   MachineProfile p = generic_profile();
   p.variants.push_back({"avx2", p.machine.gamma_s / 2.0,
-                        p.machine.peak_gflops_node * 2.0, {{1, 1.0}}});
+                        p.machine.peak_gflops_node * 2.0,
+                        p.machine.gamma_s / 4.0,
+                        p.machine.peak_gflops_node * 4.0, {{1, 1.0}}});
   const model::Machine base = p.machine_at(1);
   const model::Machine fast = p.machine_for("avx2", 1);
   EXPECT_DOUBLE_EQ(fast.gamma_s, base.gamma_s / 2.0);
