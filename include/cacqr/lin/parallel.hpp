@@ -73,6 +73,15 @@ enum class Affinity {
 /// ceiling env_threads() enforces).
 void set_thread_budget(int n) noexcept;
 
+/// Forked-child recovery: pool worker threads do not survive fork(), so a
+/// child process inheriting a live pool would park forever on its first
+/// region (dead workers never check in) or crash joining them.  Call this
+/// in the child before any parallel region: it abandons the calling
+/// thread's inherited pool handle -- deliberately without running the
+/// destructor, whose join would hang -- and the next region lazily builds
+/// a fresh pool.  The rt shm/mpi process backends call it for every rank.
+void reinit_after_fork() noexcept;
+
 /// Contiguous half-open index range.
 struct Range {
   i64 begin = 0;

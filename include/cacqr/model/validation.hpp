@@ -1,0 +1,86 @@
+#pragma once
+/// \file validation.hpp
+/// \brief Model-validation rows: run an instrumented section on P ranks
+///        over a selectable transport and collect, side by side, the
+///        three timescales the validation report compares --
+///
+///          * the **measured counters** (msgs/words/flops actually
+///            executed, max over ranks -- exact, backend-independent),
+///          * the **modeled clock** (the LogP simulation those counters
+///            drive -- a prediction, not a measurement),
+///          * the **wall clock** of the run (a genuine measurement; only
+///            meaningful relative to the model when ranks occupy real
+///            parallel execution streams, i.e. the process transports).
+///
+/// Historically the bench printed the modeled clock in a column that
+/// read as measured time.  The split here keeps the three honest: the
+/// counters are facts, the modeled clock is the simulator's opinion of
+/// those facts, and wall_seconds is the only number a stopwatch saw.
+///
+/// The section's counter delta travels through Comm::publish, so the
+/// measurement works identically under the modeled (threads) and shm
+/// (forked processes) backends -- captured-variable writes would be lost
+/// in a child process (DESIGN.md section 10).
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cacqr/model/costs.hpp"
+#include "cacqr/model/machine.hpp"
+#include "cacqr/rt/comm.hpp"
+#include "cacqr/support/json.hpp"
+
+namespace cacqr::model {
+
+/// One configuration's worth of evidence.
+struct ValidationRow {
+  std::string label;            ///< human-readable configuration
+  int ranks = 0;                ///< team size of the run
+  rt::CostCounters measured;    ///< max-over-ranks section counter deltas
+                                ///< (`.time` is the section's modeled
+                                ///< clock span, NOT wall time)
+  double modeled_clock_s = 0.0; ///< LogP-simulated time of the whole run
+  Cost analytic;                ///< closed-form model counters
+  double analytic_s = 0.0;      ///< analytic cost under `machine`
+  double wall_s = 0.0;          ///< genuine wall clock of the whole run
+};
+
+/// Runs `section` on `ranks` ranks (machine parameters drive the modeled
+/// clock; `transport` defaults to CACQR_TRANSPORT) and returns the
+/// filled row: the section's counter delta is published from inside the
+/// run, the modeled clock is the max final rank clock, and wall_s wraps
+/// the entire Runtime launch in a stopwatch.  `setup` runs before the
+/// measured window (data distribution, grid construction).
+[[nodiscard]] ValidationRow run_validation(
+    const std::string& label, int ranks, const Machine& machine,
+    const std::function<void(rt::Comm&)>& setup_and_section,
+    const Cost& analytic,
+    std::optional<rt::TransportKind> transport = std::nullopt);
+
+/// Marks the boundary between setup and the measured section inside a
+/// run_validation body: records `world.counters()` at the call and
+/// publishes the delta (plus the final clock) when the body returns.
+/// Exactly one per body, constructed after setup completes.
+class MeasuredSection {
+ public:
+  explicit MeasuredSection(rt::Comm& world);
+  ~MeasuredSection();
+  MeasuredSection(const MeasuredSection&) = delete;
+  MeasuredSection& operator=(const MeasuredSection&) = delete;
+
+ private:
+  rt::Comm& world_;
+  rt::CostCounters before_;
+};
+
+/// Serializes rows into the versioned bench artifact
+/// (schema "cacqr.model_validation.v1"): transport and machine identify
+/// the run, each row carries measured counters, the analytic model's
+/// counters and seconds, the modeled clock, and the wall clock.
+[[nodiscard]] support::Json validation_to_json(
+    const std::vector<ValidationRow>& rows, const Machine& machine,
+    rt::TransportKind transport);
+
+}  // namespace cacqr::model

@@ -1,14 +1,17 @@
 #pragma once
 /// \file comm.hpp
-/// \brief SPMD message-passing runtime: the MPI substitute.
+/// \brief SPMD message-passing runtime over pluggable transports.
 ///
-/// The build environment has no MPI, so the library ships its own runtime:
-/// Runtime::run(P, body) executes `body` on P ranks, each a dedicated
-/// thread.  Ranks interact only through explicit point-to-point messages
-/// and the collectives below, which are implemented as genuine butterfly /
-/// binomial schedules over point-to-point sends -- so the per-rank message
-/// and word counters measured on a run match the collective cost formulas
-/// the paper's analysis charges (Section II-B):
+/// Runtime::run(P, body) executes `body` on P ranks over a selectable
+/// point-to-point backend (CACQR_TRANSPORT): rank threads with modeled
+/// in-process delivery (the default), fork()ed processes over
+/// shared-memory ring buffers, or MPI processes when the build found MPI
+/// (DESIGN.md section 10).  Ranks interact only through explicit
+/// point-to-point messages and the collectives below, which are
+/// implemented as genuine butterfly / binomial schedules over
+/// point-to-point sends -- so the per-rank message and word counters
+/// measured on a run match the collective cost formulas the paper's
+/// analysis charges (Section II-B), identically on every backend:
 ///
 ///   Bcast     = binomial scatter + Bruck allgather : 2 ceil(lg P) alpha + 2n beta
 ///   Allreduce = recursive-halving reduce-scatter +
@@ -37,6 +40,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -82,11 +86,65 @@ struct CostCounters {
   }
 };
 
+class Comm;
+
 namespace detail {
 struct World;
 struct CommState;
 struct RequestState;
+/// Per-rank body wrapper shared by every transport launcher; needs to
+/// mint the rank's world Comm (transport.hpp).
+void rank_main(World& world, int rank, int rank_budget,
+               const std::function<void(Comm&)>& body);
 }  // namespace detail
+
+/// Which point-to-point backend carries a run's messages (DESIGN.md
+/// section 10).  The step schedules, counters, and modeled clock are
+/// backend-independent; only delivery differs.
+enum class TransportKind {
+  modeled,  ///< ranks are threads, delivery is in-process mailboxes with a
+            ///< LogP-modeled clock -- the default, bit-identical to the
+            ///< historical runtime, and what tests run by default
+  shm,      ///< ranks are fork()ed processes, delivery is shared-memory
+            ///< ring buffers per rank pair: real wall-clock completion
+  mpi,      ///< ranks are MPI processes (mpirun launches them); compiled
+            ///< only when the build found MPI
+};
+
+/// Backend name ("modeled" / "shm" / "mpi").
+[[nodiscard]] const char* transport_name(TransportKind kind) noexcept;
+
+/// Whether this build/platform can actually run `kind`: modeled always;
+/// shm on POSIX; mpi only when compiled against MPI.
+[[nodiscard]] bool transport_available(TransportKind kind) noexcept;
+
+/// The process-wide default backend Runtime::run uses when the caller
+/// does not pass one: parsed once from the CACQR_TRANSPORT environment
+/// variable ("modeled" | "shm" | "mpi"; unset or empty means modeled, a
+/// malformed value fails loudly with the valid list).
+[[nodiscard]] TransportKind default_transport();
+
+/// Process-wide override of the CACQR_TRANSPORT default (benches and
+/// tests flip backends between runs).  Call outside Runtime::run.
+void set_default_transport(TransportKind kind) noexcept;
+
+/// Per-rank outputs of one run (Runtime::run_collect): final cost
+/// tallies plus whatever each rank published via Comm::publish.  Under
+/// multi-process backends the published blobs are the ONLY way local
+/// results reach the caller -- writes to captured variables inside the
+/// body happen in a child process and are lost.
+struct RunOutput {
+  std::vector<CostCounters> counters;
+  std::vector<std::vector<double>> published;
+};
+
+/// Hook consulted by process backends after a forked rank's body
+/// returns: a count of test-harness assertion failures so far in this
+/// process (the tests' custom gtest main installs one).  When the count
+/// grew across the body, the rank is reported failed to the parent --
+/// EXPECT failures inside a forked rank would otherwise pass silently.
+/// nullptr (the default) disables the probe.
+void set_child_failure_probe(int (*probe)()) noexcept;
 
 /// Handle to one in-flight nonblocking operation (Comm::start_*).
 /// Move-only.  All methods must run on the rank thread that started the
@@ -239,6 +297,13 @@ class Comm {
   void progress() const;
 
   // ------------------------------------------------------- accounting
+  /// Appends `data` to this rank's published result blob, returned to the
+  /// launching caller by Runtime::run_collect.  This is the
+  /// transport-agnostic way to get per-rank results out of a run: under
+  /// process backends the body executes in a forked child, so writes to
+  /// captured variables never reach the caller.
+  void publish(std::span<const double> data) const;
+
   /// This rank's world-wide running tally (shared across all comms of the
   /// run).  Drains pending kernel flops first so the snapshot is current.
   [[nodiscard]] CostCounters counters() const;
@@ -252,6 +317,8 @@ class Comm {
 
  private:
   friend class Runtime;
+  friend void detail::rank_main(detail::World&, int, int,
+                                const std::function<void(Comm&)>&);
   explicit Comm(std::shared_ptr<detail::CommState> state)
       : state_(std::move(state)) {}
   std::shared_ptr<detail::CommState> state_;
@@ -284,12 +351,14 @@ class ProgressScope {
 /// SPMD launcher.
 class Runtime {
  public:
-  /// Runs `body` on `nranks` rank-threads and returns the per-rank final
-  /// cost tallies (modeled clock included).  Exceptions thrown by any rank
-  /// abort the whole team and are rethrown here (first thrower wins).
+  /// Runs `body` on `nranks` ranks over the selected transport backend
+  /// and returns the per-rank final cost tallies (modeled clock
+  /// included).  Exceptions thrown by any rank abort the whole team and
+  /// are rethrown here (first thrower wins; under process backends the
+  /// error's type and message are marshalled back to the caller).
   ///
   /// `threads_per_rank` is each rank's kernel worker budget
-  /// (lin/parallel.hpp): every rank thread gets
+  /// (lin/parallel.hpp): every rank gets
   /// `set_thread_budget(threads_per_rank)` before `body` runs, so P ranks
   /// use at most P * threads_per_rank threads total.  0 (the default)
   /// divides the *caller's* budget evenly: max(1, thread_budget() /
@@ -297,9 +366,24 @@ class Runtime {
   /// single-threaded, exactly the pre-threading behavior.  Threading never
   /// changes the per-rank flop/msg/word tallies or the modeled clock; it
   /// only changes wall-clock speed (DESIGN.md section 3).
+  ///
+  /// `transport` picks the backend for this run; `transport_env` (the
+  /// default) defers to CACQR_TRANSPORT / set_default_transport.  Under
+  /// `modeled` ranks are threads of this process; under `shm` each rank
+  /// is a fork()ed child and under `mpi` this process must be one of
+  /// exactly `nranks` ranks launched by mpirun.  Requesting a backend
+  /// this build/platform cannot run fails loudly (CommError).
   static std::vector<CostCounters> run(
       int nranks, const std::function<void(Comm&)>& body,
-      Machine machine = Machine::counting(), int threads_per_rank = 0);
+      Machine machine = Machine::counting(), int threads_per_rank = 0,
+      std::optional<TransportKind> transport = std::nullopt);
+
+  /// As run(), additionally returning each rank's Comm::publish blob --
+  /// the transport-agnostic result channel.
+  static RunOutput run_collect(
+      int nranks, const std::function<void(Comm&)>& body,
+      Machine machine = Machine::counting(), int threads_per_rank = 0,
+      std::optional<TransportKind> transport = std::nullopt);
 };
 
 /// Convenience: modeled parallel execution time = max of per-rank clocks.

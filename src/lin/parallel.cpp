@@ -161,10 +161,11 @@ struct DepthGuard {
   ~DepthGuard() { --tls_region_depth; }
 };
 
+thread_local std::unique_ptr<Pool> tls_pool;
+
 Pool& local_pool() {
-  thread_local std::unique_ptr<Pool> pool;
-  if (!pool) pool = std::make_unique<Pool>();
-  return *pool;
+  if (!tls_pool) tls_pool = std::make_unique<Pool>();
+  return *tls_pool;
 }
 
 }  // namespace
@@ -277,6 +278,14 @@ int env_threads() noexcept {
 int thread_budget() noexcept {
   if (detail::tls_budget == 0) detail::tls_budget = env_threads();
   return detail::tls_budget;
+}
+
+void reinit_after_fork() noexcept {
+  // The inherited pool's workers died with fork(); running ~Pool would
+  // join threads that no longer exist.  Abandon the handle instead (a
+  // bounded, one-time leak per forked child) and let the next region
+  // rebuild lazily.
+  (void)detail::tls_pool.release();
 }
 
 void set_thread_budget(int n) noexcept {

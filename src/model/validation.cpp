@@ -1,0 +1,91 @@
+#include "cacqr/model/validation.hpp"
+
+#include <algorithm>
+
+#include "cacqr/support/error.hpp"
+#include "cacqr/support/timer.hpp"
+
+namespace cacqr::model {
+
+MeasuredSection::MeasuredSection(rt::Comm& world)
+    : world_(world), before_(world.counters()) {}
+
+MeasuredSection::~MeasuredSection() {
+  const rt::CostCounters d = world_.counters() - before_;
+  // msgs/words/flops fit a double's 53-bit mantissa at any size this
+  // library reaches; the publish channel is the only path that survives
+  // the process transports.
+  const double blob[] = {static_cast<double>(d.msgs),
+                         static_cast<double>(d.words),
+                         static_cast<double>(d.flops), d.time};
+  world_.publish(blob);
+}
+
+ValidationRow run_validation(
+    const std::string& label, int ranks, const Machine& machine,
+    const std::function<void(rt::Comm&)>& setup_and_section,
+    const Cost& analytic, std::optional<rt::TransportKind> transport) {
+  ValidationRow row;
+  row.label = label;
+  row.ranks = ranks;
+  row.analytic = analytic;
+  row.analytic_s = analytic.time(machine);
+
+  WallTimer timer;
+  const rt::RunOutput out = rt::Runtime::run_collect(
+      ranks, setup_and_section, machine.rt_params(), 0, transport);
+  row.wall_s = timer.seconds();
+  row.modeled_clock_s = rt::modeled_time(out.counters);
+
+  ensure(out.published.size() == static_cast<std::size_t>(ranks),
+         "run_validation: missing published deltas");
+  for (const std::vector<double>& blob : out.published) {
+    ensure(blob.size() == 4,
+           "run_validation: body must publish exactly one MeasuredSection");
+    row.measured.msgs =
+        std::max(row.measured.msgs, static_cast<i64>(blob[0]));
+    row.measured.words =
+        std::max(row.measured.words, static_cast<i64>(blob[1]));
+    row.measured.flops =
+        std::max(row.measured.flops, static_cast<i64>(blob[2]));
+    row.measured.time = std::max(row.measured.time, blob[3]);
+  }
+  return row;
+}
+
+support::Json validation_to_json(const std::vector<ValidationRow>& rows,
+                                 const Machine& machine,
+                                 rt::TransportKind transport) {
+  support::Json doc = support::Json::object();
+  doc.set("schema", "cacqr.model_validation.v1");
+  doc.set("bench", "bench_model_validation");
+  doc.set("transport", rt::transport_name(transport));
+  doc.set("machine", machine.name);
+  doc.set("alpha_s", machine.alpha_s);
+  doc.set("beta_s", machine.beta_s);
+  doc.set("gamma_s", machine.gamma_s);
+  support::Json arr = support::Json::array();
+  for (const ValidationRow& r : rows) {
+    support::Json jr = support::Json::object();
+    jr.set("configuration", r.label);
+    jr.set("ranks", r.ranks);
+    support::Json measured = support::Json::object();
+    measured.set("msgs", r.measured.msgs);
+    measured.set("words", r.measured.words);
+    measured.set("flops", r.measured.flops);
+    jr.set("measured", std::move(measured));
+    support::Json analytic = support::Json::object();
+    analytic.set("msgs", r.analytic.alpha);
+    analytic.set("words", r.analytic.beta);
+    analytic.set("flops", r.analytic.gamma);
+    analytic.set("seconds", r.analytic_s);
+    jr.set("analytic", std::move(analytic));
+    jr.set("modeled_clock_seconds", r.modeled_clock_s);
+    jr.set("wall_seconds", r.wall_s);
+    arr.push_back(std::move(jr));
+  }
+  doc.set("rows", std::move(arr));
+  return doc;
+}
+
+}  // namespace cacqr::model

@@ -1,11 +1,11 @@
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
-#include <thread>
 
 #include "cacqr/lin/flops.hpp"
 #include "cacqr/lin/parallel.hpp"
-#include "internal.hpp"
+#include "transport.hpp"
 
 namespace cacqr::rt {
 
@@ -24,12 +24,15 @@ u64 mix64(u64 x) noexcept {
   return x;
 }
 
-void World::abort_all() {
-  aborted.store(true, std::memory_order_release);
-  for (auto& mb : mailboxes) {
-    std::lock_guard<std::mutex> lock(mb->mu);
-    mb->cv.notify_all();
-  }
+World::World() = default;
+World::~World() = default;
+
+void World::abort_all() noexcept {
+  if (transport) transport->abort();
+}
+
+bool World::aborted() const noexcept {
+  return transport && transport->aborted();
 }
 
 namespace {
@@ -46,12 +49,22 @@ void charge_flops_now(CommState& s) {
   rank_state.tally.time += static_cast<double>(f) * s.world->machine.gamma;
 }
 
+std::atomic<FailureProbe>& failure_probe_slot() noexcept {
+  static std::atomic<FailureProbe> slot{nullptr};
+  return slot;
+}
+
 }  // namespace
+
+FailureProbe child_failure_probe() noexcept {
+  return failure_probe_slot().load(std::memory_order_relaxed);
+}
 
 void send_now(CommState& s, int dest, int tag, std::span<const double> data) {
   charge_flops_now(s);
   World& w = *s.world;
-  auto& me = w.ranks[static_cast<std::size_t>(world_rank_of(s))].tally;
+  const int me_world = world_rank_of(s);
+  auto& me = w.ranks[static_cast<std::size_t>(me_world)].tally;
   me.msgs += 1;
   me.words += static_cast<i64>(data.size());
   me.time += w.machine.alpha +
@@ -59,48 +72,47 @@ void send_now(CommState& s, int dest, int tag, std::span<const double> data) {
 
   Message msg;
   msg.ctx = s.ctx;
-  msg.src_world = world_rank_of(s);
+  msg.src_world = me_world;
   msg.tag = tag;
   msg.arrival = me.time;
   msg.payload.assign(data.begin(), data.end());
 
   const int dest_world = s.members[static_cast<std::size_t>(dest)];
-  auto& mb = *w.mailboxes[static_cast<std::size_t>(dest_world)];
-  {
-    std::lock_guard<std::mutex> lock(mb.mu);
-    mb.queue.push_back(std::move(msg));
-    ++mb.arrivals;
-  }
-  mb.cv.notify_all();
+  w.transport->post(me_world, dest_world, std::move(msg));
 }
 
 bool try_recv_now(CommState& s, int src, int tag, std::span<double> data) {
   charge_flops_now(s);
   World& w = *s.world;
   const int src_world = s.members[static_cast<std::size_t>(src)];
-  auto& mb = *w.mailboxes[static_cast<std::size_t>(world_rank_of(s))];
+  const int me_world = world_rank_of(s);
 
   Message msg;
-  {
-    std::lock_guard<std::mutex> lock(mb.mu);
-    // First queued message matching (ctx, src, tag): FIFO per channel.
-    auto it = mb.queue.begin();
-    for (; it != mb.queue.end(); ++it) {
-      if (it->ctx == s.ctx && it->src_world == src_world && it->tag == tag) {
-        break;
-      }
-    }
-    if (it == mb.queue.end()) return false;
-    msg = std::move(*it);
-    mb.queue.erase(it);
-  }
+  if (!w.transport->match(me_world, s.ctx, src_world, tag, msg)) return false;
   ensure<CommError>(msg.payload.size() == data.size(),
                     "recv: size mismatch: expected ", data.size(), " got ",
                     msg.payload.size());
   std::copy(msg.payload.begin(), msg.payload.end(), data.begin());
-  auto& me = w.ranks[static_cast<std::size_t>(world_rank_of(s))].tally;
+  auto& me = w.ranks[static_cast<std::size_t>(me_world)].tally;
   me.time = std::max(me.time, msg.arrival);
   return true;
+}
+
+void rank_main(World& world, int rank, int rank_budget,
+               const std::function<void(Comm&)>& body) {
+  lin::flops::reset();
+  lin::parallel::set_thread_budget(rank_budget);
+  auto state = std::make_shared<CommState>();
+  state->world = &world;
+  state->ctx = 1;
+  state->members.resize(static_cast<std::size_t>(world.nranks));
+  for (int i = 0; i < world.nranks; ++i) {
+    state->members[static_cast<std::size_t>(i)] = i;
+  }
+  state->myrank = rank;
+  Comm comm(std::move(state));
+  body(comm);
+  comm.charge_local_flops();
 }
 
 }  // namespace detail
@@ -124,6 +136,12 @@ void Comm::charge_local_flops() const {
 CostCounters Comm::counters() const {
   charge_local_flops();
   return state_->world->ranks[static_cast<std::size_t>(world_rank())].tally;
+}
+
+void Comm::publish(std::span<const double> data) const {
+  auto& published =
+      state_->world->ranks[static_cast<std::size_t>(world_rank())].published;
+  published.insert(published.end(), data.begin(), data.end());
 }
 
 void Comm::send(int dest, int tag, std::span<const double> data) const {
@@ -163,6 +181,19 @@ std::atomic<bool>& overlap_flag() {
   return flag;
 }
 
+std::atomic<TransportKind>& transport_flag() {
+  static std::atomic<TransportKind> flag = [] {
+    const char* s = std::getenv("CACQR_TRANSPORT");
+    if (s == nullptr || *s == '\0') return TransportKind::modeled;
+    if (std::strcmp(s, "modeled") == 0) return TransportKind::modeled;
+    if (std::strcmp(s, "shm") == 0) return TransportKind::shm;
+    if (std::strcmp(s, "mpi") == 0) return TransportKind::mpi;
+    throw CommError(std::string("CACQR_TRANSPORT: unknown backend \"") + s +
+                    "\" (valid: modeled, shm, mpi)");
+  }();
+  return flag;
+}
+
 }  // namespace
 
 bool overlap_enabled() noexcept {
@@ -171,6 +202,41 @@ bool overlap_enabled() noexcept {
 
 void set_overlap_enabled(bool on) noexcept {
   overlap_flag().store(on, std::memory_order_relaxed);
+}
+
+const char* transport_name(TransportKind kind) noexcept {
+  switch (kind) {
+    case TransportKind::modeled: return "modeled";
+    case TransportKind::shm: return "shm";
+    case TransportKind::mpi: return "mpi";
+  }
+  return "?";
+}
+
+bool transport_available(TransportKind kind) noexcept {
+  switch (kind) {
+    case TransportKind::modeled: return true;
+    case TransportKind::shm: return true;  // fork + anonymous shared mmap
+    case TransportKind::mpi:
+#ifdef CACQR_HAVE_MPI
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+TransportKind default_transport() {
+  return transport_flag().load(std::memory_order_relaxed);
+}
+
+void set_default_transport(TransportKind kind) noexcept {
+  transport_flag().store(kind, std::memory_order_relaxed);
+}
+
+void set_child_failure_probe(int (*probe)()) noexcept {
+  detail::failure_probe_slot().store(probe, std::memory_order_relaxed);
 }
 
 Comm Comm::split(int color, int key) const {
@@ -213,9 +279,10 @@ Comm Comm::split(int color, int key) const {
   return Comm(std::move(child));
 }
 
-std::vector<CostCounters> Runtime::run(
-    int nranks, const std::function<void(Comm&)>& body, Machine machine,
-    int threads_per_rank) {
+RunOutput Runtime::run_collect(int nranks,
+                               const std::function<void(Comm&)>& body,
+                               Machine machine, int threads_per_rank,
+                               std::optional<TransportKind> transport) {
   ensure<CommError>(nranks >= 1, "Runtime::run: need at least one rank");
   // Per-rank kernel worker budget: explicit, or the caller's budget spread
   // evenly so P ranks x T workers never oversubscribe what the caller had.
@@ -223,60 +290,29 @@ std::vector<CostCounters> Runtime::run(
       threads_per_rank > 0
           ? threads_per_rank
           : std::max(1, lin::parallel::thread_budget() / nranks);
-  World world;
-  world.nranks = nranks;
-  world.machine = machine;
-  world.ranks.resize(static_cast<std::size_t>(nranks));
-  world.mailboxes.reserve(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
-    world.mailboxes.push_back(std::make_unique<detail::Mailbox>());
+  const TransportKind kind = transport.value_or(default_transport());
+  switch (kind) {
+    case TransportKind::modeled:
+      return detail::run_modeled(nranks, body, machine, rank_budget);
+    case TransportKind::shm:
+      return detail::run_shm(nranks, body, machine, rank_budget);
+    case TransportKind::mpi:
+#ifdef CACQR_HAVE_MPI
+      return detail::run_mpi(nranks, body, machine, rank_budget);
+#else
+      throw CommError(
+          "Runtime::run: transport \"mpi\" not compiled in (build with "
+          "-DCACQR_WITH_MPI=ON and an MPI installation)");
+#endif
   }
+  throw CommError("Runtime::run: unknown transport kind");
+}
 
-  std::mutex error_mu;
-  std::exception_ptr first_error;
-
-  auto rank_main = [&](int r) {
-    lin::flops::reset();
-    lin::parallel::set_thread_budget(rank_budget);
-    auto state = std::make_shared<CommState>();
-    state->world = &world;
-    state->ctx = 1;
-    state->members.resize(static_cast<std::size_t>(nranks));
-    for (int i = 0; i < nranks; ++i) state->members[static_cast<std::size_t>(i)] = i;
-    state->myrank = r;
-    Comm comm(std::move(state));
-    try {
-      body(comm);
-      comm.charge_local_flops();
-    } catch (const AbortError&) {
-      // Secondary failure caused by another rank's abort: ignore.
-    } catch (...) {
-      {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-      world.abort_all();
-    }
-  };
-
-  if (nranks == 1) {
-    // Run inline: keeps single-rank uses debuggable.  The budget override
-    // lands on the caller's thread, so restore it afterwards.
-    const int caller_budget = lin::parallel::thread_budget();
-    rank_main(0);
-    lin::parallel::set_thread_budget(caller_budget);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(nranks));
-    for (int r = 0; r < nranks; ++r) threads.emplace_back(rank_main, r);
-    for (auto& t : threads) t.join();
-  }
-
-  if (first_error) std::rethrow_exception(first_error);
-  std::vector<CostCounters> out;
-  out.reserve(static_cast<std::size_t>(nranks));
-  for (const auto& rs : world.ranks) out.push_back(rs.tally);
-  return out;
+std::vector<CostCounters> Runtime::run(
+    int nranks, const std::function<void(Comm&)>& body, Machine machine,
+    int threads_per_rank, std::optional<TransportKind> transport) {
+  return run_collect(nranks, body, machine, threads_per_rank, transport)
+      .counters;
 }
 
 }  // namespace cacqr::rt

@@ -1,14 +1,12 @@
 #pragma once
 /// \file internal.hpp
-/// \brief Shared internals of the rt module (world state, mailboxes, and
-///        the request engine behind the nonblocking collectives).
+/// \brief Shared internals of the rt module (world state, the transport
+///        seam, and the request engine behind the nonblocking
+///        collectives).
 
-#include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "cacqr/rt/comm.hpp"
@@ -16,7 +14,9 @@
 namespace cacqr::rt::detail {
 
 /// One in-flight message.  `arrival` is the sender's modeled clock after
-/// charging alpha + n*beta: the earliest time the receiver can have it.
+/// charging alpha + n*beta: the earliest time the receiver can have it
+/// (real backends carry the stamp on the wire, so the modeled clock stays
+/// backend-independent).
 struct Message {
   u64 ctx = 0;
   int src_world = -1;
@@ -25,15 +25,30 @@ struct Message {
   std::vector<double> payload;
 };
 
-/// Per-destination-rank mailbox.
-struct Mailbox {
-  std::mutex mu;
-  std::condition_variable cv;
+/// A rank's pending-message queue: messages that crossed the transport
+/// but have not been matched by a Recv yet.  Only the owning rank touches
+/// it (the modeled backend wraps it in a lock; process backends need
+/// none).
+struct PendingQueue {
   std::deque<Message> queue;
   u64 arrivals = 0;  ///< messages ever enqueued; wait loops sleep on changes
+
+  /// Pops the first entry matching (ctx, src_world, tag): FIFO per
+  /// channel.
+  bool match(u64 ctx, int src_world, int tag, Message& out) {
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (it->ctx == ctx && it->src_world == src_world && it->tag == tag) {
+        out = std::move(*it);
+        queue.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
 };
 
 struct RequestState;
+struct Transport;
 
 /// Per-rank mutable state, touched only by the owning rank thread.
 struct RankState {
@@ -43,18 +58,27 @@ struct RankState {
   /// collective still completes its part of the others (no deadlock from
   /// rank-dependent wait order).
   std::vector<RequestState*> active;
+  /// Result blob accumulated by Comm::publish (returned to the launcher's
+  /// caller by Runtime::run_collect, crossing the process boundary under
+  /// multi-process backends).
+  std::vector<double> published;
 };
 
-/// Whole-run shared state.
+/// Whole-run shared state.  Under the modeled backend one World is shared
+/// by all rank threads; under process backends each rank process holds
+/// its own copy and only ranks[world_rank] is populated.
 struct World {
+  World();
+  ~World();
   int nranks = 0;
   Machine machine;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  std::unique_ptr<Transport> transport;
   std::vector<RankState> ranks;
-  std::atomic<bool> aborted{false};
 
-  /// Wakes every blocked receiver so it can observe `aborted`.
-  void abort_all();
+  /// Sticky run-wide abort: wakes every blocked receiver so it can
+  /// unwind with AbortError.
+  void abort_all() noexcept;
+  [[nodiscard]] bool aborted() const noexcept;
 };
 
 /// Per-rank view of one communicator.  Copies of a Comm share this state,
@@ -70,6 +94,12 @@ struct CommState {
 
 /// 64-bit mix for communicator identity derivation.
 [[nodiscard]] u64 mix64(u64 x) noexcept;
+
+/// Test-harness hook installed via rt::set_child_failure_probe; process
+/// backends sample it around the rank body so in-child assertion failures
+/// propagate to the parent.  Null when unset.
+using FailureProbe = int (*)();
+[[nodiscard]] FailureProbe child_failure_probe() noexcept;
 
 /// World rank of the caller of a CommState.
 [[nodiscard]] inline int world_rank_of(const CommState& s) noexcept {
@@ -138,12 +168,12 @@ bool advance_request(RequestState& r);
 void progress_all(World& w, int world_rank);
 
 /// Blocks until `r` completes, driving all of the rank's in-flight
-/// requests meanwhile and sleeping on the mailbox between arrivals.
+/// requests meanwhile and parking on the transport between arrivals.
 void wait_request(RequestState& r);
 
 /// The shared blocking loop under wait_request and Comm::recv: repeats
-/// {snapshot mailbox arrivals; drive every in-flight request; re-check
-/// `ready`; sleep on the mailbox until a new arrival} until `ready()`
+/// {snapshot transport arrivals; drive every in-flight request; re-check
+/// `ready`; park on the transport until a new arrival} until `ready()`
 /// returns true.  `ready` may have side effects (Comm::recv's consumes
 /// its message); it is called at most twice per iteration, before and
 /// after the progress sweep.  Throws AbortError("<who>: run aborted by

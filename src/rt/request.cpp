@@ -20,7 +20,7 @@
 #include <exception>
 #include <string>
 
-#include "internal.hpp"
+#include "transport.hpp"
 
 namespace cacqr::rt {
 
@@ -75,7 +75,7 @@ void progress_all(World& w, int world_rank) {
   // A nonblocking poll must still observe aborts: a rank spinning on
   // test()/progress() whose partner died would otherwise spin forever
   // (its pending Recv steps can never be satisfied).
-  if (w.aborted.load(std::memory_order_acquire)) {
+  if (w.aborted()) {
     throw AbortError("progress: run aborted by another rank");
   }
   auto& active = w.ranks[static_cast<std::size_t>(world_rank)].active;
@@ -98,29 +98,18 @@ void start_request(RequestState& r) {
 
 void wait_until(World& w, int world_rank, const std::function<bool()>& ready,
                 const char* who) {
-  Mailbox& mb = *w.mailboxes[static_cast<std::size_t>(world_rank)];
+  Transport& tr = *w.transport;
   const auto abort_message = [who] {
     return std::string(who) + ": run aborted by another rank";
   };
   for (;;) {
-    u64 seen;
-    {
-      std::lock_guard<std::mutex> lock(mb.mu);
-      seen = mb.arrivals;
-    }
-    if (w.aborted.load(std::memory_order_acquire)) {
-      throw AbortError(abort_message());
-    }
+    const u64 seen = tr.arrivals(world_rank);
+    if (tr.aborted()) throw AbortError(abort_message());
     if (ready()) return;
     progress_all(w, world_rank);
     if (ready()) return;
-    std::unique_lock<std::mutex> lock(mb.mu);
-    mb.cv.wait(lock, [&] {
-      return w.aborted.load(std::memory_order_acquire) || mb.arrivals != seen;
-    });
-    if (w.aborted.load(std::memory_order_acquire)) {
-      throw AbortError(abort_message());
-    }
+    tr.wait_arrivals(world_rank, seen);
+    if (tr.aborted()) throw AbortError(abort_message());
   }
 }
 

@@ -1,0 +1,139 @@
+/// \file transport_modeled.cpp
+/// \brief The modeled in-process backend: ranks are threads of this
+///        process, delivery is a locked mailbox per rank, and blocked
+///        receivers sleep on a condition variable.  This is the
+///        historical runtime verbatim -- the default backend, and the
+///        one whose LogP clock the model-validation benches simulate
+///        against.
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "cacqr/lin/parallel.hpp"
+#include "transport.hpp"
+
+namespace cacqr::rt::detail {
+
+namespace {
+
+/// In-process delivery: one locked PendingQueue per rank; the lock also
+/// provides the happens-before edge between a sender's payload writes
+/// and the receiver's reads.
+class ModeledTransport final : public Transport {
+ public:
+  explicit ModeledTransport(int nranks)
+      : boxes_(static_cast<std::size_t>(nranks)) {}
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "modeled";
+  }
+
+  void post(int /*src_world*/, int dst_world, Message&& msg) override {
+    Box& box = boxes_[static_cast<std::size_t>(dst_world)];
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.pending.queue.push_back(std::move(msg));
+      ++box.pending.arrivals;
+    }
+    box.cv.notify_all();
+  }
+
+  bool match(int me_world, u64 ctx, int src_world, int tag,
+             Message& out) override {
+    Box& box = boxes_[static_cast<std::size_t>(me_world)];
+    std::lock_guard<std::mutex> lock(box.mu);
+    return box.pending.match(ctx, src_world, tag, out);
+  }
+
+  u64 arrivals(int me_world) override {
+    Box& box = boxes_[static_cast<std::size_t>(me_world)];
+    std::lock_guard<std::mutex> lock(box.mu);
+    return box.pending.arrivals;
+  }
+
+  void wait_arrivals(int me_world, u64 seen) override {
+    Box& box = boxes_[static_cast<std::size_t>(me_world)];
+    std::unique_lock<std::mutex> lock(box.mu);
+    box.cv.wait(lock, [&] {
+      return aborted_.load(std::memory_order_acquire) ||
+             box.pending.arrivals != seen;
+    });
+  }
+
+  void abort() noexcept override {
+    aborted_.store(true, std::memory_order_release);
+    for (Box& box : boxes_) {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.cv.notify_all();
+    }
+  }
+
+  [[nodiscard]] bool aborted() const noexcept override {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Box {
+    std::mutex mu;
+    std::condition_variable cv;
+    PendingQueue pending;
+  };
+  std::vector<Box> boxes_;
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace
+
+RunOutput run_modeled(int nranks, const std::function<void(Comm&)>& body,
+                      Machine machine, int threads_per_rank) {
+  World world;
+  world.nranks = nranks;
+  world.machine = machine;
+  world.ranks.resize(static_cast<std::size_t>(nranks));
+  world.transport = std::make_unique<ModeledTransport>(nranks);
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  auto rank_thread = [&](int r) {
+    try {
+      rank_main(world, r, threads_per_rank, body);
+    } catch (const AbortError&) {
+      // Secondary failure caused by another rank's abort: ignore.
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      world.abort_all();
+    }
+  };
+
+  if (nranks == 1) {
+    // Run inline: keeps single-rank uses debuggable.  The budget override
+    // lands on the caller's thread, so restore it afterwards.
+    const int caller_budget = lin::parallel::thread_budget();
+    rank_thread(0);
+    lin::parallel::set_thread_budget(caller_budget);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) threads.emplace_back(rank_thread, r);
+    for (auto& t : threads) t.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+  RunOutput out;
+  out.counters.reserve(static_cast<std::size_t>(nranks));
+  out.published.reserve(static_cast<std::size_t>(nranks));
+  for (auto& rs : world.ranks) {
+    out.counters.push_back(rs.tally);
+    out.published.push_back(std::move(rs.published));
+  }
+  return out;
+}
+
+}  // namespace cacqr::rt::detail

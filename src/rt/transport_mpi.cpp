@@ -1,0 +1,316 @@
+/// \file transport_mpi.cpp
+/// \brief The MPI backend: each rank is one MPI process (the user runs
+///        `mpirun -np P <program>` and every process calls Runtime::run
+///        with the same nranks).  Compiled only when the build found MPI
+///        (CACQR_HAVE_MPI); the default build never sees this TU.
+///
+/// Wire mapping: one MPI message per runtime Message, sent with a single
+/// fixed MPI tag -- the runtime's (ctx, tag, arrival) header rides at the
+/// front of the payload, exactly like the shm backend's frame, so the
+/// (ctx, src, tag) matching and FIFO-per-channel guarantees reduce to
+/// MPI's non-overtaking rule for same (source, comm, tag) traffic.
+/// Sends are MPI_Isend with the buffer parked until completion (the
+/// runtime's sends are eager and may not block); arrivals are drained
+/// with MPI_Iprobe + MPI_Recv into the local pending queue.
+///
+/// Abort semantics diverge deliberately: MPI has no portable way to
+/// interrupt a peer's blocking receive, so abort() calls MPI_Abort and
+/// tears the whole job down (the launcher reports a non-zero exit)
+/// instead of unwinding survivors with AbortError.  The conformance and
+/// failure-path suites therefore pin those scenarios to modeled/shm.
+///
+/// RunOutput is collective: counters travel via MPI_Allgather, published
+/// blobs via MPI_Allgatherv, so every process returns the same result
+/// the in-process backends produce.
+
+#ifdef CACQR_HAVE_MPI
+
+#include <mpi.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <thread>
+
+#include "cacqr/lin/parallel.hpp"
+#include "transport.hpp"
+
+namespace cacqr::rt::detail {
+
+namespace {
+
+/// The single MPI tag all runtime traffic uses; (ctx, tag) matching is
+/// done by the runtime against the frame header.
+constexpr int kWireTag = 0x7ac;
+
+/// On-wire frame header in doubles-compatible units: sent as MPI_BYTE
+/// ahead of the payload doubles (same layout as the shm backend frame).
+struct FrameHeader {
+  u64 ctx;
+  std::int64_t src_world;
+  std::int64_t tag;
+  double arrival;
+  std::uint64_t words;
+};
+static_assert(std::is_trivially_copyable_v<FrameHeader>);
+
+void ensure_mpi(int err, const char* what) {
+  ensure<CommError>(err == MPI_SUCCESS, "mpi transport: ", what,
+                    " failed with code ", err);
+}
+
+/// Lazily initializes MPI once per process (tests and benches call
+/// Runtime::run repeatedly); finalization is registered with atexit so
+/// plain `mpirun ./tests_rt` works without the program knowing about MPI.
+void init_mpi_once() {
+  static const bool done = [] {
+    int inited = 0;
+    ensure_mpi(MPI_Initialized(&inited), "MPI_Initialized");
+    if (!inited) {
+      int provided = 0;
+      ensure_mpi(MPI_Init_thread(nullptr, nullptr, MPI_THREAD_FUNNELED,
+                                 &provided),
+                 "MPI_Init_thread");
+      std::atexit([] {
+        int finalized = 0;
+        if (MPI_Finalized(&finalized) == MPI_SUCCESS && !finalized) {
+          MPI_Finalize();
+        }
+      });
+    }
+    return true;
+  }();
+  (void)done;
+}
+
+class MpiTransport final : public Transport {
+ public:
+  MpiTransport(MPI_Comm comm, int me) : comm_(comm), me_(me) {}
+
+  ~MpiTransport() override {
+    // Outstanding isends at teardown only happen on error paths; the
+    // job is being torn down anyway, so just release the requests.
+    for (auto& s : outbox_) {
+      if (s.req != MPI_REQUEST_NULL) MPI_Request_free(&s.req);
+    }
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "mpi"; }
+
+  void post(int src_world, int dst_world, Message&& msg) override {
+    if (dst_world == me_) {
+      pending_.queue.push_back(std::move(msg));
+      ++pending_.arrivals;
+      return;
+    }
+    outbox_.emplace_back();
+    InFlightSend& s = outbox_.back();
+    const std::size_t payload_bytes = msg.payload.size() * sizeof(double);
+    s.bytes.resize(sizeof(FrameHeader) + payload_bytes);
+    FrameHeader hdr{};
+    hdr.ctx = msg.ctx;
+    hdr.src_world = src_world;
+    hdr.tag = msg.tag;
+    hdr.arrival = msg.arrival;
+    hdr.words = msg.payload.size();
+    std::memcpy(s.bytes.data(), &hdr, sizeof hdr);
+    if (payload_bytes != 0) {
+      std::memcpy(s.bytes.data() + sizeof hdr, msg.payload.data(),
+                  payload_bytes);
+    }
+    ensure_mpi(MPI_Isend(s.bytes.data(), static_cast<int>(s.bytes.size()),
+                         MPI_BYTE, dst_world, kWireTag, comm_, &s.req),
+               "MPI_Isend");
+    reap_sends();
+  }
+
+  bool match(int me_world, u64 ctx, int src_world, int tag,
+             Message& out) override {
+    (void)me_world;
+    drain_incoming();
+    return pending_.match(ctx, src_world, tag, out);
+  }
+
+  u64 arrivals(int me_world) override {
+    (void)me_world;
+    drain_incoming();
+    return pending_.arrivals;
+  }
+
+  void wait_arrivals(int me_world, u64 seen) override {
+    (void)me_world;
+    int rounds = 0;
+    for (;;) {
+      drain_incoming();
+      if (pending_.arrivals != seen || aborted()) return;
+      if (++rounds < 64) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+
+  void abort() noexcept override {
+    // No portable cross-process wakeup: tear the job down.  MPI_Abort
+    // does not return.
+    aborted_.store(true, std::memory_order_release);
+    MPI_Abort(comm_, 1);
+  }
+
+  [[nodiscard]] bool aborted() const noexcept override {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct InFlightSend {
+    std::vector<unsigned char> bytes;
+    MPI_Request req = MPI_REQUEST_NULL;
+  };
+
+  /// Frees completed isends from the front (FIFO completion is typical;
+  /// stop at the first incomplete one to keep this O(completed)).
+  void reap_sends() {
+    while (!outbox_.empty()) {
+      int done = 0;
+      ensure_mpi(MPI_Test(&outbox_.front().req, &done, MPI_STATUS_IGNORE),
+                 "MPI_Test");
+      if (!done) break;
+      outbox_.pop_front();
+    }
+  }
+
+  /// Receives every probe-visible message into the pending queue.
+  void drain_incoming() {
+    reap_sends();
+    for (;;) {
+      int flag = 0;
+      MPI_Status status;
+      ensure_mpi(MPI_Iprobe(MPI_ANY_SOURCE, kWireTag, comm_, &flag, &status),
+                 "MPI_Iprobe");
+      if (!flag) return;
+      int nbytes = 0;
+      ensure_mpi(MPI_Get_count(&status, MPI_BYTE, &nbytes), "MPI_Get_count");
+      scratch_.resize(static_cast<std::size_t>(nbytes));
+      ensure_mpi(MPI_Recv(scratch_.data(), nbytes, MPI_BYTE,
+                          status.MPI_SOURCE, kWireTag, comm_,
+                          MPI_STATUS_IGNORE),
+                 "MPI_Recv");
+      ensure<CommError>(
+          scratch_.size() >= sizeof(FrameHeader),
+          "mpi transport: short frame of ", scratch_.size(), " bytes");
+      FrameHeader hdr;
+      std::memcpy(&hdr, scratch_.data(), sizeof hdr);
+      Message msg;
+      msg.ctx = hdr.ctx;
+      msg.src_world = static_cast<int>(hdr.src_world);
+      msg.tag = static_cast<int>(hdr.tag);
+      msg.arrival = hdr.arrival;
+      msg.payload.resize(static_cast<std::size_t>(hdr.words));
+      if (hdr.words != 0) {
+        std::memcpy(msg.payload.data(), scratch_.data() + sizeof hdr,
+                    static_cast<std::size_t>(hdr.words) * sizeof(double));
+      }
+      pending_.queue.push_back(std::move(msg));
+      ++pending_.arrivals;
+    }
+  }
+
+  MPI_Comm comm_;
+  int me_;
+  PendingQueue pending_;
+  std::deque<InFlightSend> outbox_;
+  std::vector<unsigned char> scratch_;
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace
+
+RunOutput run_mpi(int nranks, const std::function<void(Comm&)>& body,
+                  Machine machine, int threads_per_rank) {
+  init_mpi_once();
+  int world_size = 0;
+  int me = 0;
+  ensure_mpi(MPI_Comm_size(MPI_COMM_WORLD, &world_size), "MPI_Comm_size");
+  ensure_mpi(MPI_Comm_rank(MPI_COMM_WORLD, &me), "MPI_Comm_rank");
+  ensure<CommError>(world_size == nranks,
+                    "Runtime::run(mpi): launched with ", world_size,
+                    " MPI processes but nranks=", nranks,
+                    " (run `mpirun -np ", nranks, " ...`)");
+
+  // A private duplicate per run: repeated Runtime::run calls (tests,
+  // calibration sweeps) must not see each other's stragglers.
+  MPI_Comm comm = MPI_COMM_NULL;
+  ensure_mpi(MPI_Comm_dup(MPI_COMM_WORLD, &comm), "MPI_Comm_dup");
+
+  World world;
+  world.nranks = nranks;
+  world.machine = machine;
+  world.ranks.resize(static_cast<std::size_t>(nranks));
+  world.transport = std::make_unique<MpiTransport>(comm, me);
+
+  try {
+    rank_main(world, me, threads_per_rank, body);
+  } catch (const AbortError&) {
+    throw;  // MPI_Abort already fired on the originating rank
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "Runtime::run(mpi): rank %d failed: %s\n", me,
+                 e.what());
+    std::fflush(stderr);
+    world.abort_all();  // MPI_Abort: does not return
+    throw;
+  } catch (...) {
+    world.abort_all();
+    throw;
+  }
+
+  // Fence before collecting: every rank's sends are complete once all
+  // bodies returned (the runtime has no trailing wire traffic).
+  ensure_mpi(MPI_Barrier(comm), "MPI_Barrier");
+
+  const RankState& mine = world.ranks[static_cast<std::size_t>(me)];
+  RunOutput out;
+  out.counters.resize(static_cast<std::size_t>(nranks));
+  static_assert(std::is_trivially_copyable_v<CostCounters>);
+  ensure_mpi(MPI_Allgather(&mine.tally, sizeof(CostCounters), MPI_BYTE,
+                           out.counters.data(), sizeof(CostCounters),
+                           MPI_BYTE, comm),
+             "MPI_Allgather");
+
+  const int my_len = static_cast<int>(mine.published.size());
+  std::vector<int> lens(static_cast<std::size_t>(nranks), 0);
+  ensure_mpi(MPI_Allgather(&my_len, 1, MPI_INT, lens.data(), 1, MPI_INT,
+                           comm),
+             "MPI_Allgather");
+  std::vector<int> displs(static_cast<std::size_t>(nranks), 0);
+  int total = 0;
+  for (int r = 0; r < nranks; ++r) {
+    displs[static_cast<std::size_t>(r)] = total;
+    total += lens[static_cast<std::size_t>(r)];
+  }
+  std::vector<double> flat(static_cast<std::size_t>(total));
+  ensure_mpi(MPI_Allgatherv(mine.published.data(), my_len, MPI_DOUBLE,
+                            flat.data(), lens.data(), displs.data(),
+                            MPI_DOUBLE, comm),
+             "MPI_Allgatherv");
+  out.published.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    const auto off = static_cast<std::size_t>(
+        displs[static_cast<std::size_t>(r)]);
+    out.published.emplace_back(
+        flat.begin() + static_cast<std::ptrdiff_t>(off),
+        flat.begin() + static_cast<std::ptrdiff_t>(
+                           off + static_cast<std::size_t>(
+                                     lens[static_cast<std::size_t>(r)])));
+  }
+
+  world.transport.reset();  // complete/free isends before freeing the comm
+  MPI_Comm_free(&comm);
+  return out;
+}
+
+}  // namespace cacqr::rt::detail
+
+#endif  // CACQR_HAVE_MPI

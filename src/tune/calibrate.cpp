@@ -108,11 +108,13 @@ double time_gram_f32(i64 m, i64 n, int reps) {
 }
 
 /// Max-over-ranks wall time of one Allreduce of `words` doubles over a
-/// team of `ranks` rank-threads, best of `reps` (barrier-fenced, pools
-/// warm inside one Runtime::run).
-double time_allreduce(int ranks, i64 words, int reps) {
-  std::vector<double> per_rank(static_cast<std::size_t>(ranks), 0.0);
-  rt::Runtime::run(
+/// team of `ranks` ranks on `transport`, best of `reps` (barrier-fenced,
+/// pools warm inside one Runtime::run).  Each rank reports its best time
+/// through the publish channel -- captured-variable writes would be lost
+/// under the process transports.
+double time_allreduce(int ranks, i64 words, int reps,
+                      rt::TransportKind transport) {
+  const rt::RunOutput out = rt::Runtime::run_collect(
       ranks,
       [&](rt::Comm& comm) {
         std::vector<double> buf(static_cast<std::size_t>(words), 1.0);
@@ -125,10 +127,14 @@ double time_allreduce(int ranks, i64 words, int reps) {
           const double dt = t.seconds();
           if (r > 0) best = std::min(best, dt);  // rep 0 is the warmup
         }
-        per_rank[static_cast<std::size_t>(comm.rank())] = best;
+        comm.publish({&best, 1});
       },
-      rt::Machine::counting(), 1);
-  return *std::max_element(per_rank.begin(), per_rank.end());
+      rt::Machine::counting(), 1, transport);
+  double worst = 0.0;
+  for (const std::vector<double>& blob : out.published) {
+    worst = std::max(worst, blob.empty() ? 0.0 : blob.front());
+  }
+  return worst;
 }
 
 /// Least-squares fit of t = A + B * w over (w, t) pairs.
@@ -254,7 +260,7 @@ MachineProfile calibrate(const CalibrateOptions& opts) {
   std::vector<std::pair<double, double>> pts;
   for (const i64 w : sizes) {
     pts.emplace_back(static_cast<double>(w),
-                     time_allreduce(opts.ranks, w, reps));
+                     time_allreduce(opts.ranks, w, reps, opts.transport));
   }
   double fit_a = 0.0;
   double fit_b = 0.0;

@@ -1,0 +1,39 @@
+/// \file cacqr_gtest_main.cpp
+/// \brief Shared gtest entry point for every suite.  Beyond what
+///        GTest::gtest_main does, it installs the runtime's child
+///        failure probe: under the multi-process transports
+///        (CACQR_TRANSPORT=shm, or per-run TransportKind overrides) a
+///        rank body executes in a fork()ed child, whose EXPECT/ASSERT
+///        failures live in the child's copy of the framework and would
+///        otherwise evaporate.  The probe lets the runtime detect that
+///        the failure count grew across a rank body and report the rank
+///        failed to the parent, which fails the test for real.
+
+#include <gtest/gtest.h>
+
+#include "cacqr/rt/comm.hpp"
+
+namespace {
+
+/// Failed assertion parts recorded so far in the currently running test
+/// (0 outside a test).  Monotonic within one test body, which is all the
+/// runtime compares across a forked rank body.
+int failed_parts_so_far() {
+  const testing::TestInfo* info =
+      testing::UnitTest::GetInstance()->current_test_info();
+  if (info == nullptr || info->result() == nullptr) return 0;
+  const testing::TestResult& result = *info->result();
+  int failed = 0;
+  for (int i = 0; i < result.total_part_count(); ++i) {
+    if (result.GetTestPartResult(i).failed()) ++failed;
+  }
+  return failed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  testing::InitGoogleTest(&argc, argv);
+  cacqr::rt::set_child_failure_probe(&failed_parts_so_far);
+  return RUN_ALL_TESTS();
+}

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
+#include <span>
 #include <string>
 
 #include "cacqr/core/cqr_1d.hpp"
@@ -161,17 +163,39 @@ TEST(MixedPrecisionTest, BitwiseDeterministicAcrossBudgetsAndOverlap) {
   for (const Precision prec : {Precision::mixed, Precision::fp32}) {
     parallel::set_thread_budget(1);
     rt::set_overlap_enabled(false);
-    lin::Matrix ref_q;
-    lin::Matrix ref_r;
-    rt::Runtime::run(4, [&](rt::Comm& world) {
-      const lin::Matrix a = lin::hashed_matrix(98, 128, 16);
-      const FactorizeResult res =
-          factorize(a, world, {.precision = prec});
-      if (world.rank() == 0) {
-        ref_q = res.q;
-        ref_r = res.r;
-      }
-    });
+    // Rank 0 publishes its reference factors (the body may execute in a
+    // forked child, so captured writes would not reach this caller).
+    const rt::RunOutput ref_run =
+        rt::Runtime::run_collect(4, [&](rt::Comm& world) {
+          const lin::Matrix a = lin::hashed_matrix(98, 128, 16);
+          const FactorizeResult res =
+              factorize(a, world, {.precision = prec});
+          if (world.rank() == 0) {
+            const double dims[] = {static_cast<double>(res.q.rows()),
+                                   static_cast<double>(res.q.cols()),
+                                   static_cast<double>(res.r.rows()),
+                                   static_cast<double>(res.r.cols())};
+            world.publish(dims);
+            world.publish(std::span<const double>(
+                res.q.data(), static_cast<std::size_t>(res.q.size())));
+            world.publish(std::span<const double>(
+                res.r.data(), static_cast<std::size_t>(res.r.size())));
+          }
+        });
+    const std::vector<double>& blob = ref_run.published[0];
+    ASSERT_GE(blob.size(), 4u);
+    std::size_t off = 4;
+    auto unpack = [&](i64 rows, i64 cols) {
+      lin::Matrix m(rows, cols);
+      std::memcpy(m.data(), blob.data() + off,
+                  static_cast<std::size_t>(m.size()) * sizeof(double));
+      off += static_cast<std::size_t>(m.size());
+      return m;
+    };
+    const lin::Matrix ref_q = unpack(static_cast<i64>(blob[0]),
+                                     static_cast<i64>(blob[1]));
+    const lin::Matrix ref_r = unpack(static_cast<i64>(blob[2]),
+                                     static_cast<i64>(blob[3]));
     for (const int budget : {1, 4}) {
       for (const bool overlap : {false, true}) {
         parallel::set_thread_budget(budget);

@@ -15,6 +15,7 @@
 
 #include <cstring>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "cacqr/core/ca_cqr.hpp"
@@ -26,25 +27,29 @@
 namespace cacqr::dist {
 namespace {
 
-bool bytes_equal(const lin::Matrix& a, const lin::Matrix& b) {
-  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
-  return std::memcmp(a.data(), b.data(),
-                     static_cast<std::size_t>(a.size()) * sizeof(double)) == 0;
+bool blobs_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
 }
 
 /// Runs `stage` on p ranks with the given per-rank worker budget and
-/// returns each rank's output block.
-std::vector<lin::Matrix> run_stage(
+/// returns each rank's output block as a published blob (dims + data),
+/// so the comparison works on every transport backend.
+std::vector<std::vector<double>> run_stage(
     int p, int threads_per_rank,
     const std::function<lin::Matrix(rt::Comm&)>& stage) {
-  std::vector<lin::Matrix> out(static_cast<std::size_t>(p));
-  rt::Runtime::run(
+  rt::RunOutput out = rt::Runtime::run_collect(
       p,
       [&](rt::Comm& world) {
-        out[static_cast<std::size_t>(world.rank())] = stage(world);
+        const lin::Matrix block = stage(world);
+        const double dims[] = {static_cast<double>(block.rows()),
+                               static_cast<double>(block.cols())};
+        world.publish(dims);
+        world.publish(std::span<const double>(
+            block.data(), static_cast<std::size_t>(block.size())));
       },
       rt::Machine::counting(), threads_per_rank);
-  return out;
+  return std::move(out.published);
 }
 
 /// The load-bearing assertion: budgets 1 and 4 yield byte-identical
@@ -56,7 +61,7 @@ void expect_stage_bitwise(int p,
   const auto r1 = run_stage(p, 1, stage);
   const auto r4 = run_stage(p, 4, stage);
   for (int r = 0; r < p; ++r) {
-    EXPECT_TRUE(bytes_equal(r1[static_cast<std::size_t>(r)],
+    EXPECT_TRUE(blobs_equal(r1[static_cast<std::size_t>(r)],
                             r4[static_cast<std::size_t>(r)]))
         << "rank " << r;
   }

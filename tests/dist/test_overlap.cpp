@@ -13,6 +13,7 @@
 
 #include <cstring>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "cacqr/core/ca_cqr.hpp"
@@ -35,29 +36,31 @@ struct OverlapGuard {
   bool prev;
 };
 
-bool bytes_equal(const lin::Matrix& a, const lin::Matrix& b) {
-  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
-  return std::memcmp(a.data(), b.data(),
-                     static_cast<std::size_t>(a.size()) * sizeof(double)) == 0;
+bool blobs_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
 }
 
 struct StageRun {
-  std::vector<lin::Matrix> blocks;
+  std::vector<std::vector<double>> blocks;  ///< published per rank: dims+data
   std::vector<rt::CostCounters> counters;
 };
 
 StageRun run_stage(int p, int threads_per_rank, bool overlap,
                    const std::function<lin::Matrix(rt::Comm&)>& stage) {
   OverlapGuard guard(overlap);
-  StageRun out;
-  out.blocks.resize(static_cast<std::size_t>(p));
-  out.counters = rt::Runtime::run(
+  rt::RunOutput out = rt::Runtime::run_collect(
       p,
       [&](rt::Comm& world) {
-        out.blocks[static_cast<std::size_t>(world.rank())] = stage(world);
+        const lin::Matrix block = stage(world);
+        const double dims[] = {static_cast<double>(block.rows()),
+                               static_cast<double>(block.cols())};
+        world.publish(dims);
+        world.publish(std::span<const double>(
+            block.data(), static_cast<std::size_t>(block.size())));
       },
       rt::Machine::counting(), threads_per_rank);
-  return out;
+  return {std::move(out.published), std::move(out.counters)};
 }
 
 /// The load-bearing assertion: overlap on vs off yields byte-identical
@@ -70,7 +73,7 @@ void expect_overlap_invisible(
     const StageRun on = run_stage(p, threads, true, stage);
     for (int r = 0; r < p; ++r) {
       const auto i = static_cast<std::size_t>(r);
-      EXPECT_TRUE(bytes_equal(off.blocks[i], on.blocks[i]))
+      EXPECT_TRUE(blobs_equal(off.blocks[i], on.blocks[i]))
           << "rank " << r << " threads " << threads;
       EXPECT_EQ(off.counters[i].msgs, on.counters[i].msgs) << "rank " << r;
       EXPECT_EQ(off.counters[i].words, on.counters[i].words) << "rank " << r;

@@ -1,0 +1,127 @@
+/// \file test_validation_schema.cpp
+/// \brief The bench_model_validation artifact contract: run_validation
+///        measures the instrumented section through the publish channel
+///        (so it holds under process transports too), keeps the modeled
+///        clock and the wall clock as SEPARATE fields (the historical bug
+///        was the modeled clock printing as a measurement), and
+///        validation_to_json emits the versioned schema downstream
+///        tooling parses (docs/benchmarks.md).
+
+#include <gtest/gtest.h>
+
+#include "cacqr/core/ca_cqr.hpp"
+#include "cacqr/dist/dist_matrix.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/model/costs.hpp"
+#include "cacqr/model/validation.hpp"
+
+namespace cacqr::model {
+namespace {
+
+using support::Json;
+
+/// One small CA-CQR2 configuration, measured for real.
+std::vector<ValidationRow> sample_rows() {
+  const Machine s2 = stampede2();
+  std::vector<ValidationRow> rows;
+  rows.push_back(run_validation(
+      "CA-CQR2 128x16 c=1 d=4", 4, s2,
+      [](rt::Comm& world) {
+        grid::TunableGrid g(world, 1, 4);
+        auto da = dist::DistMatrix::from_global_on_tunable(
+            lin::hashed_matrix(61, 128, 16), g);
+        MeasuredSection section(world);
+        (void)core::ca_cqr2(da, g);
+      },
+      cost_ca_cqr2(128.0, 16.0, 1, 4), rt::TransportKind::modeled));
+  return rows;
+}
+
+TEST(ValidationSchemaTest, RowSeparatesMeasurementFromModel) {
+  const std::vector<ValidationRow> rows = sample_rows();
+  ASSERT_EQ(rows.size(), 1u);
+  const ValidationRow& r = rows.front();
+  EXPECT_EQ(r.ranks, 4);
+  // The section did real communication and flops.
+  EXPECT_GT(r.measured.msgs, 0);
+  EXPECT_GT(r.measured.words, 0);
+  EXPECT_GT(r.measured.flops, 0);
+  // Three distinct timescales, all populated: the LogP clock, the
+  // analytic prediction, and the stopwatch.
+  EXPECT_GT(r.modeled_clock_s, 0.0);
+  EXPECT_GT(r.analytic_s, 0.0);
+  EXPECT_GT(r.wall_s, 0.0);
+  // The section's modeled span cannot exceed the whole run's clock.
+  EXPECT_LE(r.measured.time, r.modeled_clock_s);
+}
+
+TEST(ValidationSchemaTest, SectionDeltaExcludesSetup) {
+  // The same section measured with and without a setup-side collective
+  // must report identical deltas: MeasuredSection starts counting at its
+  // construction, not at rank launch.
+  const Machine s2 = stampede2();
+  auto body = [](rt::Comm& world, bool extra_setup) {
+    if (extra_setup) {
+      std::vector<double> v(256, 1.0);
+      world.allreduce_sum(v);
+    }
+    MeasuredSection section(world);
+    std::vector<double> w(64, 2.0);
+    world.allreduce_sum(w);
+  };
+  const ValidationRow plain = run_validation(
+      "plain", 4, s2, [&](rt::Comm& w) { body(w, false); }, Cost{},
+      rt::TransportKind::modeled);
+  const ValidationRow padded = run_validation(
+      "padded", 4, s2, [&](rt::Comm& w) { body(w, true); }, Cost{},
+      rt::TransportKind::modeled);
+  EXPECT_EQ(plain.measured.msgs, padded.measured.msgs);
+  EXPECT_EQ(plain.measured.words, padded.measured.words);
+  EXPECT_EQ(plain.measured.flops, padded.measured.flops);
+}
+
+TEST(ValidationSchemaTest, JsonMatchesTheV1Schema) {
+  const Machine s2 = stampede2();
+  const Json doc =
+      validation_to_json(sample_rows(), s2, rt::TransportKind::modeled);
+
+  EXPECT_EQ(doc["schema"].as_string(), "cacqr.model_validation.v1");
+  EXPECT_EQ(doc["bench"].as_string(), "bench_model_validation");
+  EXPECT_EQ(doc["transport"].as_string(), "modeled");
+  EXPECT_EQ(doc["machine"].as_string(), s2.name);
+  EXPECT_EQ(doc["alpha_s"].as_number(), s2.alpha_s);
+  EXPECT_EQ(doc["beta_s"].as_number(), s2.beta_s);
+  EXPECT_EQ(doc["gamma_s"].as_number(), s2.gamma_s);
+
+  const Json& rows = doc["rows"];
+  ASSERT_TRUE(rows.is_array());
+  ASSERT_EQ(rows.size(), 1u);
+  const Json& r = rows.at(0);
+  EXPECT_EQ(r["configuration"].as_string(), "CA-CQR2 128x16 c=1 d=4");
+  EXPECT_EQ(r["ranks"].as_int(), 4);
+  ASSERT_TRUE(r["measured"].is_object());
+  EXPECT_GT(r["measured"]["msgs"].as_int(), 0);
+  EXPECT_GT(r["measured"]["words"].as_int(), 0);
+  EXPECT_GT(r["measured"]["flops"].as_int(), 0);
+  ASSERT_TRUE(r["analytic"].is_object());
+  EXPECT_GT(r["analytic"]["msgs"].as_number(), 0.0);
+  EXPECT_GT(r["analytic"]["words"].as_number(), 0.0);
+  EXPECT_GT(r["analytic"]["flops"].as_number(), 0.0);
+  EXPECT_GT(r["analytic"]["seconds"].as_number(), 0.0);
+  EXPECT_GT(r["modeled_clock_seconds"].as_number(), 0.0);
+  EXPECT_GT(r["wall_seconds"].as_number(), 0.0);
+}
+
+TEST(ValidationSchemaTest, JsonRoundTripsThroughTheParser) {
+  const Machine s2 = stampede2();
+  const Json doc =
+      validation_to_json(sample_rows(), s2, rt::TransportKind::modeled);
+  const std::optional<Json> back = Json::parse(doc.dump(1));
+  ASSERT_TRUE(back.has_value());
+  // Deterministic serialization: dump(parse(dump(x))) == dump(x).
+  EXPECT_EQ(back->dump(1), doc.dump(1));
+  EXPECT_EQ((*back)["schema"].as_string(), "cacqr.model_validation.v1");
+}
+
+}  // namespace
+}  // namespace cacqr::model

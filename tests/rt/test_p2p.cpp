@@ -9,20 +9,35 @@ namespace cacqr::rt {
 namespace {
 
 TEST(RuntimeTest, SingleRankRunsInline) {
+  // Inline execution of the P=1 body on the calling thread is a modeled
+  // backend property (process backends fork even for one rank), so the
+  // captured counter pins the transport.
   int visits = 0;
-  Runtime::run(1, [&](Comm& c) {
-    EXPECT_EQ(c.rank(), 0);
-    EXPECT_EQ(c.size(), 1);
-    ++visits;
-  });
+  Runtime::run(
+      1,
+      [&](Comm& c) {
+        EXPECT_EQ(c.rank(), 0);
+        EXPECT_EQ(c.size(), 1);
+        ++visits;
+      },
+      Machine::counting(), 0, TransportKind::modeled);
   EXPECT_EQ(visits, 1);
 }
 
 TEST(RuntimeTest, AllRanksExecute) {
   const int p = 8;
-  std::vector<int> seen(p, 0);
-  Runtime::run(p, [&](Comm& c) { seen[c.rank()] = 1 + c.world_rank(); });
-  for (int r = 0; r < p; ++r) EXPECT_EQ(seen[r], r + 1);
+  const RunOutput out = Runtime::run_collect(p, [](Comm& c) {
+    const double id[] = {static_cast<double>(c.rank()),
+                         static_cast<double>(c.world_rank())};
+    c.publish(id);
+  });
+  ASSERT_EQ(out.published.size(), static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const auto& blob = out.published[static_cast<std::size_t>(r)];
+    ASSERT_EQ(blob.size(), 2u) << "rank " << r;
+    EXPECT_EQ(blob[0], static_cast<double>(r));
+    EXPECT_EQ(blob[1], static_cast<double>(r));
+  }
 }
 
 TEST(RuntimeTest, ExceptionPropagatesAndAbortsTeam) {

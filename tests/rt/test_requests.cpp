@@ -33,7 +33,7 @@ std::vector<double> payload(int rank, std::size_t n, u64 salt = 0) {
 /// constraint, not 0 == 0.
 constexpr Machine kMachine{1e-6, 1e-9, 1e-11};
 
-struct RunOutput {
+struct ParityRun {
   std::vector<std::vector<double>> data;  ///< per-rank final buffer
   std::vector<CostCounters> counters;     ///< per-rank final tallies
 };
@@ -41,25 +41,24 @@ struct RunOutput {
 /// Runs `body(comm, data)` on p ranks under kMachine; data starts as the
 /// rank's payload.  A small gemm precedes the communication so pending
 /// kernel-flop drains interact with the clock exactly as on the real hot
-/// paths.
-RunOutput run_p(int p, std::size_t n, u64 salt,
+/// paths.  Results come back via Comm::publish so the comparison works on
+/// every transport backend.
+ParityRun run_p(int p, std::size_t n, u64 salt,
                 const std::function<void(Comm&, std::vector<double>&)>& body) {
-  RunOutput out;
-  out.data.resize(static_cast<std::size_t>(p));
-  out.counters = Runtime::run(
+  RunOutput raw = Runtime::run_collect(
       p,
       [&](Comm& c) {
         lin::Matrix a(8, 8), b(8, 8), prod(8, 8);
         lin::matmul(a, b, prod);  // pending flops drained by the collective
         std::vector<double> data = payload(c.rank(), n, salt);
         body(c, data);
-        out.data[static_cast<std::size_t>(c.rank())] = std::move(data);
+        c.publish(data);
       },
       kMachine);
-  return out;
+  return {std::move(raw.published), std::move(raw.counters)};
 }
 
-void expect_identical(const RunOutput& blocking, const RunOutput& request,
+void expect_identical(const ParityRun& blocking, const ParityRun& request,
                       int p) {
   for (int r = 0; r < p; ++r) {
     const auto i = static_cast<std::size_t>(r);

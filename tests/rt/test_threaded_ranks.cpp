@@ -31,41 +31,48 @@ lin::Matrix rank_panel(int rank, i64 m, i64 n) {
   return lin::gaussian(rng, m, n);
 }
 
+/// Publishes the rank's kernel worker budget (transport-agnostic: the
+/// body may run in a forked child).
+void publish_budget(Comm& c) {
+  const double b[] = {static_cast<double>(parallel::thread_budget())};
+  c.publish(b);
+}
+
 TEST(ThreadedRanks, ExplicitBudgetReachesEveryRank) {
   const int p = 4;
-  std::vector<int> budgets(static_cast<std::size_t>(p), -1);
-  Runtime::run(
-      p, [&](Comm& c) { budgets[static_cast<std::size_t>(c.rank())] =
-                            parallel::thread_budget(); },
-      Machine::counting(), 3);
-  for (int b : budgets) EXPECT_EQ(b, 3);
+  const RunOutput out = Runtime::run_collect(
+      p, [](Comm& c) { publish_budget(c); }, Machine::counting(), 3);
+  ASSERT_EQ(out.published.size(), static_cast<std::size_t>(p));
+  for (const auto& blob : out.published) {
+    ASSERT_EQ(blob.size(), 1u);
+    EXPECT_EQ(blob[0], 3.0);
+  }
 }
 
 TEST(ThreadedRanks, DefaultBudgetDividesCallerBudget) {
   const int saved = parallel::thread_budget();
   parallel::set_thread_budget(8);
-  std::vector<int> budgets(2, -1);
-  Runtime::run(2, [&](Comm& c) {
-    budgets[static_cast<std::size_t>(c.rank())] = parallel::thread_budget();
-  });
-  EXPECT_EQ(budgets[0], 4);
-  EXPECT_EQ(budgets[1], 4);
+  const RunOutput two =
+      Runtime::run_collect(2, [](Comm& c) { publish_budget(c); });
+  ASSERT_EQ(two.published.size(), 2u);
+  EXPECT_EQ(two.published[0][0], 4.0);
+  EXPECT_EQ(two.published[1][0], 4.0);
   // The caller's own budget survives a run (including the inline P=1 path).
   EXPECT_EQ(parallel::thread_budget(), 8);
-  int inline_budget = -1;
-  Runtime::run(1, [&](Comm&) { inline_budget = parallel::thread_budget(); });
-  EXPECT_EQ(inline_budget, 8);
+  const RunOutput one =
+      Runtime::run_collect(1, [](Comm& c) { publish_budget(c); });
+  ASSERT_EQ(one.published.size(), 1u);
+  EXPECT_EQ(one.published[0][0], 8.0);
   EXPECT_EQ(parallel::thread_budget(), 8);
   parallel::set_thread_budget(saved);
 }
 
 /// One CholeskyQR-shaped round per rank: local Gram, allreduce, and a
-/// comparison against the single-threaded result.  Returns per-rank final
-/// counters so callers can compare tallies across thread budgets.
-std::vector<CostCounters> gram_round(int p, int threads_per_rank,
-                                     std::vector<lin::Matrix>* results) {
-  results->assign(static_cast<std::size_t>(p), lin::Matrix());
-  return Runtime::run(
+/// comparison against the single-threaded result.  Each rank publishes
+/// its reduced Gram block; the per-rank blobs and final counters come
+/// back through run_collect so callers can compare across thread budgets.
+RunOutput gram_round(int p, int threads_per_rank) {
+  return Runtime::run_collect(
       p,
       [&](Comm& c) {
         const lin::Matrix a = rank_panel(c.rank(), 800, 96);
@@ -73,24 +80,24 @@ std::vector<CostCounters> gram_round(int p, int threads_per_rank,
         lin::gram(1.0, a, 0.0, g);
         c.allreduce_sum(std::span<double>(
             g.data(), static_cast<std::size_t>(g.size())));
-        (*results)[static_cast<std::size_t>(c.rank())] = g;
+        c.publish(std::span<const double>(
+            g.data(), static_cast<std::size_t>(g.size())));
       },
       Machine::counting(), threads_per_rank);
 }
 
 TEST(ThreadedRanks, ThreadingChangesNeitherResultsNorTallies) {
   const int p = 4;
-  std::vector<lin::Matrix> r1;
-  std::vector<lin::Matrix> r4;
-  const auto counters1 = gram_round(p, 1, &r1);
-  const auto counters4 = gram_round(p, 4, &r4);
+  const RunOutput run1 = gram_round(p, 1);
+  const RunOutput run4 = gram_round(p, 4);
+  const auto& counters1 = run1.counters;
+  const auto& counters4 = run4.counters;
   for (int r = 0; r < p; ++r) {
-    const auto& m1 = r1[static_cast<std::size_t>(r)];
-    const auto& m4 = r4[static_cast<std::size_t>(r)];
+    const auto& m1 = run1.published[static_cast<std::size_t>(r)];
+    const auto& m4 = run4.published[static_cast<std::size_t>(r)];
     ASSERT_EQ(m1.size(), m4.size());
     EXPECT_EQ(0, std::memcmp(m1.data(), m4.data(),
-                             static_cast<std::size_t>(m1.size()) *
-                                 sizeof(double)))
+                             m1.size() * sizeof(double)))
         << "rank " << r;
     EXPECT_EQ(counters1[static_cast<std::size_t>(r)].flops,
               counters4[static_cast<std::size_t>(r)].flops);
