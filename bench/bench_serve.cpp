@@ -1,0 +1,290 @@
+/// \file bench_serve.cpp
+/// \brief Throughput/latency of the factorization service under a mixed
+///        small-panel workload: jobs/sec and p50/p99 client latency at
+///        several submitter concurrency levels, with panel micro-batching
+///        on and off.
+///
+/// The serving claim (ISSUE: factorization-as-a-service): when many small
+/// tall-skinny factorize requests share one engine, grouping compatible
+/// panels into one stacked CQR2 sweep pays the per-round protocol cost --
+/// scheduler handoff, rank barriers, and one Gram Allreduce per pass --
+/// once per batch instead of once per job, so throughput rises WITHOUT
+/// hurting tail latency (results stay bitwise identical, so batching is a
+/// pure scheduling change).  This harness measures exactly that claim:
+/// every config row runs the same workload through a fresh service, and
+/// the batching=false rows are the job-at-a-time baseline in the same
+/// JSON.
+///
+/// Comparison rule (see docs/benchmarks.md): wall-clock numbers are only
+/// comparable within one host; to validate a speedup, run both builds on
+/// the same machine.
+///
+/// Usage: bench_serve [--json[=PATH]] [--quick] [--jobs=N] [--ranks=R]
+///   --json    additionally write machine-readable results (default PATH:
+///             bench_out/bench_serve.json) -- the artifact CI uploads and
+///             PRs commit at perf/bench_serve.json.
+///   --quick   fewer jobs and concurrency levels (CI smoke mode).
+///   --jobs    jobs per submitter thread (default 64; quick 16).
+///   --ranks   engine SPMD width (default 4).
+///
+/// Reported per (concurrency, batching) row:
+///   jobs_per_sec  completed jobs / wall seconds, submit of the first to
+///                 completion of the last, submitter threads included;
+///   p50_ms/p99_ms client-observed latency (submit call to wait return);
+///   batched_share fraction of jobs that rode a sweep of >= 2 panels;
+///   rejected      backpressure rejections the submitters retried.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/lin/kernel.hpp"
+#include "cacqr/serve/service.hpp"
+
+namespace {
+
+using namespace cacqr;
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+/// The mixed workload: small tall-skinny panels, all batched-lane
+/// eligible, with repeats so a loaded queue actually contains batchable
+/// neighbors (the service's target traffic: many near-identical panel
+/// factorizations from concurrent callers).
+struct Shape {
+  i64 m, n;
+};
+const std::vector<Shape>& workload_shapes() {
+  static const std::vector<Shape> shapes = {
+      {96, 8}, {128, 8}, {96, 8}, {160, 16}, {96, 8}, {128, 8}};
+  return shapes;
+}
+
+struct RowResult {
+  int concurrency = 0;
+  bool batching = false;
+  u64 jobs = 0;
+  double seconds = 0.0;
+  double jobs_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double batched_share = 0.0;
+  u64 batches = 0;
+  u64 rejected = 0;
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+RowResult run_config(int ranks, int concurrency, bool batching,
+                     int jobs_per_thread) {
+  serve::FactorizeService svc({.ranks = ranks,
+                               .queue_depth = 1024,
+                               .batch_window = 8,
+                               .batching = batching});
+
+  // Warmup outside the timed window: arenas, pools, and the panel pads
+  // for every workload shape.
+  for (const Shape& s : workload_shapes()) {
+    (void)svc.submit(lin::hashed_matrix(1000, s.m, s.n)).result();
+  }
+  const serve::ServiceStats warm = svc.stats();
+
+  // Panels are pre-generated so the timed window contains only
+  // submit/wait and the service's own work.
+  const auto& shapes = workload_shapes();
+  std::vector<lin::Matrix> panels;
+  panels.reserve(shapes.size());
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    panels.push_back(
+        lin::hashed_matrix(2000 + i, shapes[i].m, shapes[i].n));
+  }
+
+  std::vector<std::vector<double>> latencies(concurrency);
+  std::atomic<u64> rejected{0};
+  std::atomic<bool> start{false};
+  std::vector<std::thread> submitters;
+  submitters.reserve(concurrency);
+  for (int t = 0; t < concurrency; ++t) {
+    submitters.emplace_back([&, t] {
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      // Pipelined submission: a small window of outstanding jobs per
+      // thread keeps the admission queue populated (what batching needs)
+      // while bounding each thread's in-flight memory.
+      constexpr int kWindow = 4;
+      std::vector<serve::JobHandle> inflight;
+      std::vector<double> submit_at;
+      auto drain_one = [&] {
+        (void)inflight.front().wait();
+        latencies[t].push_back(now_seconds() - submit_at.front());
+        inflight.erase(inflight.begin());
+        submit_at.erase(submit_at.begin());
+      };
+      for (int i = 0; i < jobs_per_thread; ++i) {
+        const lin::Matrix& a = panels[(t + i) % panels.size()];
+        for (;;) {
+          const double t0 = now_seconds();
+          serve::JobHandle h = svc.submit(a);
+          if (h.status() == serve::JobStatus::rejected) {
+            // Backpressure: free a slot by draining our oldest job.
+            rejected.fetch_add(1, std::memory_order_relaxed);
+            if (!inflight.empty()) drain_one();
+            continue;
+          }
+          inflight.push_back(std::move(h));
+          submit_at.push_back(t0);
+          break;
+        }
+        if (inflight.size() >= kWindow) drain_one();
+      }
+      while (!inflight.empty()) drain_one();
+    });
+  }
+
+  const double t_start = now_seconds();
+  start.store(true, std::memory_order_release);
+  for (std::thread& th : submitters) th.join();
+  const double t_end = now_seconds();
+
+  const serve::ServiceStats st = svc.stats();
+  svc.shutdown();
+
+  RowResult row;
+  row.concurrency = concurrency;
+  row.batching = batching;
+  row.jobs = static_cast<u64>(concurrency) *
+             static_cast<u64>(jobs_per_thread);
+  row.seconds = t_end - t_start;
+  row.jobs_per_sec = static_cast<double>(row.jobs) / row.seconds;
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  row.p50_ms = percentile(all, 0.5) * 1e3;
+  row.p99_ms = percentile(all, 0.99) * 1e3;
+  row.batched_share =
+      static_cast<double>(st.batched_jobs - warm.batched_jobs) /
+      static_cast<double>(row.jobs);
+  row.batches = st.batches - warm.batches;
+  row.rejected = rejected.load();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json = false;
+  std::string json_path = "bench_out/bench_serve.json";
+  int jobs_per_thread = 0;
+  int ranks = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs_per_thread = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--ranks=", 0) == 0) {
+      ranks = std::atoi(arg.c_str() + 8);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json[=PATH]] [--quick] [--jobs=N] "
+                   "[--ranks=R]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (jobs_per_thread <= 0) jobs_per_thread = quick ? 16 : 64;
+  const std::vector<int> concurrency_levels =
+      quick ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 8};
+
+  std::printf("bench_serve: ranks=%d jobs/thread=%d quick=%d\n", ranks,
+              jobs_per_thread, quick ? 1 : 0);
+  std::printf("%4s %9s %6s %12s %9s %9s %8s %9s\n", "conc", "batching",
+              "jobs", "jobs/sec", "p50_ms", "p99_ms", "batches",
+              "batched%");
+
+  std::vector<RowResult> rows;
+  for (const int conc : concurrency_levels) {
+    for (const bool batching : {false, true}) {
+      const RowResult row =
+          run_config(ranks, conc, batching, jobs_per_thread);
+      rows.push_back(row);
+      std::printf("%4d %9s %6llu %12.1f %9.3f %9.3f %8llu %8.1f%%\n",
+                  row.concurrency, row.batching ? "on" : "off",
+                  static_cast<unsigned long long>(row.jobs),
+                  row.jobs_per_sec, row.p50_ms, row.p99_ms,
+                  static_cast<unsigned long long>(row.batches),
+                  100.0 * row.batched_share);
+      std::fflush(stdout);
+    }
+  }
+
+  if (json) {
+    std::filesystem::path p(json_path);
+    std::error_code ec;
+    if (p.has_parent_path()) {
+      std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    std::ofstream out(p);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   p.string().c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"bench_serve\",\n  \"unit\": \"jobs_per_sec\",\n"
+        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+        << "  \"ranks\": " << ranks << ",\n"
+        << "  \"jobs_per_thread\": " << jobs_per_thread << ",\n"
+        << "  \"kernel_variant\": \""
+        << lin::kernel::variant_name(lin::kernel::active_variant())
+        << "\",\n  \"workload\": [";
+    const auto& shapes = workload_shapes();
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      out << (i ? ", " : "") << "{\"m\": " << shapes[i].m
+          << ", \"n\": " << shapes[i].n << "}";
+    }
+    out << "],\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const RowResult& r = rows[i];
+      out << "    {\"concurrency\": " << r.concurrency << ", \"batching\": "
+          << (r.batching ? "true" : "false") << ", \"jobs\": " << r.jobs
+          << ", \"seconds\": " << r.seconds
+          << ", \"jobs_per_sec\": " << r.jobs_per_sec
+          << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+          << ", \"batches\": " << r.batches
+          << ", \"batched_share\": " << r.batched_share
+          << ", \"rejected\": " << r.rejected << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "error: write to %s failed\n",
+                   p.string().c_str());
+      return 1;
+    }
+    std::printf("json written to %s\n", p.string().c_str());
+  }
+  return 0;
+}

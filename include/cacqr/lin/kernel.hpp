@@ -173,4 +173,16 @@ struct ArenaStats {
 
 [[nodiscard]] ArenaStats arena_stats() noexcept;
 
+/// Statistics attributed to one task group (parallel::set_task_group):
+/// each arena's capacity is charged to the group that last grew it --
+/// including growth on pool workers, which adopt their owner's group per
+/// region -- so when many drivers share the process (the serve/
+/// scheduler), a lane's growth and footprint are visible in isolation.
+/// `bytes_in_use`/`high_water_bytes` are per-group charges (summing the
+/// per-group values over all groups equals the process-wide
+/// bytes_in_use); `allocations` advancing for a warm group's repeated
+/// same-shape jobs means the reuse contract broke for that lane.  An
+/// unknown group reads as all zeros.
+[[nodiscard]] ArenaStats arena_stats(int group) noexcept;
+
 }  // namespace cacqr::lin::kernel

@@ -7,9 +7,10 @@
 #include <utility>
 
 #include "cacqr/baseline/pgeqrf_2d.hpp"
-#include "cacqr/core/cqr_1d.hpp"
+#include "cacqr/core/batched.hpp"
 #include "cacqr/core/factorize.hpp"
 #include "cacqr/core/shifted.hpp"
+#include "internal.hpp"
 #include "cacqr/lin/blas.hpp"
 #include "cacqr/lin/kernel.hpp"
 #include "cacqr/lin/parallel.hpp"
@@ -57,37 +58,11 @@ std::pair<int, int> choose_grid(int nranks, i64 m, i64 n) {
 
 namespace {
 
-/// Padded dimensions and the padded matrix itself (see factorize.hpp).
-struct Padded {
-  lin::Matrix a;
-  i64 m = 0;  ///< original rows
-  i64 n = 0;  ///< original cols
-};
-
-/// Pads columns to a multiple of `col_mult` (delta-scaled identity) and
-/// rows to a multiple of `row_mult` (zero rows), keeping m_pad >= n_pad.
-Padded pad_to_multiples(lin::ConstMatrixView a, i64 row_mult, i64 col_mult) {
-  const i64 m = a.rows;
-  const i64 n = a.cols;
-  const i64 n_pad = round_up(n, col_mult);
-  const i64 m_pad = round_up(std::max(m + (n_pad - n), n_pad), row_mult);
-  if (m_pad == m && n_pad == n) {
-    return {lin::materialize(a), m, n};
-  }
-  const double fro = lin::frob_norm(a);
-  const double delta =
-      fro > 0.0 ? fro / std::sqrt(static_cast<double>(n)) : 1.0;
-  lin::Matrix padded(m_pad, n_pad);
-  lin::copy(a, padded.sub(0, 0, m, n));
-  for (i64 j = n; j < n_pad; ++j) {
-    padded(m + (j - n), j) = delta;
-  }
-  return {std::move(padded), m, n};
-}
-
-Padded pad_for_grid(lin::ConstMatrixView a, int c, int d) {
-  return pad_to_multiples(a, d, c);
-}
+// Padding helpers live in internal.hpp so the batched driver pads
+// byte-identically.
+using detail::Padded;
+using detail::pad_for_grid;
+using detail::pad_to_multiples;
 
 // ------------------------------------------------------ variant execution
 
@@ -140,45 +115,26 @@ FactorizeResult run_ca_cqr(lin::ConstMatrixView a, const rt::Comm& world,
 /// 1D-CholeskyQR2 (Algorithms 6-7) on all P ranks: rows padded to a
 /// multiple of P (zero rows only -- the Gram matrix is untouched), no
 /// column padding.  The shifted fallback reuses the c=1 grid path.
+/// Delegates to the batched driver with a batch of one, so a standalone
+/// job and a micro-batched job execute literally the same code (the
+/// serve/ bitwise-identity contract; see batched.hpp).
 FactorizeResult run_cqr_1d(lin::ConstMatrixView a, const rt::Comm& world,
                            const FactorizeOptions& opts) {
-  const int p = world.size();
-  Padded padded = pad_for_grid(a, 1, p);
+  const lin::ConstMatrixView panels[1] = {a};
+  std::vector<BatchedItem> items = factorize_batched(
+      panels, world,
+      {.passes = opts.passes, .auto_shift = opts.auto_shift,
+       .base_case = opts.base_case, .precision = opts.precision});
+  BatchedItem& item = items.front();
+  if (!item.ok) std::rethrow_exception(item.error);
 
   FactorizeResult out;
   out.algo = "cqr_1d";
   out.c = 1;
-  out.d = p;
-
-  if (opts.passes != 3) {
-    DistMatrix da =
-        DistMatrix::from_global(padded.a, p, 1, world.rank(), 0);
-    try {
-      // A single pass has no correction sweep, so `mixed` degenerates to
-      // the fp32 Gram on that one pass (cqr_1d treats any non-fp64 mode
-      // as the fp32 lane).
-      Cqr1dResult fact = opts.passes == 1
-                             ? cqr_1d(da, world, opts.precision)
-                             : cqr2_1d(da, world, opts.precision);
-      lin::Matrix q_full = dist::gather(fact.q, world);
-      out.q = lin::materialize(q_full.sub(0, 0, padded.m, padded.n));
-      out.r = std::move(fact.r);
-      return out;
-    } catch (const NotSpdError&) {
-      if (!opts.auto_shift) throw;
-      // Consistent on every rank; fall through to shifted CQR3 below.
-    }
-  }
-
-  grid::TunableGrid g(world, 1, p);
-  DistMatrix da = DistMatrix::from_global_on_tunable(padded.a, g);
-  CaCqrResult fact =
-      ca_cqr3(da, g, {.base_case = opts.base_case, .shift = 0.0});
-  out.used_shift = true;
-  lin::Matrix q_full = dist::gather(fact.q, g.slice());
-  lin::Matrix r_full = dist::gather(fact.r, g.subcube().slice());
-  out.q = lin::materialize(q_full.sub(0, 0, padded.m, padded.n));
-  out.r = lin::materialize(r_full.sub(0, 0, padded.n, padded.n));
+  out.d = world.size();
+  out.used_shift = item.used_shift;
+  out.q = std::move(item.q);
+  out.r = std::move(item.r);
   return out;
 }
 
@@ -350,6 +306,19 @@ struct PlanMemo {
   }
 };
 
+/// Serializes rank-0 plan resolution across concurrently running worlds
+/// (the serving scheduler drives many factorize calls from one process):
+/// the first caller through a cold key plans and publishes to the memo;
+/// callers arriving behind it then take the memo hit instead of racing
+/// the cache file or re-planning the same key.  Never held across a
+/// collective -- a blocked rank-0 only ever waits on another rank-0 that
+/// is doing pure local work -- so worlds cannot deadlock through it.
+/// Leaked for the same lifetime reason as PlanMemo.
+std::mutex& resolve_mutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
 /// Resolves the plan for a non-heuristic mode and, in measured mode, may
 /// already produce the winning factorization result (the winner's trial
 /// is reused instead of re-run).  Collective: rank 0 resolves profile,
@@ -374,6 +343,7 @@ tune::Plan resolve_plan(lin::ConstMatrixView a, const rt::Comm& world,
   std::string fingerprint;  // rank 0 only (non-roots follow the bcast)
   bool store_needed = false;  // rank 0 only: freshly planned, not remembered
   if (world.rank() == 0) {
+    const std::lock_guard<std::mutex> resolve_lock(resolve_mutex());
     // Profile precedence: the caller's, else a calibration persisted by
     // bench_tune --save for this host, else the generic fallback.
     tune::MachineProfile loaded;
@@ -448,6 +418,7 @@ tune::Plan resolve_plan(lin::ConstMatrixView a, const rt::Comm& world,
   }
 
   if (world.rank() == 0) {
+    const std::lock_guard<std::mutex> resolve_lock(resolve_mutex());
     // Remembered plans (memo or cache file hits) are already persisted:
     // only fresh planning/trial outcomes touch the file, so memo-served
     // repeat calls do zero I/O.

@@ -58,6 +58,7 @@ struct Pool {
   int running = 0;  ///< workers still executing the in-flight region
   std::exception_ptr error;
   bool shutdown = false;
+  int group = 0;  ///< owner's task group, adopted by workers per region
 
   // Centralized sense-reversing barrier for the in-flight team.
   std::mutex barrier_mu;
@@ -156,6 +157,12 @@ thread_local int tls_region_depth = 0;
 /// (rank) thread ever polls it.
 thread_local ProgressHook tls_progress_hook = {};
 
+/// Per-thread task group (see parallel.hpp).  Unlike the progress hook,
+/// workers DO inherit the owner's group -- per region, under the pool
+/// mutex -- so arena growth on a worker is charged to the owner driving
+/// it.
+thread_local int tls_task_group = 0;
+
 struct DepthGuard {
   DepthGuard() noexcept { ++tls_region_depth; }
   ~DepthGuard() { --tls_region_depth; }
@@ -192,6 +199,7 @@ void Pool::worker_main(int tid, int spawn_reserve) {
       if (tid >= active) continue;  // pool larger than this region's team
       my_task = task;
       team_size = active;
+      tls_task_group = group;  // adopt the owner's attribution group
     }
     Team team(tid, team_size, this);
     try {
@@ -221,6 +229,7 @@ void Pool::run_region(int nthreads, const std::function<void(Team&)>& body) {
     active = nthreads;
     running = nthreads - 1;
     error = nullptr;
+    group = tls_task_group;
     ++epoch;
   }
   cv_start.notify_all();
@@ -320,6 +329,14 @@ void Team::barrier() {
 }
 
 bool in_region() noexcept { return detail::tls_region_depth > 0; }
+
+int task_group() noexcept { return detail::tls_task_group; }
+
+int set_task_group(int group) noexcept {
+  const int prev = detail::tls_task_group;
+  detail::tls_task_group = group;
+  return prev;
+}
 
 ProgressHook progress_hook() noexcept { return detail::tls_progress_hook; }
 

@@ -3,12 +3,24 @@
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <mutex>
 
 namespace cacqr::tune {
 
 namespace {
 
 constexpr int kCacheSchema = 1;
+
+/// Process-wide lock over the cache files: concurrent factorize drivers
+/// (the serving scheduler runs many per process) must not interleave the
+/// read-merge-write in store() or read a file mid-rename from a sibling
+/// thread.  Cross-process writers are still handled by the verify-retry
+/// below; this mutex removes the in-process races TSAN would flag.
+/// Leaked: rank threads may outlive static destructors.
+std::mutex& file_mutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
 
 /// The versioned envelope of a plans file; returns a fresh empty one
 /// when the existing file is absent, corrupt, or from another schema.
@@ -49,6 +61,7 @@ std::string PlanCache::profile_path(const std::string& host) const {
 std::optional<Plan> PlanCache::load(const std::string& fingerprint,
                                     const ProblemKey& key) const {
   if (!enabled()) return std::nullopt;
+  const std::lock_guard<std::mutex> lock(file_mutex());
   auto j = support::read_json_file(plans_path(fingerprint));
   if (!j || !j->is_object() || (*j)["schema"].as_int(-1) != kCacheSchema ||
       (*j)["fingerprint"].as_string() != fingerprint) {
@@ -62,6 +75,7 @@ std::optional<Plan> PlanCache::load(const std::string& fingerprint,
 void PlanCache::store(const std::string& fingerprint, const ProblemKey& key,
                       const Plan& plan) const {
   if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(file_mutex());
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);  // best-effort
   const std::string path = plans_path(fingerprint);
@@ -99,6 +113,7 @@ void PlanCache::store(const std::string& fingerprint, const ProblemKey& key,
 std::optional<MachineProfile> PlanCache::load_profile(
     const std::string& host) const {
   if (!enabled()) return std::nullopt;
+  const std::lock_guard<std::mutex> lock(file_mutex());
   auto j = support::read_json_file(profile_path(host));
   if (!j) return std::nullopt;
   auto p = MachineProfile::from_json(*j);
@@ -108,6 +123,7 @@ std::optional<MachineProfile> PlanCache::load_profile(
 
 void PlanCache::store_profile(const MachineProfile& profile) const {
   if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(file_mutex());
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   (void)support::write_json_file(profile_path(profile.host),

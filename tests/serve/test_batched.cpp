@@ -1,0 +1,179 @@
+/// \file test_batched.cpp
+/// \brief The stacked CQR2 sweep (core/batched.hpp): every panel of a
+///        micro-batch comes out byte-identical to the same panel run as a
+///        batch of one -- across thread budgets, overlap settings, and
+///        precision modes -- and a breakdown panel is isolated from its
+///        batch mates whether auto_shift retries it or its error rides
+///        its own item.
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cacqr/core/batched.hpp"
+#include "cacqr/core/factorize.hpp"
+#include "cacqr/lin/generate.hpp"
+#include "cacqr/lin/parallel.hpp"
+#include "cacqr/lin/util.hpp"
+#include "cacqr/support/rng.hpp"
+
+namespace cacqr::core {
+namespace {
+
+namespace parallel = lin::parallel;
+
+struct BudgetGuard {
+  int saved = parallel::thread_budget();
+  ~BudgetGuard() { parallel::set_thread_budget(saved); }
+};
+
+struct OverlapGuard {
+  bool saved = rt::overlap_enabled();
+  ~OverlapGuard() { rt::set_overlap_enabled(saved); }
+};
+
+/// The same panel as a batch of one: the standalone reference (the 1D
+/// driver itself delegates here, so this IS the standalone result).
+BatchedItem solo(lin::ConstMatrixView panel, const rt::Comm& world,
+                 const BatchedOptions& opts) {
+  const lin::ConstMatrixView panels[1] = {panel};
+  std::vector<BatchedItem> items = factorize_batched(panels, world, opts);
+  return std::move(items.front());
+}
+
+TEST(BatchedTest, StackedSweepBitwiseAcrossBudgetsOverlapAndPrecision) {
+  // The tentpole contract: N stacked panels -- different row counts, even
+  // different column counts -- factor byte-identically to N standalone
+  // sweeps, because the fused Allreduce pairs ranks, not elements.  Swept
+  // over the axes that could plausibly perturb bits.
+  const BudgetGuard budget_guard;
+  const OverlapGuard overlap_guard;
+  for (const int budget : {1, 4}) {
+    for (const bool overlap : {false, true}) {
+      for (const Precision precision : {Precision::fp64, Precision::mixed}) {
+        parallel::set_thread_budget(budget);
+        rt::set_overlap_enabled(overlap);
+        const std::string cfg = "budget=" + std::to_string(budget) +
+                                " overlap=" + std::to_string(overlap) +
+                                " precision=" +
+                                std::string(precision_name(precision));
+        rt::Runtime::run(4, [&](rt::Comm& world) {
+          const lin::Matrix a0 = lin::hashed_matrix(201, 96, 8);
+          const lin::Matrix a1 = lin::hashed_matrix(202, 120, 8);
+          const lin::Matrix a2 = lin::hashed_matrix(203, 80, 12);
+          const lin::Matrix a3 = lin::hashed_matrix(204, 96, 8);
+          const lin::ConstMatrixView panels[4] = {a0, a1, a2, a3};
+          const BatchedOptions opts{.precision = precision};
+          const std::vector<BatchedItem> batch =
+              factorize_batched(panels, world, opts);
+          ASSERT_EQ(batch.size(), 4u);
+          for (int i = 0; i < 4; ++i) {
+            const BatchedItem ref = solo(panels[i], world, opts);
+            EXPECT_TRUE(batch[i].ok);
+            EXPECT_EQ(batch[i].used_shift, ref.used_shift) << cfg;
+            EXPECT_EQ(lin::max_abs_diff(batch[i].q, ref.q), 0.0)
+                << cfg << " panel " << i;
+            EXPECT_EQ(lin::max_abs_diff(batch[i].r, ref.r), 0.0)
+                << cfg << " panel " << i;
+          }
+        });
+      }
+    }
+  }
+}
+
+TEST(BatchedTest, Fp32LaneBatchesBitwiseToo) {
+  // The fp32 Gram slab carries MatrixF wire words at per-panel offsets;
+  // one f32 Allreduce must still be offset-invisible.
+  rt::Runtime::run(4, [](rt::Comm& world) {
+    const lin::Matrix a0 = lin::hashed_matrix(205, 128, 8);
+    const lin::Matrix a1 = lin::hashed_matrix(206, 96, 12);
+    const lin::Matrix a2 = lin::hashed_matrix(207, 128, 8);
+    const lin::ConstMatrixView panels[3] = {a0, a1, a2};
+    const BatchedOptions opts{.precision = Precision::fp32};
+    const std::vector<BatchedItem> batch =
+        factorize_batched(panels, world, opts);
+    for (int i = 0; i < 3; ++i) {
+      const BatchedItem ref = solo(panels[i], world, opts);
+      EXPECT_TRUE(batch[i].ok);
+      EXPECT_EQ(lin::max_abs_diff(batch[i].q, ref.q), 0.0) << "panel " << i;
+      EXPECT_EQ(lin::max_abs_diff(batch[i].r, ref.r), 0.0) << "panel " << i;
+    }
+  });
+}
+
+TEST(BatchedTest, BreakdownPanelRetriesShiftedWithoutDisturbingMates) {
+  Rng rng(208);
+  const lin::Matrix bad = lin::with_cond(rng, 64, 8, 1e11);
+  rt::Runtime::run(4, [&](rt::Comm& world) {
+    const lin::Matrix g0 = lin::hashed_matrix(209, 64, 8);
+    const lin::Matrix g1 = lin::hashed_matrix(210, 72, 8);
+    const lin::ConstMatrixView panels[3] = {g0, bad, g1};
+    const std::vector<BatchedItem> batch =
+        factorize_batched(panels, world, {});
+    EXPECT_TRUE(batch[1].ok);
+    EXPECT_TRUE(batch[1].used_shift);
+    EXPECT_LT(lin::orthogonality_error(batch[1].q), 1e-10);
+    EXPECT_LT(lin::residual_error(bad, batch[1].q, batch[1].r), 1e-9);
+    for (const int i : {0, 2}) {
+      const BatchedItem ref = solo(panels[i], world, {});
+      EXPECT_TRUE(batch[i].ok);
+      EXPECT_FALSE(batch[i].used_shift);
+      EXPECT_EQ(lin::max_abs_diff(batch[i].q, ref.q), 0.0) << "panel " << i;
+      EXPECT_EQ(lin::max_abs_diff(batch[i].r, ref.r), 0.0) << "panel " << i;
+    }
+  });
+}
+
+TEST(BatchedTest, BreakdownWithoutAutoShiftRidesItsOwnItem) {
+  Rng rng(211);
+  const lin::Matrix bad = lin::with_cond(rng, 64, 8, 1e11);
+  rt::Runtime::run(4, [&](rt::Comm& world) {
+    const lin::Matrix g0 = lin::hashed_matrix(212, 64, 8);
+    const lin::Matrix g1 = lin::hashed_matrix(213, 96, 8);
+    const lin::ConstMatrixView panels[3] = {g0, bad, g1};
+    const BatchedOptions opts{.auto_shift = false};
+    const std::vector<BatchedItem> batch =
+        factorize_batched(panels, world, opts);
+    EXPECT_FALSE(batch[1].ok);
+    ASSERT_TRUE(batch[1].error != nullptr);
+    EXPECT_THROW(std::rethrow_exception(batch[1].error), NotSpdError);
+    for (const int i : {0, 2}) {
+      const BatchedItem ref = solo(panels[i], world, opts);
+      EXPECT_TRUE(batch[i].ok);
+      EXPECT_EQ(lin::max_abs_diff(batch[i].q, ref.q), 0.0) << "panel " << i;
+      EXPECT_EQ(lin::max_abs_diff(batch[i].r, ref.r), 0.0) << "panel " << i;
+    }
+  });
+}
+
+TEST(BatchedTest, ThreePassBatchMatchesStandaloneShiftedRuns) {
+  rt::Runtime::run(4, [](rt::Comm& world) {
+    const lin::Matrix a0 = lin::hashed_matrix(214, 40, 8);
+    const lin::Matrix a1 = lin::hashed_matrix(215, 56, 8);
+    const lin::ConstMatrixView panels[2] = {a0, a1};
+    const BatchedOptions opts{.passes = 3};
+    const std::vector<BatchedItem> batch =
+        factorize_batched(panels, world, opts);
+    for (int i = 0; i < 2; ++i) {
+      const BatchedItem ref = solo(panels[i], world, opts);
+      EXPECT_TRUE(batch[i].used_shift);
+      EXPECT_EQ(lin::max_abs_diff(batch[i].q, ref.q), 0.0) << "panel " << i;
+      EXPECT_EQ(lin::max_abs_diff(batch[i].r, ref.r), 0.0) << "panel " << i;
+    }
+  });
+}
+
+TEST(BatchedTest, EmptyBatchAndBadPanelsValidate) {
+  rt::Runtime::run(2, [](rt::Comm& world) {
+    EXPECT_TRUE(factorize_batched({}, world).empty());
+    const lin::Matrix wide(4, 8);
+    const lin::ConstMatrixView panels[1] = {wide};
+    EXPECT_THROW((void)factorize_batched(panels, world), DimensionError);
+  });
+}
+
+}  // namespace
+}  // namespace cacqr::core
