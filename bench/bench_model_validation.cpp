@@ -33,6 +33,7 @@
 #include "cacqr/lin/generate.hpp"
 #include "cacqr/model/costs.hpp"
 #include "cacqr/model/validation.hpp"
+#include "cacqr/obs/trace.hpp"
 #include "cacqr/support/cli.hpp"
 
 namespace {
@@ -151,6 +152,11 @@ int main(int argc, char** argv) {
   std::printf("transport: %s (counters and clock are backend-independent; "
               "wall ms is a real measurement)\n",
               rt::transport_name(active));
+  if (obs::trace_on()) {
+    std::printf("tracing: per-rank spans -> %s (merge/inspect with "
+                "cacqr-trace; docs/observability.md)\n",
+                obs::trace_dir().c_str());
+  }
 
   std::string json_path = cacqr::bench::out_dir() + "/model_validation.json";
   if (args.has("json")) {

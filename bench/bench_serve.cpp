@@ -19,20 +19,26 @@
 /// comparable within one host; to validate a speedup, run both builds on
 /// the same machine.
 ///
-/// Usage: bench_serve [--json[=PATH]] [--quick] [--jobs=N] [--ranks=R]
+/// Usage: bench_serve [--json[=PATH]] [--metrics=PATH] [--quick]
+///                    [--jobs=N] [--ranks=R]
 ///   --json    additionally write machine-readable results (default PATH:
 ///             bench_out/bench_serve.json) -- the artifact CI uploads and
 ///             PRs commit at perf/bench_serve.json.
+///   --metrics write the process-wide obs metrics snapshot to PATH after
+///             all rows complete (counters/gauges/histograms JSON).
 ///   --quick   fewer jobs and concurrency levels (CI smoke mode).
 ///   --jobs    jobs per submitter thread (default 64; quick 16).
 ///   --ranks   engine SPMD width (default 4).
 ///
-/// Reported per (concurrency, batching) row:
-///   jobs_per_sec  completed jobs / wall seconds, submit of the first to
-///                 completion of the last, submitter threads included;
-///   p50_ms/p99_ms client-observed latency (submit call to wait return);
-///   batched_share fraction of jobs that rode a sweep of >= 2 panels;
-///   rejected      backpressure rejections the submitters retried.
+/// Reported per (concurrency, batching) row (JSON schema_version 2; see
+/// docs/benchmarks.md):
+///   jobs_per_sec    completed jobs / wall seconds, submit of the first to
+///                   completion of the last, submitter threads included;
+///   p50/p99/p999_ms client-observed latency (submit call to wait return);
+///   batched_share   fraction of jobs that rode a sweep of >= 2 panels;
+///   rejected        backpressure rejections the submitters retried;
+///   queue_depth_max admission-queue high-water seen by a ~1ms sampler;
+///   queue_timeline  decimated (t_ms, depth) samples from that sampler.
 
 #include <algorithm>
 #include <atomic>
@@ -47,6 +53,7 @@
 
 #include "cacqr/lin/generate.hpp"
 #include "cacqr/lin/kernel.hpp"
+#include "cacqr/obs/metrics.hpp"
 #include "cacqr/serve/service.hpp"
 
 namespace {
@@ -72,6 +79,11 @@ const std::vector<Shape>& workload_shapes() {
   return shapes;
 }
 
+struct QueueSample {
+  double t_ms = 0.0;
+  u64 depth = 0;
+};
+
 struct RowResult {
   int concurrency = 0;
   bool batching = false;
@@ -80,9 +92,12 @@ struct RowResult {
   double jobs_per_sec = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  double p999_ms = 0.0;
   double batched_share = 0.0;
   u64 batches = 0;
   u64 rejected = 0;
+  u64 queue_depth_max = 0;
+  std::vector<QueueSample> queue_timeline;
 };
 
 double percentile(std::vector<double>& sorted, double q) {
@@ -157,10 +172,27 @@ RowResult run_config(int ranks, int concurrency, bool batching,
     });
   }
 
+  // Queue-depth sampler: one thread polling stats() every ~1ms for the
+  // duration of the timed window.  The depth it sees is the admission
+  // queue only (jobs admitted but not yet picked up by the scheduler),
+  // which is exactly the quantity batching feeds on.
+  std::vector<QueueSample> samples;
+  std::atomic<bool> sampling{true};
+  std::thread sampler([&] {
+    while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+    const double t0 = now_seconds();
+    while (sampling.load(std::memory_order_acquire)) {
+      samples.push_back({(now_seconds() - t0) * 1e3, svc.stats().queue_depth});
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
   const double t_start = now_seconds();
   start.store(true, std::memory_order_release);
   for (std::thread& th : submitters) th.join();
   const double t_end = now_seconds();
+  sampling.store(false, std::memory_order_release);
+  sampler.join();
 
   const serve::ServiceStats st = svc.stats();
   svc.shutdown();
@@ -177,11 +209,21 @@ RowResult run_config(int ranks, int concurrency, bool batching,
   std::sort(all.begin(), all.end());
   row.p50_ms = percentile(all, 0.5) * 1e3;
   row.p99_ms = percentile(all, 0.99) * 1e3;
+  row.p999_ms = percentile(all, 0.999) * 1e3;
   row.batched_share =
       static_cast<double>(st.batched_jobs - warm.batched_jobs) /
       static_cast<double>(row.jobs);
   row.batches = st.batches - warm.batches;
   row.rejected = rejected.load();
+  for (const QueueSample& s : samples) {
+    row.queue_depth_max = std::max(row.queue_depth_max, s.depth);
+  }
+  // Decimate the timeline to <= 256 points so the JSON stays small even
+  // on long runs (every stride-th sample; the max above is exact).
+  const std::size_t stride = samples.size() / 256 + 1;
+  for (std::size_t i = 0; i < samples.size(); i += stride) {
+    row.queue_timeline.push_back(samples[i]);
+  }
   return row;
 }
 
@@ -191,6 +233,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool json = false;
   std::string json_path = "bench_out/bench_serve.json";
+  std::string metrics_path;
   int jobs_per_thread = 0;
   int ranks = 4;
   for (int i = 1; i < argc; ++i) {
@@ -202,14 +245,16 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       json = true;
       json_path = arg.substr(7);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
     } else if (arg.rfind("--jobs=", 0) == 0) {
       jobs_per_thread = std::atoi(arg.c_str() + 7);
     } else if (arg.rfind("--ranks=", 0) == 0) {
       ranks = std::atoi(arg.c_str() + 8);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json[=PATH]] [--quick] [--jobs=N] "
-                   "[--ranks=R]\n",
+                   "usage: %s [--json[=PATH]] [--metrics=PATH] [--quick] "
+                   "[--jobs=N] [--ranks=R]\n",
                    argv[0]);
       return 1;
     }
@@ -220,23 +265,24 @@ int main(int argc, char** argv) {
 
   std::printf("bench_serve: ranks=%d jobs/thread=%d quick=%d\n", ranks,
               jobs_per_thread, quick ? 1 : 0);
-  std::printf("%4s %9s %6s %12s %9s %9s %8s %9s\n", "conc", "batching",
-              "jobs", "jobs/sec", "p50_ms", "p99_ms", "batches",
-              "batched%");
+  std::printf("%4s %9s %6s %12s %9s %9s %9s %8s %9s %6s\n", "conc",
+              "batching", "jobs", "jobs/sec", "p50_ms", "p99_ms",
+              "p999_ms", "batches", "batched%", "qmax");
 
   std::vector<RowResult> rows;
   for (const int conc : concurrency_levels) {
     for (const bool batching : {false, true}) {
-      const RowResult row =
-          run_config(ranks, conc, batching, jobs_per_thread);
-      rows.push_back(row);
-      std::printf("%4d %9s %6llu %12.1f %9.3f %9.3f %8llu %8.1f%%\n",
+      RowResult row = run_config(ranks, conc, batching, jobs_per_thread);
+      std::printf("%4d %9s %6llu %12.1f %9.3f %9.3f %9.3f %8llu %8.1f%% "
+                  "%6llu\n",
                   row.concurrency, row.batching ? "on" : "off",
                   static_cast<unsigned long long>(row.jobs),
-                  row.jobs_per_sec, row.p50_ms, row.p99_ms,
+                  row.jobs_per_sec, row.p50_ms, row.p99_ms, row.p999_ms,
                   static_cast<unsigned long long>(row.batches),
-                  100.0 * row.batched_share);
+                  100.0 * row.batched_share,
+                  static_cast<unsigned long long>(row.queue_depth_max));
       std::fflush(stdout);
+      rows.push_back(std::move(row));
     }
   }
 
@@ -252,7 +298,8 @@ int main(int argc, char** argv) {
                    p.string().c_str());
       return 1;
     }
-    out << "{\n  \"bench\": \"bench_serve\",\n  \"unit\": \"jobs_per_sec\",\n"
+    out << "{\n  \"bench\": \"bench_serve\",\n  \"schema_version\": 2,\n"
+        << "  \"unit\": \"jobs_per_sec\",\n"
         << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
         << "  \"ranks\": " << ranks << ",\n"
         << "  \"jobs_per_thread\": " << jobs_per_thread << ",\n"
@@ -272,10 +319,17 @@ int main(int argc, char** argv) {
           << ", \"seconds\": " << r.seconds
           << ", \"jobs_per_sec\": " << r.jobs_per_sec
           << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+          << ", \"p999_ms\": " << r.p999_ms
           << ", \"batches\": " << r.batches
           << ", \"batched_share\": " << r.batched_share
-          << ", \"rejected\": " << r.rejected << "}"
-          << (i + 1 < rows.size() ? "," : "") << "\n";
+          << ", \"rejected\": " << r.rejected
+          << ", \"queue_depth_max\": " << r.queue_depth_max
+          << ",\n     \"queue_timeline\": [";
+      for (std::size_t s = 0; s < r.queue_timeline.size(); ++s) {
+        out << (s ? ", " : "") << "[" << r.queue_timeline[s].t_ms << ", "
+            << r.queue_timeline[s].depth << "]";
+      }
+      out << "]}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
     out.close();
@@ -285,6 +339,20 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("json written to %s\n", p.string().c_str());
+  }
+
+  if (!metrics_path.empty()) {
+    std::filesystem::path p(metrics_path);
+    std::error_code ec;
+    if (p.has_parent_path()) {
+      std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    if (!obs::Registry::global().write_snapshot(metrics_path)) {
+      std::fprintf(stderr, "error: cannot write metrics snapshot to %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
   }
   return 0;
 }

@@ -1,0 +1,137 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Process-wide metrics registry: named counters, gauges, and
+///        fixed-bucket histograms, snapshot-able as deterministic JSON.
+///
+/// Instruments register by name on first use and keep the returned
+/// pointer (lookup is mutex-guarded, updates are plain atomics -- cache
+/// the handle on hot paths).  `Registry::global()` is the process-wide
+/// instance the library's own instrumentation (serve admission, rt
+/// per-backend traffic, packing-arena growth) reports into; tests can
+/// construct private registries.
+///
+/// `snapshot()` serializes names in sorted order through support::Json,
+/// so the same set of instruments always yields the same key sequence
+/// (the schema round-trip tests assert this).  With `CACQR_METRICS=
+/// <path>` in the environment, the global registry writes a snapshot to
+/// that path at process exit (parent process only -- fork()ed transport
+/// children exit via _Exit and never double-write).
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cacqr/support/json.hpp"
+#include "cacqr/support/math.hpp"
+
+namespace cacqr::obs {
+
+/// Monotone counter.
+class Counter {
+ public:
+  void add(u64 delta = 1) noexcept {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] u64 value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<u64> v_{0};
+};
+
+/// Last-write-wins instantaneous value, with a monotone-max helper for
+/// high-water marks.
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void record_max(double v) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i],
+/// plus one overflow bucket.  Bounds are fixed at registration.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds)
+      : bounds_(bounds.begin(), bounds.end()),
+        counts_(bounds.size() + 1) {}
+
+  void observe(double x) noexcept {
+    std::size_t i = 0;
+    while (i < bounds_.size() && x > bounds_[i]) ++i;
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + x,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] u64 count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] u64 bucket_count(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<u64>> counts_;  ///< bounds.size() + 1 (overflow)
+  std::atomic<u64> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry (leaked singleton: usable from atexit
+  /// hooks and late thread exits).
+  [[nodiscard]] static Registry& global();
+
+  /// Finds or creates; returned references stay valid for the registry's
+  /// lifetime.  A histogram's bounds are taken from the FIRST
+  /// registration; later lookups ignore `bounds`.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::span<const double> bounds);
+
+  /// Deterministic snapshot: {"schema_version", "counters", "gauges",
+  /// "histograms"}, each instrument map in sorted-name order.
+  [[nodiscard]] support::Json snapshot() const;
+
+  /// snapshot() through support::write_json_file (atomic tmp+rename).
+  bool write_snapshot(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> hists_;
+};
+
+}  // namespace cacqr::obs

@@ -1,0 +1,166 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Span tracing: per-rank, per-thread event rings exported as
+///        Chrome trace-event / Perfetto JSON.
+///
+/// Recording is controlled by `CACQR_TRACE=off|rank0|all` (default off)
+/// and writes to `CACQR_TRACE_DIR` (default "cacqr_trace").  The hot
+/// path when tracing is off is a single relaxed atomic load + branch
+/// (`trace_on()`); call sites in hot loops guard their argument
+/// construction on it.  Recording NEVER touches numerical state, cost
+/// tallies, or the modeled clock, so results are bitwise identical
+/// trace-on vs trace-off (tests/obs asserts this end to end).
+///
+/// Storage: one fixed-capacity event ring per recording thread
+/// (`CACQR_TRACE_BUF` events, default 16384).  The owning thread is the
+/// only writer and publishes entries with a release store on the count;
+/// the exporter reads the published prefix, so flushing from another
+/// thread at process exit is race-free.  A full ring drops new events
+/// (counted by `dropped_events()`) rather than blocking or reallocating.
+///
+/// Rank attribution: `set_trace_rank()` tags the calling thread with the
+/// SPMD rank whose work it executes (rt sets it around the rank body;
+/// lin::parallel workers adopt their owner's tag per region).  Events on
+/// untagged threads (rank -1) land on a shared "driver" process row.
+/// Under `rank0`, only rank-0 and driver threads record.
+///
+/// Multi-process runs: every process writes its own
+/// `trace-<pid>.json`; the shm launcher registers its children so the
+/// parent's exit hook merges itself + children into `trace.json`.  For
+/// mpi (no common parent of ours) use `cacqr-trace merge <dir>`.
+
+#include <atomic>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "cacqr/support/math.hpp"
+
+namespace cacqr::obs {
+
+enum class TraceMode { off = 0, rank0 = 1, all = 2 };
+
+namespace detail {
+/// -1 until the first query initializes it from CACQR_TRACE.
+extern std::atomic<int> g_trace_mode;
+int init_trace_mode_from_env();  // throws Error on a malformed value
+
+/// Forked children inherit the parent's ring contents; clearing them
+/// prevents the parent's pre-fork events from being exported twice.
+void reset_after_fork() noexcept;
+
+/// Parent-side registration of a fork()ed child: its trace file is
+/// included in this process's exit-time merge.
+void note_forked_child(int pid);
+}  // namespace detail
+
+/// Cheap global gate: true when tracing is enabled in any mode.  Guard
+/// argument construction at hot call sites on this.
+inline bool trace_on() {
+  const int v = detail::g_trace_mode.load(std::memory_order_relaxed);
+  if (v >= 0) return v > 0;
+  return detail::init_trace_mode_from_env() > 0;
+}
+
+[[nodiscard]] TraceMode trace_mode();
+/// Test/program override of CACQR_TRACE; enabling registers the
+/// exit-time flush exactly like the env path.
+void set_trace_mode(TraceMode mode);
+
+/// Output directory (CACQR_TRACE_DIR, default "cacqr_trace"); created
+/// lazily on first flush.
+[[nodiscard]] std::string trace_dir();
+void set_trace_dir(const std::string& dir);
+
+/// Tags the calling thread with the rank whose work it runs (-1 = none,
+/// the "driver" row).  Returns the previous tag.
+int set_trace_rank(int rank) noexcept;
+[[nodiscard]] int trace_rank() noexcept;
+
+/// Per-thread ring capacity (events) for rings created AFTER this call;
+/// 0 restores the CACQR_TRACE_BUF / default behavior.  Test hook.
+void set_trace_buffer_capacity(std::size_t events) noexcept;
+
+/// Events recorded-then-dropped because a ring was full (process-wide).
+[[nodiscard]] u64 dropped_events() noexcept;
+
+/// Monotonic nanoseconds (CLOCK_MONOTONIC: comparable across the
+/// processes of one machine, which is what makes merged timelines line
+/// up under the shm transport).
+[[nodiscard]] u64 now_ns() noexcept;
+
+/// One numeric event argument.  `key` must be a string with static
+/// storage duration (events store the pointer).
+struct Arg {
+  const char* key;
+  double value;
+};
+
+/// Fresh process-unique id for an async (b/e) event pair.
+[[nodiscard]] u64 new_async_id() noexcept;
+
+// ----------------------------------------------------------- recording
+// `cat` and `name` must have static storage duration.  All recorders are
+// no-ops when the mode (and the thread's rank under rank0) says so.
+
+/// Complete span: ph "X", [t0_ns, t1_ns].
+void complete(const char* cat, const char* name, u64 t0_ns, u64 t1_ns,
+              std::initializer_list<Arg> args = {});
+/// Instant event: ph "i" at now.
+void instant(const char* cat, const char* name,
+             std::initializer_list<Arg> args = {});
+/// Counter sample: ph "C" (one named series per `name`).
+void counter(const char* cat, const char* name, double value);
+/// Nestable async begin/end: ph "b"/"e", paired by (cat, id).
+void async_begin(const char* cat, const char* name, u64 id,
+                 std::initializer_list<Arg> args = {});
+void async_end(const char* cat, const char* name, u64 id,
+               std::initializer_list<Arg> args = {});
+
+/// RAII complete-span: stamps t0 at construction (when tracing is on)
+/// and records at destruction.  Up to 6 args may be attached.
+class SpanScope {
+ public:
+  SpanScope(const char* cat, const char* name)
+      : on_(trace_on()), cat_(cat), name_(name) {
+    if (on_) t0_ = now_ns();
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  ~SpanScope() { close(); }
+
+  /// Attaches an argument to the span (ignored when off or full).
+  void arg(const char* key, double value) noexcept {
+    if (on_ && nargs_ < 6) args_[nargs_++] = {key, value};
+  }
+
+  /// Ends the span now instead of at scope exit (idempotent); lets one
+  /// scope hold several consecutive spans.
+  void close() noexcept;
+
+ private:
+  bool on_;
+  const char* cat_;
+  const char* name_;
+  u64 t0_ = 0;
+  int nargs_ = 0;
+  Arg args_[6];
+};
+
+// ------------------------------------------------------------- export
+
+/// Flushes every ring of THIS process to `trace-<pid>.json` under
+/// trace_dir() (schema: {"schema_version", "traceEvents": [...]}).
+/// Returns false on I/O failure or when nothing was recorded.
+bool write_process_trace();
+
+/// Merges the given trace files' traceEvents into `out_path` (atomic
+/// write; unreadable/malformed inputs are skipped, never fatal).
+bool merge_trace_files(const std::vector<std::string>& paths,
+                       const std::string& out_path);
+
+/// Merges every `trace-*.json` under `dir` into `out_path`.
+bool merge_trace_dir(const std::string& dir, const std::string& out_path);
+
+}  // namespace cacqr::obs

@@ -8,6 +8,7 @@
 /// any thread; the scheduler (service.hpp) fills the result and signals
 /// the handle exactly once, when the job reaches a terminal status.
 
+#include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <memory>
@@ -83,6 +84,11 @@ struct Job {
   u64 seq = 0;  ///< admission order (global, monotone)
   WallTimer since_submit;
   double queue_seconds = 0.0;  ///< stamped by the scheduler at dispatch
+  u64 trace_id = 0;  ///< obs async-span id (0 = tracing off at submit)
+  /// Trace lifecycle: 0 none, 1 "queued" span open, 2 "run" span open,
+  /// 3 ended.  Exchanged by the emitter so racing finishers (normal
+  /// completion vs the engine-death drain) close each span exactly once.
+  std::atomic<int> trace_state{0};
 
   std::mutex mu;
   std::condition_variable cv;
@@ -92,19 +98,22 @@ struct Job {
 
   /// Terminal transition + wakeup (scheduler side).  First terminal
   /// status wins: the engine-death drain may race a result already
-  /// delivered, and must not overwrite it.
-  void finish(JobStatus terminal, JobResult res, std::exception_ptr err) {
+  /// delivered, and must not overwrite it.  Returns whether THIS call
+  /// performed the transition (so exactly one caller emits the job's
+  /// terminal trace/metrics events).
+  bool finish(JobStatus terminal, JobResult res, std::exception_ptr err) {
     {
       const std::lock_guard<std::mutex> lock(mu);
       if (status == JobStatus::done || status == JobStatus::failed ||
           status == JobStatus::rejected) {
-        return;
+        return false;
       }
       status = terminal;
       result = std::move(res);
       error = std::move(err);
     }
     cv.notify_all();
+    return true;
   }
 };
 

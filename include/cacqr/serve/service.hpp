@@ -65,6 +65,10 @@ struct ServiceStats {
   u64 batches = 0;    ///< batched-lane sweeps with >= 2 jobs
   u64 batched_jobs = 0;  ///< jobs that rode such a sweep
   std::size_t max_queue_depth = 0;  ///< high-water admission backlog
+  std::size_t queue_depth = 0;      ///< current admission backlog
+  /// Per-admission-class admit/reject counts, indexed by Priority.
+  std::array<u64, 3> admitted_by_class{};
+  std::array<u64, 3> rejected_by_class{};
 };
 
 class FactorizeService {

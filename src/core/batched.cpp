@@ -11,6 +11,7 @@
 #include "cacqr/lin/blas_f.hpp"
 #include "cacqr/lin/factor.hpp"
 #include "cacqr/lin/matrix_f.hpp"
+#include "cacqr/obs/trace.hpp"
 #include "internal.hpp"
 
 namespace cacqr::core {
@@ -42,6 +43,9 @@ std::vector<PassOut> batched_pass_1d(const std::vector<const DistMatrix*>& panel
   const std::size_t k = panels.size();
   std::vector<PassOut> out(k);
   if (k == 0) return out;  // consistent on every rank: no collective to run
+
+  obs::SpanScope pass_span("core", "batched_pass");
+  pass_span.arg("batch", static_cast<double>(k));
 
   // Slab offsets: panel i's Gram occupies [off[i], off[i + 1]) doubles
   // (fp64 lane: n_i^2 elements; fp32 lane: its wire word count).
@@ -105,6 +109,8 @@ std::vector<PassOut> batched_pass_1d(const std::vector<const DistMatrix*>& panel
   // Lines 3-4 per panel: redundant CholInv and the local triangular
   // multiply, with the per-panel NotSpd isolation.
   for (std::size_t i = 0; i < k; ++i) {
+    obs::SpanScope item_span("core", "batched_item");
+    item_span.arg("item", static_cast<double>(i));
     const i64 n = panels[i]->cols();
     lin::Matrix z;
     lin::ConstMatrixView zv{slab.data() + off[i], n, n, n};
@@ -135,6 +141,8 @@ std::vector<PassOut> batched_pass_1d(const std::vector<const DistMatrix*>& panel
 /// the fallback tail of the standalone driver's run_cqr_1d.
 void run_shifted(const detail::Padded& padded, const rt::Comm& world,
                  const BatchedOptions& opts, BatchedItem& item) {
+  obs::SpanScope span("core", "shifted_rerun");
+  span.arg("n", static_cast<double>(padded.n));
   grid::TunableGrid g(world, 1, world.size());
   DistMatrix da = DistMatrix::from_global_on_tunable(padded.a, g);
   CaCqrResult fact =
@@ -159,6 +167,10 @@ std::vector<BatchedItem> factorize_batched(
   const std::size_t b = panels.size();
   std::vector<BatchedItem> out(b);
   if (b == 0) return out;
+
+  obs::SpanScope batch_span("core", "factorize_batched");
+  batch_span.arg("b", static_cast<double>(b));
+  batch_span.arg("passes", opts.passes);
 
   // Pad + scatter every panel exactly as the standalone driver does.
   std::vector<detail::Padded> padded;

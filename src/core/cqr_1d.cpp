@@ -3,6 +3,7 @@
 #include "cacqr/lin/blas.hpp"
 #include "cacqr/lin/blas_f.hpp"
 #include "cacqr/lin/factor.hpp"
+#include "cacqr/obs/trace.hpp"
 
 namespace cacqr::core {
 
@@ -33,13 +34,18 @@ Cqr1dResult cqr_1d(const DistMatrix& a, const rt::Comm& comm,
   // until the widen after the Allreduce.
   lin::Matrix z = lin::Matrix::uninit(n, n);
   lin::MatrixF zf;
-  if (f32_gram) {
-    lin::MatrixF af = lin::MatrixF::uninit(a.local().rows(), n);
-    lin::narrow(a.local(), af);
-    zf = lin::MatrixF::uninit(n, n);
-    lin::gram_f32(1.0f, af, 0.0f, zf);
-  } else {
-    lin::gram(1.0, a.local(), 0.0, z);
+  {
+    obs::SpanScope span("core", "gram");
+    span.arg("n", n);
+    span.arg("rows", a.local().rows());
+    if (f32_gram) {
+      lin::MatrixF af = lin::MatrixF::uninit(a.local().rows(), n);
+      lin::narrow(a.local(), af);
+      zf = lin::MatrixF::uninit(n, n);
+      lin::gram_f32(1.0f, af, 0.0f, zf);
+    } else {
+      lin::gram(1.0, a.local(), 0.0, z);
+    }
   }
 
   // Line 2: Allreduce the n x n Gram contributions (half-width payload on
@@ -66,11 +72,17 @@ Cqr1dResult cqr_1d(const DistMatrix& a, const rt::Comm& comm,
   if (f32_gram) lin::widen(zf, z);
 
   // Line 3: redundant CholInv: R^T = chol(Z), R^{-T} = L^{-1}.
+  obs::SpanScope chol_span("core", "chol");
+  chol_span.arg("n", n);
   auto li = lin::cholinv(z);
+  chol_span.close();
 
   // Line 4: Q_p = A_p R^{-1}, purely local triangular multiply.
+  obs::SpanScope trsm_span("core", "trsm");
+  trsm_span.arg("n", n);
   lin::trmm(lin::Side::Right, lin::Uplo::Lower, lin::Trans::T,
             lin::Diag::NonUnit, 1.0, li.l_inv, out.q.local());
+  trsm_span.close();
 
   // Transpose L into the returned upper-triangular R.  Deliberately
   // sequential: the n^2/2-element extraction is noise next to the n^3/3
@@ -87,10 +99,16 @@ Cqr1dResult cqr2_1d(const DistMatrix& a, const rt::Comm& comm,
   // Algorithm 7: two passes, then R = R2 * R1 sequentially on every rank.
   // mixed runs only the first Gram in fp32 (the fp64 second pass is the
   // correction sweep); fp32 keeps both Grams in fp32.
+  obs::SpanScope pass1("core", "cqr_pass");
+  pass1.arg("pass", 1);
   Cqr1dResult first = cqr_1d(a, comm, precision);
+  pass1.close();
+  obs::SpanScope pass2("core", "cqr_pass");
+  pass2.arg("pass", 2);
   Cqr1dResult second =
       cqr_1d(first.q, comm,
              precision == Precision::fp32 ? Precision::fp32 : Precision::fp64);
+  pass2.close();
   lin::trmm(lin::Side::Left, lin::Uplo::Upper, lin::Trans::N,
             lin::Diag::NonUnit, 1.0, second.r, first.r);
   return {std::move(second.q), std::move(first.r)};

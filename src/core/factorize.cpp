@@ -15,6 +15,7 @@
 #include "cacqr/lin/kernel.hpp"
 #include "cacqr/lin/parallel.hpp"
 #include "cacqr/lin/util.hpp"
+#include "cacqr/obs/trace.hpp"
 #include "cacqr/support/timer.hpp"
 #include "cacqr/tune/cache.hpp"
 
@@ -436,6 +437,11 @@ FactorizeResult factorize(lin::ConstMatrixView a, const rt::Comm& world,
              "factorize: requires m >= n >= 1");
   ensure(opts.passes >= 1 && opts.passes <= 3,
          "factorize: passes must be 1, 2 or 3");
+
+  obs::SpanScope span("core", "factorize");
+  span.arg("m", static_cast<double>(a.rows));
+  span.arg("n", static_cast<double>(a.cols));
+  span.arg("passes", opts.passes);
 
   // Explicit grid or the historical heuristic: the CA-CQR family with
   // the closed-form grid rule, bit-identical to the pre-planner driver.

@@ -25,6 +25,8 @@
 #include <string>
 
 #include "cacqr/lin/parallel.hpp"
+#include "cacqr/obs/metrics.hpp"
+#include "cacqr/obs/trace.hpp"
 #include "cacqr/support/error.hpp"
 #include "cacqr/support/math.hpp"
 #include "kernel_impl.hpp"
@@ -184,13 +186,20 @@ std::map<int, GroupCounters>& group_map() {
 /// Moves an arena's capacity charge from `old_group` (its previous
 /// grower) to `new_group`, recording one grow event.
 void group_charge(int old_group, i64 old_cap, int new_group, i64 new_cap) {
-  const std::lock_guard<std::mutex> lock(group_mu());
-  auto& m = group_map();
-  if (old_cap > 0) m[old_group].bytes -= old_cap;
-  GroupCounters& g = m[new_group];
-  g.allocations += 1;
-  g.bytes += new_cap;
-  if (g.bytes > g.high_water) g.high_water = g.bytes;
+  i64 group_high_water = 0;
+  {
+    const std::lock_guard<std::mutex> lock(group_mu());
+    auto& m = group_map();
+    if (old_cap > 0) m[old_group].bytes -= old_cap;
+    GroupCounters& g = m[new_group];
+    g.allocations += 1;
+    g.bytes += new_cap;
+    if (g.bytes > g.high_water) g.high_water = g.bytes;
+    group_high_water = g.high_water;
+  }
+  obs::Registry::global()
+      .gauge("lin.arena.group." + std::to_string(new_group) + ".high_water")
+      .record_max(static_cast<double>(group_high_water));
 }
 
 void group_discharge(int group, i64 cap) {
@@ -253,6 +262,18 @@ class PackArena {
     group_charge(group_, static_cast<i64>(cap_) - delta, owner,
                  static_cast<i64>(cap_));
     group_ = owner;
+    // Growth is rare by design (geometric, reused at steady state), so
+    // one instant per grow plus registry updates costs nothing on the
+    // per-tile hot path.
+    if (obs::trace_on()) {
+      obs::instant("lin", "arena_grow",
+                   {{"bytes", static_cast<double>(delta)},
+                    {"cap", static_cast<double>(cap_)},
+                    {"group", static_cast<double>(owner)}});
+    }
+    auto& reg = obs::Registry::global();
+    reg.counter("lin.arena.allocations").add(1);
+    reg.gauge("lin.arena.bytes").set(static_cast<double>(now));
   }
 
   void* buf_ = nullptr;

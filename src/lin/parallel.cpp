@@ -1,5 +1,7 @@
 #include "cacqr/lin/parallel.hpp"
 
+#include "cacqr/obs/trace.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -59,6 +61,7 @@ struct Pool {
   std::exception_ptr error;
   bool shutdown = false;
   int group = 0;  ///< owner's task group, adopted by workers per region
+  int trace_rank = -1;  ///< owner's trace rank, adopted like `group`
 
   // Centralized sense-reversing barrier for the in-flight team.
   std::mutex barrier_mu;
@@ -200,10 +203,19 @@ void Pool::worker_main(int tid, int spawn_reserve) {
       my_task = task;
       team_size = active;
       tls_task_group = group;  // adopt the owner's attribution group
+      // Adopt the owner's trace rank too, so worker spans land on the
+      // owning rank's process row instead of an anonymous driver row.
+      obs::set_trace_rank(trace_rank);
     }
     Team team(tid, team_size, this);
     try {
-      (*my_task)(team);
+      if (obs::trace_on()) {
+        obs::SpanScope span("lin", "worker");
+        span.arg("tid", tid);
+        (*my_task)(team);
+      } else {
+        (*my_task)(team);
+      }
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu);
       if (!error) error = std::current_exception();
@@ -223,6 +235,8 @@ void Pool::run_region(int nthreads, const std::function<void(Team&)>& body) {
     update_reserve(nthreads);
   }
   ensure_workers(nthreads - 1);
+  obs::SpanScope region_span("lin", "region");
+  region_span.arg("width", nthreads);
   {
     std::lock_guard<std::mutex> lock(mu);
     task = &body;
@@ -230,6 +244,7 @@ void Pool::run_region(int nthreads, const std::function<void(Team&)>& body) {
     running = nthreads - 1;
     error = nullptr;
     group = tls_task_group;
+    trace_rank = obs::trace_rank();
     ++epoch;
   }
   cv_start.notify_all();

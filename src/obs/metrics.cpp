@@ -1,0 +1,142 @@
+#include "cacqr/obs/metrics.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace cacqr::obs {
+
+namespace {
+
+template <class Vec>
+auto* find_named(Vec& v, std::string_view name) {
+  for (auto& [n, p] : v) {
+    if (n == name) return p.get();
+  }
+  return static_cast<typename Vec::value_type::second_type::pointer>(nullptr);
+}
+
+/// CACQR_METRICS=<path>: the global registry snapshots itself at exit.
+/// Guarded by pid so a fork()ed child that somehow reaches atexit never
+/// overwrites the parent's snapshot (transport children use _Exit and
+/// skip atexit entirely).
+int g_snapshot_pid = 0;
+std::string* g_snapshot_path = nullptr;
+
+void snapshot_at_exit() {
+  if (getpid() != g_snapshot_pid || g_snapshot_path == nullptr) return;
+  // The snapshot may target a directory nobody has created yet (e.g. the
+  // trace dir, when this hook runs before the trace flush).
+  const std::size_t slash = g_snapshot_path->find_last_of('/');
+  if (slash != std::string::npos && slash > 0) {
+    (void)::mkdir(g_snapshot_path->substr(0, slash).c_str(), 0777);
+  }
+  Registry::global().write_snapshot(*g_snapshot_path);
+}
+
+void register_env_snapshot() {
+  static const bool once = [] {
+    const char* s = std::getenv("CACQR_METRICS");
+    if (s == nullptr || *s == '\0') return false;
+    g_snapshot_path = new std::string(s);
+    g_snapshot_pid = static_cast<int>(getpid());
+    std::atexit(snapshot_at_exit);
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
+Registry& Registry::global() {
+  static Registry* r = [] {
+    auto* reg = new Registry();
+    register_env_snapshot();
+    return reg;
+  }();
+  return *r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (auto* c = find_named(counters_, name)) return *c;
+  counters_.emplace_back(std::string(name), std::make_unique<Counter>());
+  return *counters_.back().second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (auto* g = find_named(gauges_, name)) return *g;
+  gauges_.emplace_back(std::string(name), std::make_unique<Gauge>());
+  return *gauges_.back().second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (auto* h = find_named(hists_, name)) return *h;
+  hists_.emplace_back(std::string(name), std::make_unique<Histogram>(bounds));
+  return *hists_.back().second;
+}
+
+support::Json Registry::snapshot() const {
+  // Sorted-name maps make the key sequence deterministic for a given
+  // instrument set (support::Json keeps insertion order).
+  std::vector<std::pair<std::string, const Counter*>> cs;
+  std::vector<std::pair<std::string, const Gauge*>> gs;
+  std::vector<std::pair<std::string, const Histogram*>> hs;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [n, p] : counters_) cs.emplace_back(n, p.get());
+    for (const auto& [n, p] : gauges_) gs.emplace_back(n, p.get());
+    for (const auto& [n, p] : hists_) hs.emplace_back(n, p.get());
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(cs.begin(), cs.end(), by_name);
+  std::sort(gs.begin(), gs.end(), by_name);
+  std::sort(hs.begin(), hs.end(), by_name);
+
+  support::Json doc = support::Json::object();
+  doc.set("schema_version", 1);
+  support::Json counters = support::Json::object();
+  for (const auto& [n, c] : cs) {
+    counters.set(n, static_cast<i64>(c->value()));
+  }
+  doc.set("counters", std::move(counters));
+  support::Json gauges = support::Json::object();
+  for (const auto& [n, g] : gs) gauges.set(n, g->value());
+  doc.set("gauges", std::move(gauges));
+  support::Json hists = support::Json::object();
+  for (const auto& [n, h] : hs) {
+    support::Json hj = support::Json::object();
+    hj.set("count", static_cast<i64>(h->count()));
+    hj.set("sum", h->sum());
+    support::Json buckets = support::Json::array();
+    const auto& bounds = h->bounds();
+    for (std::size_t i = 0; i <= bounds.size(); ++i) {
+      support::Json b = support::Json::object();
+      if (i < bounds.size()) {
+        b.set("le", bounds[i]);
+      } else {
+        b.set("le", "inf");
+      }
+      b.set("count", static_cast<i64>(h->bucket_count(i)));
+      buckets.push_back(std::move(b));
+    }
+    hj.set("buckets", std::move(buckets));
+    hists.set(n, std::move(hj));
+  }
+  doc.set("histograms", std::move(hists));
+  return doc;
+}
+
+bool Registry::write_snapshot(const std::string& path) const {
+  return support::write_json_file(path, snapshot(), 1);
+}
+
+}  // namespace cacqr::obs

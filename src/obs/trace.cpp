@@ -1,0 +1,467 @@
+#include "cacqr/obs/trace.hpp"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "cacqr/support/error.hpp"
+#include "cacqr/support/json.hpp"
+
+namespace cacqr::obs {
+
+namespace detail {
+std::atomic<int> g_trace_mode{-1};
+}  // namespace detail
+
+namespace {
+
+constexpr int kSchemaVersion = 1;
+constexpr std::size_t kDefaultRingEvents = 16384;
+constexpr std::size_t kMaxArgs = 6;
+
+enum class Ph : unsigned char { complete, instant, counter, abegin, aend };
+
+/// One recorded event.  `cat`/`name`/arg keys are static-storage strings
+/// (the API contract), so storing pointers is safe across threads and
+/// until process exit.
+struct Event {
+  Ph ph;
+  unsigned char nargs;
+  int pid;  ///< trace rank; -1 = driver row
+  u64 tid;
+  const char* cat;
+  const char* name;
+  u64 ts_ns;
+  u64 dur_ns;  ///< complete only
+  u64 id;      ///< async pairing / counter value bits
+  Arg args[kMaxArgs];
+};
+
+/// Single-writer event ring: the owning thread appends and publishes
+/// with a release store on `count`; readers take an acquire snapshot and
+/// read only that prefix.  Entries are never overwritten (drop-newest),
+/// so the published prefix is immutable.
+struct ThreadLog {
+  explicit ThreadLog(std::size_t capacity, u64 tid_)
+      : buf(new Event[capacity]), cap(capacity), tid(tid_) {}
+  std::unique_ptr<Event[]> buf;
+  std::size_t cap;
+  u64 tid;
+  std::atomic<std::size_t> count{0};
+};
+
+// Leaked globals: the exit-time flush must outlive every static
+// destructor that could otherwise tear these down first.
+std::mutex& logs_mu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+std::vector<std::shared_ptr<ThreadLog>>& logs() {
+  static auto* v = new std::vector<std::shared_ptr<ThreadLog>>();
+  return *v;
+}
+std::mutex& dir_mu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+std::string& dir_storage() {
+  static auto* s = new std::string();
+  return *s;
+}
+std::vector<int>& child_pids() {
+  static auto* v = new std::vector<int>();
+  return *v;
+}
+
+std::atomic<u64> g_dropped{0};
+std::atomic<u64> g_next_tid{1};
+std::atomic<u64> g_next_async_id{1};
+std::atomic<std::size_t> g_ring_override{0};
+std::atomic<int> g_flush_registered{0};
+int g_flush_pid = 0;
+
+thread_local int tls_trace_rank = -1;
+thread_local ThreadLog* tls_log = nullptr;
+
+std::size_t ring_capacity() {
+  const std::size_t forced = g_ring_override.load(std::memory_order_relaxed);
+  if (forced != 0) return forced;
+  static const std::size_t from_env = [] {
+    const char* s = std::getenv("CACQR_TRACE_BUF");
+    if (s == nullptr || *s == '\0') return kDefaultRingEvents;
+    char* end = nullptr;
+    const long n = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || n < 16) return kDefaultRingEvents;
+    return static_cast<std::size_t>(n);
+  }();
+  return from_env;
+}
+
+ThreadLog& local_log() {
+  if (tls_log == nullptr) {
+    auto log = std::make_shared<ThreadLog>(
+        ring_capacity(), g_next_tid.fetch_add(1, std::memory_order_relaxed));
+    tls_log = log.get();
+    const std::lock_guard<std::mutex> lock(logs_mu());
+    logs().push_back(std::move(log));
+  }
+  return *tls_log;
+}
+
+void flush_at_exit() {
+  // Only the process that registered the hook writes + merges: a fork()ed
+  // child that reaches atexit (it should not -- transports use _Exit)
+  // must not re-merge the parent's files.
+  if (getpid() != g_flush_pid) return;
+  if (!trace_on()) return;
+  write_process_trace();
+  std::vector<std::string> parts;
+  const std::string dir = trace_dir();
+  parts.push_back(dir + "/trace-" + std::to_string(getpid()) + ".json");
+  {
+    const std::lock_guard<std::mutex> lock(logs_mu());
+    for (const int pid : child_pids()) {
+      parts.push_back(dir + "/trace-" + std::to_string(pid) + ".json");
+    }
+  }
+  merge_trace_files(parts, dir + "/trace.json");
+}
+
+void register_flush() {
+  if (g_flush_registered.exchange(1, std::memory_order_acq_rel) != 0) return;
+  g_flush_pid = getpid();
+  std::atexit(flush_at_exit);
+}
+
+/// True when this thread should record under the current mode.
+bool should_record() {
+  int m = detail::g_trace_mode.load(std::memory_order_relaxed);
+  if (m < 0) m = detail::init_trace_mode_from_env();
+  if (m == 0) return false;
+  if (m == 2) return true;
+  return tls_trace_rank <= 0;  // rank0: rank-0 and driver threads only
+}
+
+void record(Ph ph, const char* cat, const char* name, u64 ts_ns, u64 dur_ns,
+            u64 id, const Arg* args, std::size_t nargs) {
+  if (!should_record()) return;
+  ThreadLog& log = local_log();
+  const std::size_t n = log.count.load(std::memory_order_relaxed);
+  if (n >= log.cap) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Event& e = log.buf[n];
+  e.ph = ph;
+  e.nargs = static_cast<unsigned char>(std::min(nargs, kMaxArgs));
+  e.pid = tls_trace_rank;
+  e.tid = log.tid;
+  e.cat = cat;
+  e.name = name;
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  e.id = id;
+  for (std::size_t i = 0; i < e.nargs; ++i) e.args[i] = args[i];
+  log.count.store(n + 1, std::memory_order_release);
+}
+
+const char* ph_string(Ph ph) {
+  switch (ph) {
+    case Ph::complete: return "X";
+    case Ph::instant: return "i";
+    case Ph::counter: return "C";
+    case Ph::abegin: return "b";
+    case Ph::aend: return "e";
+  }
+  return "?";
+}
+
+bool ensure_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0) return true;
+  return errno == EEXIST;
+}
+
+}  // namespace
+
+namespace detail {
+
+int init_trace_mode_from_env() {
+  // Racing initializers parse the same env and store the same value.
+  const char* s = std::getenv("CACQR_TRACE");
+  int mode = 0;
+  if (s != nullptr && *s != '\0') {
+    if (std::strcmp(s, "off") == 0) {
+      mode = 0;
+    } else if (std::strcmp(s, "rank0") == 0) {
+      mode = 1;
+    } else if (std::strcmp(s, "all") == 0) {
+      mode = 2;
+    } else {
+      throw Error(std::string("CACQR_TRACE: unknown mode \"") + s +
+                  "\" (valid: off, rank0, all)");
+    }
+  }
+  g_trace_mode.store(mode, std::memory_order_relaxed);
+  if (mode > 0) register_flush();
+  return mode;
+}
+
+void reset_after_fork() noexcept {
+  // The child inherits the parent's published ring contents; wipe them so
+  // the child's own flush exports only its post-fork events.  Single
+  // threaded here (fork), so the non-owner stores are safe.
+  const std::lock_guard<std::mutex> lock(logs_mu());
+  for (const auto& log : logs()) log->count.store(0, std::memory_order_relaxed);
+  child_pids().clear();
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_flush_pid = 0;  // the child never runs the parent's merge
+}
+
+void note_forked_child(int pid) {
+  const std::lock_guard<std::mutex> lock(logs_mu());
+  child_pids().push_back(pid);
+}
+
+}  // namespace detail
+
+TraceMode trace_mode() {
+  int v = detail::g_trace_mode.load(std::memory_order_relaxed);
+  if (v < 0) v = detail::init_trace_mode_from_env();
+  return static_cast<TraceMode>(v);
+}
+
+void set_trace_mode(TraceMode mode) {
+  detail::g_trace_mode.store(static_cast<int>(mode),
+                             std::memory_order_relaxed);
+  if (mode != TraceMode::off) register_flush();
+}
+
+std::string trace_dir() {
+  const std::lock_guard<std::mutex> lock(dir_mu());
+  std::string& dir = dir_storage();
+  if (dir.empty()) {
+    const char* s = std::getenv("CACQR_TRACE_DIR");
+    dir = (s != nullptr && *s != '\0') ? s : "cacqr_trace";
+  }
+  return dir;
+}
+
+void set_trace_dir(const std::string& dir) {
+  const std::lock_guard<std::mutex> lock(dir_mu());
+  dir_storage() = dir;
+}
+
+int set_trace_rank(int rank) noexcept {
+  const int prev = tls_trace_rank;
+  tls_trace_rank = rank;
+  return prev;
+}
+
+int trace_rank() noexcept { return tls_trace_rank; }
+
+void set_trace_buffer_capacity(std::size_t events) noexcept {
+  g_ring_override.store(events, std::memory_order_relaxed);
+}
+
+u64 dropped_events() noexcept {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+u64 now_ns() noexcept {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+u64 new_async_id() noexcept {
+  return g_next_async_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void complete(const char* cat, const char* name, u64 t0_ns, u64 t1_ns,
+              std::initializer_list<Arg> args) {
+  record(Ph::complete, cat, name, t0_ns, t1_ns >= t0_ns ? t1_ns - t0_ns : 0,
+         0, args.begin(), args.size());
+}
+
+void instant(const char* cat, const char* name,
+             std::initializer_list<Arg> args) {
+  record(Ph::instant, cat, name, now_ns(), 0, 0, args.begin(), args.size());
+}
+
+void counter(const char* cat, const char* name, double value) {
+  const Arg arg{"value", value};
+  record(Ph::counter, cat, name, now_ns(), 0, 0, &arg, 1);
+}
+
+void async_begin(const char* cat, const char* name, u64 id,
+                 std::initializer_list<Arg> args) {
+  record(Ph::abegin, cat, name, now_ns(), 0, id, args.begin(), args.size());
+}
+
+void async_end(const char* cat, const char* name, u64 id,
+               std::initializer_list<Arg> args) {
+  record(Ph::aend, cat, name, now_ns(), 0, id, args.begin(), args.size());
+}
+
+void SpanScope::close() noexcept {
+  if (!on_) return;
+  on_ = false;
+  record(Ph::complete, cat_, name_, t0_, now_ns() - t0_, 0, args_,
+         static_cast<std::size_t>(nargs_));
+}
+
+namespace {
+
+/// Chrome trace-event JSON for one event.  pid: rank rows keep the rank
+/// number; driver threads share pid 1000000 + (os pid % 1000) so two
+/// merged processes' driver rows do not collide.  tid carries an os-pid
+/// salt for the same reason (rank rows are single-process, but the
+/// modeled transport runs every rank in one process where tids are
+/// already unique).
+support::Json event_json(const Event& e, int os_pid) {
+  support::Json j = support::Json::object();
+  j.set("name", e.name);
+  j.set("cat", e.cat);
+  j.set("ph", ph_string(e.ph));
+  const int pid = e.pid >= 0 ? e.pid : 1000000 + os_pid % 1000;
+  j.set("pid", pid);
+  j.set("tid", static_cast<i64>(e.tid + static_cast<u64>(os_pid % 1000) *
+                                             100000));
+  j.set("ts", static_cast<double>(e.ts_ns) / 1000.0);
+  if (e.ph == Ph::complete) {
+    j.set("dur", static_cast<double>(e.dur_ns) / 1000.0);
+  }
+  if (e.ph == Ph::abegin || e.ph == Ph::aend) {
+    j.set("id", static_cast<i64>(e.id));
+  }
+  if (e.nargs > 0) {
+    support::Json args = support::Json::object();
+    for (unsigned char i = 0; i < e.nargs; ++i) {
+      args.set(e.args[i].key, e.args[i].value);
+    }
+    j.set("args", std::move(args));
+  }
+  return j;
+}
+
+support::Json process_name_meta(int pid, const std::string& label) {
+  support::Json j = support::Json::object();
+  j.set("name", "process_name");
+  j.set("ph", "M");
+  j.set("pid", pid);
+  support::Json args = support::Json::object();
+  args.set("name", label);
+  j.set("args", std::move(args));
+  return j;
+}
+
+}  // namespace
+
+bool write_process_trace() {
+  const int os_pid = static_cast<int>(getpid());
+  support::Json events = support::Json::array();
+
+  // Per-rank process rows + one driver row, named for Perfetto.
+  std::vector<int> ranks_seen;
+  bool driver_seen = false;
+
+  std::vector<std::shared_ptr<ThreadLog>> snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(logs_mu());
+    snapshot = logs();
+  }
+  std::size_t total = 0;
+  for (const auto& log : snapshot) {
+    const std::size_t n = log->count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Event& e = log->buf[i];
+      if (e.pid >= 0) {
+        if (std::find(ranks_seen.begin(), ranks_seen.end(), e.pid) ==
+            ranks_seen.end()) {
+          ranks_seen.push_back(e.pid);
+        }
+      } else {
+        driver_seen = true;
+      }
+      events.push_back(event_json(e, os_pid));
+      ++total;
+    }
+  }
+  if (total == 0) return false;
+
+  std::sort(ranks_seen.begin(), ranks_seen.end());
+  support::Json doc = support::Json::object();
+  doc.set("schema_version", kSchemaVersion);
+  support::Json meta = support::Json::array();
+  for (const int r : ranks_seen) {
+    meta.push_back(process_name_meta(r, "rank " + std::to_string(r)));
+  }
+  if (driver_seen) {
+    meta.push_back(process_name_meta(
+        1000000 + os_pid % 1000, "driver (pid " + std::to_string(os_pid) +
+                                     ")"));
+  }
+  // Metadata first so viewers label rows before the first real event.
+  support::Json all = support::Json::array();
+  for (std::size_t i = 0; i < meta.size(); ++i) {
+    all.push_back(meta.at(i));
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    all.push_back(events.at(i));
+  }
+  doc.set("traceEvents", std::move(all));
+  doc.set("dropped_events", static_cast<i64>(dropped_events()));
+
+  const std::string dir = trace_dir();
+  if (!ensure_dir(dir)) return false;
+  return support::write_json_file(
+      dir + "/trace-" + std::to_string(os_pid) + ".json", doc, -1);
+}
+
+bool merge_trace_files(const std::vector<std::string>& paths,
+                       const std::string& out_path) {
+  support::Json all = support::Json::array();
+  int schema = kSchemaVersion;
+  for (const std::string& p : paths) {
+    const auto doc = support::read_json_file(p);
+    if (!doc.has_value()) continue;  // missing/torn inputs: skip, not fatal
+    const support::Json& ev = (*doc)["traceEvents"];
+    if (!ev.is_array()) continue;
+    schema = std::max(schema, static_cast<int>((*doc)["schema_version"]
+                                                   .as_int(kSchemaVersion)));
+    for (std::size_t i = 0; i < ev.size(); ++i) all.push_back(ev.at(i));
+  }
+  if (all.size() == 0) return false;
+  support::Json doc = support::Json::object();
+  doc.set("schema_version", schema);
+  doc.set("traceEvents", std::move(all));
+  return support::write_json_file(out_path, doc, -1);
+}
+
+bool merge_trace_dir(const std::string& dir, const std::string& out_path) {
+  std::vector<std::string> paths;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return false;
+  while (dirent* e = ::readdir(d)) {
+    const std::string name(e->d_name);
+    if (name.rfind("trace-", 0) == 0 &&
+        name.size() > 11 &&
+        name.compare(name.size() - 5, 5, ".json") == 0) {
+      paths.push_back(dir + "/" + name);
+    }
+  }
+  ::closedir(d);
+  std::sort(paths.begin(), paths.end());
+  return merge_trace_files(paths, out_path);
+}
+
+}  // namespace cacqr::obs

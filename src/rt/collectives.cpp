@@ -23,6 +23,7 @@
 #include <functional>
 #include <numeric>
 
+#include "cacqr/obs/trace.hpp"
 #include "internal.hpp"
 
 namespace cacqr::rt {
@@ -295,6 +296,7 @@ Request Comm::start_bcast(std::span<double> data, int root) const {
   auto st = std::make_unique<detail::RequestState>();
   st->comm = state_;
   detail::build_bcast(*st, data, root);
+  detail::trace_stamp_request(*st, "bcast");
   detail::start_request(*st);
   return Request(std::move(st));
 }
@@ -303,6 +305,7 @@ Request Comm::start_allreduce_sum(std::span<double> data) const {
   auto st = std::make_unique<detail::RequestState>();
   st->comm = state_;
   detail::build_allreduce(*st, data);
+  detail::trace_stamp_request(*st, "allreduce");
   detail::start_request(*st);
   return Request(std::move(st));
 }
@@ -311,6 +314,7 @@ Request Comm::start_allreduce_sum_f32(std::span<double> words) const {
   auto st = std::make_unique<detail::RequestState>();
   st->comm = state_;
   detail::build_allreduce_f32(*st, words);
+  detail::trace_stamp_request(*st, "allreduce_f32");
   detail::start_request(*st);
   return Request(std::move(st));
 }
@@ -329,6 +333,7 @@ Request Comm::start_allgather(std::span<const double> mine,
   auto st = std::make_unique<detail::RequestState>();
   st->comm = state_;
   detail::build_allgather(*st, mine, all);
+  detail::trace_stamp_request(*st, "allgather");
   detail::start_request(*st);
   return Request(std::move(st));
 }
@@ -339,6 +344,7 @@ Request Comm::start_sendrecv_swap(int partner, int tag,
   st->comm = state_;
   st->tag = tag;  // pairwise exchange uses the caller's tag
   detail::build_sendrecv_swap(*st, partner, data);
+  detail::trace_stamp_request(*st, "sendrecv_swap");
   detail::start_request(*st);
   return Request(std::move(st));
 }
@@ -348,11 +354,29 @@ Request Comm::start_sendrecv_swap(int partner, int tag,
 void Comm::barrier() const {
   const int p = size();
   if (p == 1) return;
+  // The dissemination loop is direct blocking p2p, not a request
+  // schedule, so it carries its own span (same args as the request
+  // engine's collective spans).
+  obs::SpanScope span("rt", "barrier");
+  const CostCounters* tally = nullptr;
+  i64 msgs0 = 0;
+  double clock0 = 0.0;
+  if (obs::trace_on()) {
+    tally = &state_->world->ranks[static_cast<std::size_t>(world_rank())]
+                 .tally;
+    msgs0 = tally->msgs;
+    clock0 = tally->time;
+  }
   const int me = rank();
   const int tag = detail::next_internal_tag(*state_);
   for (int s = 1; s < p; s <<= 1) {
     send((me + s) % p, tag, {});
     recv((me - s % p + p) % p, tag, {});
+  }
+  if (tally != nullptr) {
+    span.arg("msgs", static_cast<double>(tally->msgs - msgs0));
+    span.arg("mclk0_us", clock0 * 1e6);
+    span.arg("mclk1_us", tally->time * 1e6);
   }
 }
 

@@ -5,6 +5,8 @@
 
 #include "cacqr/lin/flops.hpp"
 #include "cacqr/lin/parallel.hpp"
+#include "cacqr/obs/metrics.hpp"
+#include "cacqr/obs/trace.hpp"
 #include "transport.hpp"
 
 namespace cacqr::rt {
@@ -78,6 +80,11 @@ void send_now(CommState& s, int dest, int tag, std::span<const double> data) {
   msg.payload.assign(data.begin(), data.end());
 
   const int dest_world = s.members[static_cast<std::size_t>(dest)];
+  if (obs::trace_on()) {
+    obs::instant(w.transport->name(), "post",
+                 {{"dst", static_cast<double>(dest_world)},
+                  {"words", static_cast<double>(data.size())}});
+  }
   w.transport->post(me_world, dest_world, std::move(msg));
 }
 
@@ -93,6 +100,11 @@ bool try_recv_now(CommState& s, int src, int tag, std::span<double> data) {
                     "recv: size mismatch: expected ", data.size(), " got ",
                     msg.payload.size());
   std::copy(msg.payload.begin(), msg.payload.end(), data.begin());
+  if (obs::trace_on()) {
+    obs::instant(w.transport->name(), "match",
+                 {{"src", static_cast<double>(src_world)},
+                  {"words", static_cast<double>(data.size())}});
+  }
   auto& me = w.ranks[static_cast<std::size_t>(me_world)].tally;
   me.time = std::max(me.time, msg.arrival);
   return true;
@@ -102,6 +114,16 @@ void rank_main(World& world, int rank, int rank_budget,
                const std::function<void(Comm&)>& body) {
   lin::flops::reset();
   lin::parallel::set_thread_budget(rank_budget);
+  // Tag this thread (and, per region, its pool workers) with the rank it
+  // executes, so trace events land on the rank's process row.  Restored
+  // on exit (after the rank span emits): under the modeled backend the
+  // thread may later run a different rank.
+  struct TraceRankGuard {
+    int prev;
+    ~TraceRankGuard() { obs::set_trace_rank(prev); }
+  } trace_rank_guard{obs::set_trace_rank(rank)};
+  obs::SpanScope span("rt", "rank");
+  span.arg("rank", rank);
   auto state = std::make_shared<CommState>();
   state->world = &world;
   state->ctx = 1;
@@ -113,6 +135,16 @@ void rank_main(World& world, int rank, int rank_budget,
   Comm comm(std::move(state));
   body(comm);
   comm.charge_local_flops();
+  // Per-backend traffic totals for the metrics registry: one update per
+  // rank per run (never per message -- the hot path stays untouched).
+  const auto& tally =
+      world.ranks[static_cast<std::size_t>(rank)].tally;
+  const std::string backend = world.transport->name();
+  auto& reg = obs::Registry::global();
+  reg.counter("rt." + backend + ".msgs")
+      .add(static_cast<u64>(tally.msgs));
+  reg.counter("rt." + backend + ".words")
+      .add(static_cast<u64>(tally.words));
 }
 
 }  // namespace detail

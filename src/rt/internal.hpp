@@ -151,8 +151,23 @@ struct RequestState {
   std::size_t next = 0;  ///< first unexecuted step
   bool registered = false;
 
+  // Span-tracing stamps (obs/trace.hpp), set by trace_stamp_request at
+  // start_* when tracing is on.  The wall start plus the msgs/words/clock
+  // snapshot let the completion event carry the collective's charged
+  // traffic and modeled-clock window next to its wall time.  Null name =
+  // untraced (tracing off, or a trivial P==1/empty collective).
+  const char* trace_name = nullptr;
+  u64 trace_t0 = 0;
+  i64 trace_msgs0 = 0;
+  i64 trace_words0 = 0;
+  double trace_clock0 = 0.0;
+
   [[nodiscard]] bool done() const noexcept { return next >= steps.size(); }
 };
+
+/// Stamps `r` for span tracing (no-op when tracing is off).  Call after
+/// the schedule is built and before start_request.
+void trace_stamp_request(RequestState& r, const char* name);
 
 // (request.cpp)  All of these run on the owning rank thread only.
 

@@ -20,11 +20,42 @@
 #include <exception>
 #include <string>
 
+#include "cacqr/obs/trace.hpp"
 #include "transport.hpp"
 
 namespace cacqr::rt {
 
 namespace detail {
+
+void trace_stamp_request(RequestState& r, const char* name) {
+  if (!obs::trace_on() || r.done()) return;
+  const auto& tally = r.comm->world->ranks[static_cast<std::size_t>(
+                          world_rank_of(*r.comm))].tally;
+  r.trace_name = name;
+  r.trace_t0 = obs::now_ns();
+  r.trace_msgs0 = tally.msgs;
+  r.trace_words0 = tally.words;
+  r.trace_clock0 = tally.time;
+}
+
+namespace {
+
+/// One completion span per collective, blocking or not: [start_*,
+/// last-step-retired] wall time, with the request's charged msgs/words
+/// and its modeled-clock window as args (microseconds, to match ts/dur).
+void trace_emit_request(const RequestState& r) {
+  if (r.trace_name == nullptr || !obs::trace_on()) return;
+  const auto& tally = r.comm->world->ranks[static_cast<std::size_t>(
+                          world_rank_of(*r.comm))].tally;
+  obs::complete(
+      "rt", r.trace_name, r.trace_t0, obs::now_ns(),
+      {{"msgs", static_cast<double>(tally.msgs - r.trace_msgs0)},
+       {"words", static_cast<double>(tally.words - r.trace_words0)},
+       {"mclk0_us", r.trace_clock0 * 1e6},
+       {"mclk1_us", tally.time * 1e6}});
+}
+
+}  // namespace
 
 void unregister_request(RequestState& r) {
   if (!r.registered) return;
@@ -67,6 +98,7 @@ bool advance_request(RequestState& r) {
     unregister_request(r);
     throw;
   }
+  trace_emit_request(r);
   unregister_request(r);
   return true;
 }
@@ -108,7 +140,14 @@ void wait_until(World& w, int world_rank, const std::function<bool()>& ready,
     if (ready()) return;
     progress_all(w, world_rank);
     if (ready()) return;
-    tr.wait_arrivals(world_rank, seen);
+    if (obs::trace_on()) {
+      // One span per park on the transport: where blocked time is spent.
+      const u64 t0 = obs::now_ns();
+      tr.wait_arrivals(world_rank, seen);
+      obs::complete(tr.name(), "wait", t0, obs::now_ns());
+    } else {
+      tr.wait_arrivals(world_rank, seen);
+    }
     if (tr.aborted()) throw AbortError(abort_message());
   }
 }

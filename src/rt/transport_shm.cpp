@@ -49,6 +49,7 @@
 #include <thread>
 
 #include "cacqr/lin/parallel.hpp"
+#include "cacqr/obs/trace.hpp"
 #include "transport.hpp"
 
 namespace cacqr::rt::detail {
@@ -422,6 +423,9 @@ void marshal_error(ChildSlot& slot, ErrKind kind, const char* what,
   // The pool workers (and every other thread) died with fork(); drop the
   // inherited handle before the body opens a parallel region.
   lin::parallel::reinit_after_fork();
+  // Inherited trace rings hold the parent's events; wipe them or this
+  // child's trace file would duplicate everything recorded before fork.
+  obs::detail::reset_after_fork();
 
   ChildSlot& slot = region.slot(rank);
   const FailureProbe probe = child_failure_probe();
@@ -497,6 +501,10 @@ void marshal_error(ChildSlot& slot, ErrKind kind, const char* what,
   }
   slot.state.store(state, std::memory_order_release);
 
+  // _Exit below skips atexit, so the child must flush its own per-pid
+  // trace file here; the parent merges it in by pid at its own exit.
+  if (obs::trace_on()) obs::write_process_trace();
+
   std::fflush(stdout);
   std::fflush(stderr);
   // _Exit: no atexit/static destructors -- they belong to the parent's
@@ -552,6 +560,9 @@ RunOutput run_shm(int nranks, const std::function<void(Comm&)>& body,
       throw CommError(cacqr::detail::concat("shm transport: fork failed at rank ", r));
     }
     pids[static_cast<std::size_t>(r)] = pid;
+    // Fold this child's trace file into the parent's merged trace.json
+    // at exit (children cannot: they _Exit without atexit).
+    if (obs::trace_on()) obs::detail::note_forked_child(static_cast<int>(pid));
   }
 
   // Reap in completion order: a rank dying abnormally must raise the

@@ -9,6 +9,8 @@
 #include "cacqr/core/batched.hpp"
 #include "cacqr/lin/parallel.hpp"
 #include "cacqr/lin/util.hpp"
+#include "cacqr/obs/metrics.hpp"
+#include "cacqr/obs/trace.hpp"
 #include "cacqr/support/error.hpp"
 #include "cacqr/support/timer.hpp"
 
@@ -62,6 +64,54 @@ struct Group {
   std::vector<JobPtr> jobs;
   bool batched_lane = false;
 };
+
+/// Cached registry handles for the service's instruments (lookup is
+/// mutex-guarded; the submit/dispatch paths must not pay it per job).
+/// Leaked with the registry itself.
+struct ServeMetrics {
+  obs::Counter* admitted[3];
+  obs::Counter* rejected[3];
+  obs::Gauge* queue_depth;
+  obs::Gauge* queue_depth_high_water;
+  obs::Histogram* wait_seconds;
+  obs::Histogram* exec_seconds;
+  obs::Histogram* batch_size;
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics* m = [] {
+    auto* s = new ServeMetrics();
+    auto& r = obs::Registry::global();
+    const char* cls[3] = {"high", "normal", "low"};
+    for (int i = 0; i < 3; ++i) {
+      s->admitted[i] = &r.counter(std::string("serve.admitted.") + cls[i]);
+      s->rejected[i] = &r.counter(std::string("serve.rejected.") + cls[i]);
+    }
+    s->queue_depth = &r.gauge("serve.queue_depth");
+    s->queue_depth_high_water = &r.gauge("serve.queue_depth_high_water");
+    const double lat[] = {1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
+                          3e-2, 0.1,  0.3,  1.0,  3.0, 10.0};
+    s->wait_seconds = &r.histogram("serve.wait_seconds", lat);
+    s->exec_seconds = &r.histogram("serve.exec_seconds", lat);
+    const double sizes[] = {1, 2, 4, 8, 16, 32};
+    s->batch_size = &r.histogram("serve.batch_size", sizes);
+    return s;
+  }();
+  return *m;
+}
+
+/// Closes a job's open async trace spans and ends its "job" envelope.
+/// Exactly-once via trace_state; safe to call from any finisher (normal
+/// completion and the engine-death drain race here).
+void trace_job_end(detail::Job& j, JobStatus terminal) {
+  if (j.trace_id == 0) return;
+  const int st = j.trace_state.exchange(3, std::memory_order_acq_rel);
+  if (st == 0 || st == 3) return;
+  if (st == 1) obs::async_end("serve", "queued", j.trace_id);
+  if (st == 2) obs::async_end("serve", "run", j.trace_id);
+  obs::async_end("serve", "job", j.trace_id,
+                 {{"status", static_cast<double>(static_cast<int>(terminal))}});
+}
 
 core::FactorizeOptions to_factorize_options(const JobOptions& o) {
   core::FactorizeOptions fo;
@@ -126,6 +176,8 @@ JobHandle FactorizeService::submit(lin::ConstMatrixView a, JobOptions opts) {
   job->opts = opts;
 
   Shared& sh = *shared_;
+  const int cls = static_cast<int>(opts.priority);
+  std::size_t depth_now = 0;
   {
     const std::lock_guard<std::mutex> lock(sh.mu);
     ensure(!sh.stopping, "serve: submit after shutdown");
@@ -133,6 +185,13 @@ JobHandle FactorizeService::submit(lin::ConstMatrixView a, JobOptions opts) {
       // Deterministic backpressure: the handle is terminal before
       // submit() returns, never blocked and never silently dropped.
       ++sh.stats.rejected;
+      ++sh.stats.rejected_by_class[cls];
+      serve_metrics().rejected[cls]->add(1);
+      if (obs::trace_on()) {
+        obs::instant("serve", "reject",
+                     {{"priority", static_cast<double>(cls)},
+                      {"n", static_cast<double>(job->a.cols())}});
+      }
       job->finish(JobStatus::rejected, {},
                   std::make_exception_ptr(Error(
                       "serve: queue full (depth " +
@@ -140,10 +199,29 @@ JobHandle FactorizeService::submit(lin::ConstMatrixView a, JobOptions opts) {
       return JobHandle(job);
     }
     job->seq = sh.next_seq++;
-    sh.queues[static_cast<int>(opts.priority)].push_back(job);
+    sh.queues[cls].push_back(job);
     ++sh.queued;
     ++sh.stats.submitted;
+    ++sh.stats.admitted_by_class[cls];
     sh.stats.max_queue_depth = std::max(sh.stats.max_queue_depth, sh.queued);
+    depth_now = sh.queued;
+  }
+  serve_metrics().admitted[cls]->add(1);
+  serve_metrics().queue_depth->set(static_cast<double>(depth_now));
+  serve_metrics().queue_depth_high_water->record_max(
+      static_cast<double>(depth_now));
+  if (obs::trace_on()) {
+    // One "job" envelope per admission, with a nested "queued" phase the
+    // dispatcher closes; the counter series charts backlog over time.
+    job->trace_id = obs::new_async_id();
+    job->trace_state.store(1, std::memory_order_release);
+    obs::async_begin("serve", "job", job->trace_id,
+                     {{"seq", static_cast<double>(job->seq)},
+                      {"priority", static_cast<double>(cls)},
+                      {"m", static_cast<double>(job->a.rows())},
+                      {"n", static_cast<double>(job->a.cols())}});
+    obs::async_begin("serve", "queued", job->trace_id);
+    obs::counter("serve", "queue_depth", static_cast<double>(depth_now));
   }
   sh.cv_submit.notify_one();
   return JobHandle(job);
@@ -161,7 +239,9 @@ void FactorizeService::shutdown() {
 
 ServiceStats FactorizeService::stats() const {
   const std::lock_guard<std::mutex> lock(shared_->mu);
-  return shared_->stats;
+  ServiceStats out = shared_->stats;
+  out.queue_depth = shared_->queued;
+  return out;
 }
 
 void FactorizeService::engine_main() {
@@ -219,11 +299,37 @@ void FactorizeService::engine_main() {
                     const std::lock_guard<std::mutex> jlock(j->mu);
                     j->status = JobStatus::running;
                   }
+                  serve_metrics().wait_seconds->observe(j->queue_seconds);
+                  if (j->trace_id != 0) {
+                    // queued -> run handoff on the job's async track.
+                    int expected = 1;
+                    if (j->trace_state.compare_exchange_strong(
+                            expected, 2, std::memory_order_acq_rel)) {
+                      obs::async_end("serve", "queued", j->trace_id);
+                      obs::async_begin("serve", "run", j->trace_id);
+                    }
+                  }
                   home->jobs.push_back(std::move(j));
                 }
                 if (!round.empty()) break;
               }
               ++sh.stats.rounds;
+              serve_metrics().queue_depth->set(
+                  static_cast<double>(sh.queued));
+              if (obs::trace_on()) {
+                std::size_t jobs = 0;
+                std::size_t batched = 0;
+                for (const Group& g : round) {
+                  jobs += g.jobs.size();
+                  if (g.batched_lane) batched += g.jobs.size();
+                }
+                obs::instant("serve", "round",
+                             {{"groups", static_cast<double>(round.size())},
+                              {"jobs", static_cast<double>(jobs)},
+                              {"batched", static_cast<double>(batched)}});
+                obs::counter("serve", "queue_depth",
+                             static_cast<double>(sh.queued));
+              }
             }
           }
           {
@@ -248,6 +354,9 @@ void FactorizeService::engine_main() {
 
         for (const Group& g : *round) {
           WallTimer timer;
+          obs::SpanScope group_span("serve", "exec_group");
+          group_span.arg("jobs", static_cast<double>(g.jobs.size()));
+          group_span.arg("batched", g.batched_lane ? 1.0 : 0.0);
           if (g.batched_lane) {
             std::vector<lin::ConstMatrixView> panels;
             panels.reserve(g.jobs.size());
@@ -259,6 +368,8 @@ void FactorizeService::engine_main() {
                  .base_case = o.base_case, .precision = o.precision});
             if (world.rank() == 0) {
               const double secs = timer.seconds();
+              serve_metrics().batch_size->observe(
+                  static_cast<double>(g.jobs.size()));
               // Stats first, wakeups second: a client that observes its
               // job terminal must observe the counters covering it.
               {
@@ -287,12 +398,17 @@ void FactorizeService::engine_main() {
                   res.batch_size = g.jobs.size();
                   res.queue_seconds = j->queue_seconds;
                   res.exec_seconds = secs;
-                  j->finish(JobStatus::done, std::move(res), nullptr);
+                  serve_metrics().exec_seconds->observe(secs);
+                  if (j->finish(JobStatus::done, std::move(res), nullptr)) {
+                    trace_job_end(*j, JobStatus::done);
+                  }
                 } else {
                   // Failure isolation: this panel's breakdown rides its
                   // own handle; batch mates completed above.
-                  j->finish(JobStatus::failed, {},
-                            std::move(items[i].error));
+                  if (j->finish(JobStatus::failed, {},
+                                std::move(items[i].error))) {
+                    trace_job_end(*j, JobStatus::failed);
+                  }
                 }
               }
             }
@@ -309,11 +425,14 @@ void FactorizeService::engine_main() {
                 res.used_shift = fr.used_shift;
                 res.queue_seconds = j->queue_seconds;
                 res.exec_seconds = timer.seconds();
+                serve_metrics().exec_seconds->observe(res.exec_seconds);
                 {
                   const std::lock_guard<std::mutex> lock(sh.mu);
                   ++sh.stats.completed;
                 }
-                j->finish(JobStatus::done, std::move(res), nullptr);
+                if (j->finish(JobStatus::done, std::move(res), nullptr)) {
+                  trace_job_end(*j, JobStatus::done);
+                }
               }
             } catch (const AbortError&) {
               throw;  // the run is tearing down; do not swallow
@@ -326,7 +445,10 @@ void FactorizeService::engine_main() {
                   const std::lock_guard<std::mutex> lock(sh.mu);
                   ++sh.stats.failed;
                 }
-                j->finish(JobStatus::failed, {}, std::current_exception());
+                if (j->finish(JobStatus::failed, {},
+                              std::current_exception())) {
+                  trace_job_end(*j, JobStatus::failed);
+                }
               }
             }
           }
@@ -362,7 +484,9 @@ void FactorizeService::engine_main() {
       sh.round.clear();
     }
     for (const JobPtr& j : orphans) {
-      if (j) j->finish(JobStatus::failed, {}, err);
+      if (j && j->finish(JobStatus::failed, {}, err)) {
+        trace_job_end(*j, JobStatus::failed);
+      }
     }
   }
 }

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cacqr/obs/metrics.hpp"
+#include "cacqr/support/json.hpp"
+
+namespace cacqr::obs {
+namespace {
+
+using support::Json;
+
+TEST(MetricsTest, CounterAccumulates) {
+  Registry reg;
+  Counter& c = reg.counter("jobs");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(&reg.counter("jobs"), &c);  // find-or-create is stable
+}
+
+TEST(MetricsTest, GaugeSetAndHighWater) {
+  Registry reg;
+  Gauge& g = reg.gauge("depth");
+  g.set(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.record_max(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  g.record_max(5.0);  // below the high-water: ignored
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  g.set(1.0);  // set always wins
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+TEST(MetricsTest, HistogramBucketsAndOverflow) {
+  Registry reg;
+  const double bounds[] = {1.0, 10.0, 100.0};
+  Histogram& h = reg.histogram("latency", bounds);
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(1.0);    // bucket 0 (boundary is inclusive)
+  h.observe(7.0);    // bucket 1
+  h.observe(100.0);  // bucket 2
+  h.observe(1e6);    // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 7.0 + 100.0 + 1e6);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  // Later registrations ignore their bounds and return the same instance.
+  const double other[] = {5.0};
+  EXPECT_EQ(&reg.histogram("latency", other), &h);
+  EXPECT_EQ(h.bounds().size(), 3u);
+}
+
+TEST(MetricsTest, InstrumentsAreThreadSafe) {
+  Registry reg;
+  Counter& c = reg.counter("hits");
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 4000u);
+}
+
+TEST(MetricsTest, SnapshotIsDeterministicAndSorted) {
+  Registry reg;
+  // Registered out of order on purpose: the snapshot must sort by name.
+  reg.counter("zeta").add(1);
+  reg.counter("alpha").add(2);
+  reg.gauge("mid").set(0.5);
+  const double bounds[] = {1.0, 2.0};
+  reg.histogram("hist", bounds).observe(1.5);
+
+  const Json snap = reg.snapshot();
+  EXPECT_EQ(snap["schema_version"].as_int(), 1);
+  const auto& counters = snap["counters"].members();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "alpha");
+  EXPECT_EQ(counters[1].first, "zeta");
+  EXPECT_EQ(snap["counters"]["alpha"].as_int(), 2);
+  EXPECT_DOUBLE_EQ(snap["gauges"]["mid"].as_number(), 0.5);
+
+  const Json& hist = snap["histograms"]["hist"];
+  EXPECT_EQ(hist["count"].as_int(), 1);
+  EXPECT_DOUBLE_EQ(hist["sum"].as_number(), 1.5);
+  ASSERT_EQ(hist["buckets"].size(), 3u);  // 2 bounds + overflow
+  EXPECT_DOUBLE_EQ(hist["buckets"].at(0)["le"].as_number(), 1.0);
+  EXPECT_EQ(hist["buckets"].at(1)["count"].as_int(), 1);
+  EXPECT_EQ(hist["buckets"].at(2)["le"].as_string(), "inf");
+
+  // Byte-identical on repeat: the schema round-trip contract.
+  EXPECT_EQ(snap.dump(), reg.snapshot().dump());
+}
+
+TEST(MetricsTest, SnapshotRoundTripsThroughFile) {
+  Registry reg;
+  reg.counter("written").add(7);
+  char tmpl[] = "/tmp/cacqr_metrics_test_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string path = std::string(tmpl) + "/metrics.json";
+  ASSERT_TRUE(reg.write_snapshot(path));
+  const auto doc = support::read_json_file(path);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ((*doc)["counters"]["written"].as_int(), 7);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsTest, GlobalRegistryIsSingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace cacqr::obs

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "cacqr/obs/trace.hpp"
+#include "cacqr/support/json.hpp"
+
+namespace cacqr::obs {
+namespace {
+
+using support::Json;
+
+/// Saves and restores the process-wide trace mode + dir around each test:
+/// the CI trace pass runs this whole suite with CACQR_TRACE=all, so tests
+/// must set the state they need explicitly and put it back after.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_mode_ = trace_mode();
+    saved_dir_ = trace_dir();
+    char tmpl[] = "/tmp/cacqr_trace_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    set_trace_dir(dir_);
+  }
+  void TearDown() override {
+    set_trace_mode(saved_mode_);
+    set_trace_dir(saved_dir_);
+    set_trace_buffer_capacity(0);
+  }
+
+  /// Exports this process's rings and parses the per-pid file back.
+  Json exported() {
+    EXPECT_TRUE(write_process_trace());
+    const auto doc = support::read_json_file(
+        dir_ + "/trace-" + std::to_string(getpid()) + ".json");
+    EXPECT_TRUE(doc.has_value());
+    return doc.value_or(Json());
+  }
+
+  static std::vector<Json> events_named(const Json& doc,
+                                        const std::string& name) {
+    std::vector<Json> out;
+    const Json& ev = doc["traceEvents"];
+    for (std::size_t i = 0; i < ev.size(); ++i) {
+      if (ev.at(i)["name"].as_string() == name) out.push_back(ev.at(i));
+    }
+    return out;
+  }
+
+  TraceMode saved_mode_ = TraceMode::off;
+  std::string saved_dir_;
+  std::string dir_;
+};
+
+TEST_F(TraceTest, ModeGatesRecording) {
+  set_trace_mode(TraceMode::off);
+  EXPECT_FALSE(trace_on());
+  EXPECT_EQ(trace_mode(), TraceMode::off);
+  set_trace_mode(TraceMode::rank0);
+  EXPECT_TRUE(trace_on());
+  set_trace_mode(TraceMode::all);
+  EXPECT_TRUE(trace_on());
+  EXPECT_EQ(trace_mode(), TraceMode::all);
+}
+
+TEST_F(TraceTest, RecorderRoundTripsThroughExport) {
+  set_trace_mode(TraceMode::all);
+  const u64 t0 = now_ns();
+  complete("test", "obs_rt_complete", t0, t0 + 2500,
+           {{"alpha", 1.5}, {"beta", -2.0}});
+  instant("test", "obs_rt_instant", {{"k", 7.0}});
+  counter("test", "obs_rt_counter", 42.0);
+  const u64 id = new_async_id();
+  async_begin("test", "obs_rt_async", id, {{"seq", 3.0}});
+  async_end("test", "obs_rt_async", id);
+
+  const Json doc = exported();
+  EXPECT_EQ(doc["schema_version"].as_int(), 1);
+  EXPECT_TRUE(doc["traceEvents"].is_array());
+
+  const auto comp = events_named(doc, "obs_rt_complete");
+  ASSERT_EQ(comp.size(), 1u);
+  EXPECT_EQ(comp[0]["ph"].as_string(), "X");
+  EXPECT_EQ(comp[0]["cat"].as_string(), "test");
+  EXPECT_DOUBLE_EQ(comp[0]["dur"].as_number(), 2.5);  // microseconds
+  EXPECT_DOUBLE_EQ(comp[0]["args"]["alpha"].as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(comp[0]["args"]["beta"].as_number(), -2.0);
+
+  const auto inst = events_named(doc, "obs_rt_instant");
+  ASSERT_EQ(inst.size(), 1u);
+  EXPECT_EQ(inst[0]["ph"].as_string(), "i");
+  EXPECT_DOUBLE_EQ(inst[0]["args"]["k"].as_number(), 7.0);
+
+  const auto ctr = events_named(doc, "obs_rt_counter");
+  ASSERT_EQ(ctr.size(), 1u);
+  EXPECT_EQ(ctr[0]["ph"].as_string(), "C");
+  EXPECT_DOUBLE_EQ(ctr[0]["args"]["value"].as_number(), 42.0);
+
+  const auto as = events_named(doc, "obs_rt_async");
+  ASSERT_EQ(as.size(), 2u);
+  EXPECT_EQ(as[0]["ph"].as_string(), "b");
+  EXPECT_EQ(as[1]["ph"].as_string(), "e");
+  EXPECT_EQ(as[0]["id"].as_int(), as[1]["id"].as_int());
+}
+
+TEST_F(TraceTest, SpanScopeRecordsOnceWithArgs) {
+  set_trace_mode(TraceMode::all);
+  {
+    SpanScope span("test", "obs_rt_scope");
+    span.arg("n", 64.0);
+    span.close();
+    span.close();  // idempotent: the dtor must not record a second event
+  }
+  const auto got = events_named(exported(), "obs_rt_scope");
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0]["ph"].as_string(), "X");
+  EXPECT_DOUBLE_EQ(got[0]["args"]["n"].as_number(), 64.0);
+}
+
+TEST_F(TraceTest, Rank0ModeFiltersOtherRanks) {
+  set_trace_mode(TraceMode::rank0);
+  const int prev = set_trace_rank(5);
+  instant("test", "obs_rt_filtered");
+  set_trace_rank(0);
+  instant("test", "obs_rt_rank0_kept");
+  set_trace_rank(-1);
+  instant("test", "obs_rt_driver_kept");
+  set_trace_rank(prev);
+
+  const Json doc = exported();
+  EXPECT_EQ(events_named(doc, "obs_rt_filtered").size(), 0u);
+  EXPECT_EQ(events_named(doc, "obs_rt_rank0_kept").size(), 1u);
+  EXPECT_EQ(events_named(doc, "obs_rt_driver_kept").size(), 1u);
+}
+
+TEST_F(TraceTest, RankTagSetsProcessRow) {
+  set_trace_mode(TraceMode::all);
+  const int prev = set_trace_rank(3);
+  instant("test", "obs_rt_on_rank3");
+  set_trace_rank(prev);
+  const auto got = events_named(exported(), "obs_rt_on_rank3");
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0]["pid"].as_int(), 3);
+}
+
+TEST_F(TraceTest, FullRingDropsNewestAndCounts) {
+  set_trace_mode(TraceMode::all);
+  set_trace_buffer_capacity(16);
+  const u64 dropped_before = dropped_events();
+  // A fresh thread gets a fresh (16-event) ring; the overflow is dropped,
+  // never overwritten.
+  std::thread t([] {
+    for (int i = 0; i < 50; ++i) instant("test", "obs_rt_flood");
+  });
+  t.join();
+  EXPECT_GE(dropped_events() - dropped_before, 34u);
+  const auto kept = events_named(exported(), "obs_rt_flood");
+  EXPECT_EQ(kept.size(), 16u);
+  EXPECT_GE(exported()["dropped_events"].as_int(), 34);
+}
+
+TEST_F(TraceTest, MergeCombinesFilesAndSkipsGarbage) {
+  auto one_event_doc = [](const std::string& name) {
+    Json e = Json::object();
+    e.set("name", name);
+    e.set("ph", "i");
+    e.set("pid", 0);
+    e.set("tid", 1);
+    e.set("ts", 1.0);
+    Json doc = Json::object();
+    doc.set("schema_version", 1);
+    Json ev = Json::array();
+    ev.push_back(std::move(e));
+    doc.set("traceEvents", std::move(ev));
+    return doc;
+  };
+  const std::string a = dir_ + "/trace-100001.json";
+  const std::string b = dir_ + "/trace-100002.json";
+  ASSERT_TRUE(support::write_json_file(a, one_event_doc("from_a"), -1));
+  ASSERT_TRUE(support::write_json_file(b, one_event_doc("from_b"), -1));
+
+  const std::string out = dir_ + "/merged.json";
+  ASSERT_TRUE(merge_trace_files({a, b, dir_ + "/missing.json"}, out));
+  const auto merged = support::read_json_file(out);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ((*merged)["traceEvents"].size(), 2u);
+
+  // Directory form picks up every trace-*.json (merged.json is ignored).
+  const std::string out2 = dir_ + "/merged2.json";
+  ASSERT_TRUE(merge_trace_dir(dir_, out2));
+  const auto merged2 = support::read_json_file(out2);
+  ASSERT_TRUE(merged2.has_value());
+  EXPECT_EQ((*merged2)["traceEvents"].size(), 2u);
+
+  EXPECT_FALSE(merge_trace_files({dir_ + "/missing.json"}, out));
+}
+
+TEST_F(TraceTest, OffModeRecordsNothing) {
+  set_trace_mode(TraceMode::all);
+  instant("test", "obs_rt_marker_before");  // ensure the export is nonempty
+  set_trace_mode(TraceMode::off);
+  instant("test", "obs_rt_while_off");
+  SpanScope span("test", "obs_rt_span_while_off");
+  span.close();
+  set_trace_mode(TraceMode::all);
+  const Json doc = exported();
+  EXPECT_EQ(events_named(doc, "obs_rt_while_off").size(), 0u);
+  EXPECT_EQ(events_named(doc, "obs_rt_span_while_off").size(), 0u);
+  EXPECT_EQ(events_named(doc, "obs_rt_marker_before").size(), 1u);
+}
+
+}  // namespace
+}  // namespace cacqr::obs

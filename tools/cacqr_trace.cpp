@@ -1,0 +1,146 @@
+/// \file cacqr_trace.cpp
+/// \brief Post-processor for the Perfetto/Chrome trace files the obs/
+///        layer writes.
+///
+///   cacqr-trace merge <dir> [-o <out.json>]
+///       Combines every trace-<pid>.json under <dir> into one
+///       Perfetto-loadable file (default <dir>/trace.json).  The shm
+///       launcher merges its own children automatically; this command
+///       covers mpi runs (no common parent of ours) and re-merges.
+///
+///   cacqr-trace summarize <trace.json> [--top=N]
+///       Groups complete ("X") spans by cat/name and prints the top N
+///       (default 20) by total wall time, with the modeled-clock window
+///       (mclk0_us/mclk1_us span args, emitted by the rt collectives)
+///       next to the wall time where present.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cacqr/obs/trace.hpp"
+#include "cacqr/support/json.hpp"
+
+namespace {
+
+using cacqr::support::Json;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cacqr-trace merge <dir> [-o <out.json>]\n"
+               "       cacqr-trace summarize <trace.json> [--top=N]\n");
+  return 2;
+}
+
+int run_merge(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string dir = argv[0];
+  std::string out = dir + "/trace.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (!cacqr::obs::merge_trace_dir(dir, out)) {
+    std::fprintf(stderr, "cacqr-trace: no trace-*.json under %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::printf("%s\n", out.c_str());
+  return 0;
+}
+
+struct SpanStats {
+  std::size_t count = 0;
+  double wall_us = 0.0;
+  /// Modeled-clock advance summed over spans carrying mclk args.
+  double modeled_us = 0.0;
+  std::size_t modeled_count = 0;
+};
+
+int run_summarize(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string path = argv[0];
+  long top = 20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--top=", 6) == 0) {
+      char* end = nullptr;
+      top = std::strtol(argv[i] + 6, &end, 10);
+      if (end == argv[i] + 6 || *end != '\0' || top < 1) return usage();
+    } else {
+      return usage();
+    }
+  }
+
+  const auto doc = cacqr::support::read_json_file(path);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "cacqr-trace: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  const Json& events = (*doc)["traceEvents"];
+  if (!events.is_array()) {
+    std::fprintf(stderr, "cacqr-trace: %s has no traceEvents array\n",
+                 path.c_str());
+    return 1;
+  }
+
+  std::map<std::string, SpanStats> by_span;
+  std::size_t total_events = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& e = events.at(i);
+    ++total_events;
+    if (e["ph"].as_string() != "X") continue;
+    const std::string key =
+        e["cat"].as_string() + "/" + e["name"].as_string();
+    SpanStats& s = by_span[key];
+    ++s.count;
+    s.wall_us += e["dur"].as_number();
+    const Json& args = e["args"];
+    if (args.has("mclk0_us") && args.has("mclk1_us")) {
+      s.modeled_us +=
+          args["mclk1_us"].as_number() - args["mclk0_us"].as_number();
+      ++s.modeled_count;
+    }
+  }
+
+  std::vector<std::pair<std::string, SpanStats>> rows(by_span.begin(),
+                                                      by_span.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.wall_us > b.second.wall_us;
+  });
+  if (rows.size() > static_cast<std::size_t>(top)) {
+    rows.resize(static_cast<std::size_t>(top));
+  }
+
+  std::printf("%zu events, %zu span kinds (top %zu by wall time)\n",
+              total_events, by_span.size(), rows.size());
+  std::printf("%-28s %10s %14s %14s %14s\n", "span", "count", "wall_ms",
+              "modeled_ms", "wall-modeled");
+  for (const auto& [key, s] : rows) {
+    if (s.modeled_count > 0) {
+      std::printf("%-28s %10zu %14.3f %14.3f %14.3f\n", key.c_str(), s.count,
+                  s.wall_us / 1e3, s.modeled_us / 1e3,
+                  (s.wall_us - s.modeled_us) / 1e3);
+    } else {
+      std::printf("%-28s %10zu %14.3f %14s %14s\n", key.c_str(), s.count,
+                  s.wall_us / 1e3, "-", "-");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "merge") return run_merge(argc - 2, argv + 2);
+  if (cmd == "summarize") return run_summarize(argc - 2, argv + 2);
+  return usage();
+}
